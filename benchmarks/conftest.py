@@ -1,0 +1,75 @@
+"""Shared plumbing for the figure/table reproduction benchmarks.
+
+Every benchmark module regenerates one paper artefact through
+:mod:`repro.experiments` and
+
+* times the full experiment once (``benchmark.pedantic`` with a single
+  round — these are minutes-long simulations, not microbenchmarks),
+* records a compact summary of the reproduced series in
+  ``benchmark.extra_info`` so the numbers appear in the benchmark JSON/log,
+* writes the full result as JSON under ``benchmarks/results/`` for
+  side-by-side comparison with the paper (see EXPERIMENTS.md),
+* asserts the qualitative trend the paper reports for that artefact.
+
+The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke``, ``small`` — default, or ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """Return the experiment scale selected via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return ExperimentScale.from_name(name)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Session-wide experiment scale for all benchmarks."""
+    return bench_scale()
+
+
+def keeps_up(candidate: float, reference: float, rel: float = 0.85, abs_tol: float = 2.0) -> bool:
+    """True when ``candidate`` is at least comparable to ``reference``.
+
+    Search-hit comparisons at the reduced benchmark scales are noisy,
+    especially in the m = 1 regime where NF/RW reach only a handful of peers;
+    a curve "keeps up" with another if it reaches at least ``rel`` of its hits
+    or is within ``abs_tol`` hits absolutely.
+    """
+    return candidate >= rel * reference or (reference - candidate) <= abs_tol
+
+
+def run_figure_benchmark(benchmark, experiment_id: str, scale: ExperimentScale) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and persist its result."""
+    result_holder = {}
+
+    def _run():
+        result_holder["result"] = run_experiment(experiment_id, scale=scale)
+        return result_holder["result"]
+
+    benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    result: ExperimentResult = result_holder["result"]
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    result.save_json(RESULTS_DIR / f"{experiment_id}.json")
+    result.save_csv(RESULTS_DIR / f"{experiment_id}.csv")
+
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["scale"] = scale.name
+    benchmark.extra_info["series"] = {
+        series.label: round(float(series.final()), 4) for series in result.series
+    }
+    return result

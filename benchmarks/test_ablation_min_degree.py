@@ -1,0 +1,16 @@
+"""Ablation benchmark: the paper's "minimum of 2-3 links" join guideline."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_ablation_min_degree(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "ablation_min_degree", scale)
+
+    ratio = result.get("cutoff penalty ratio (no kc / kc=10)")
+    # The flooding penalty of a kc=10 cutoff shrinks as m grows from 1 to 3.
+    assert ratio.y[-1] <= ratio.y[0] + 0.2
+    # And by the largest m it is a small factor (the paper calls it
+    # "virtually no difference"; we allow up to 2x at the reduced scale).
+    assert ratio.y[-1] < 2.5

@@ -1,0 +1,59 @@
+"""Ablation benchmark: the attachment-kernel exponent α (extension).
+
+The paper points to nonlinear preferential attachment as one of the
+"modified PA models" that change the degree-distribution exponent without a
+hard cutoff.  This ablation compares the three α regimes at a fixed size and
+checks the known qualitative picture: sub-linear kernels suppress hubs,
+linear kernels give the scale-free natural cutoff, super-linear kernels
+condense — and a hard cutoff equalises all three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cutoff import empirical_cutoff
+from repro.generators.nonlinear_pa import generate_nonlinear_pa
+
+NODES = 1500
+SEED = 31
+
+
+@pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5])
+def test_nonlinear_pa_generation_speed(benchmark, alpha):
+    graph = benchmark.pedantic(
+        generate_nonlinear_pa,
+        args=(NODES,),
+        kwargs={"stubs": 2, "exponent_alpha": alpha, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.extra_info["max_degree"] = graph.max_degree()
+    assert graph.number_of_nodes == NODES
+
+
+def test_nonlinear_pa_hub_ordering(benchmark):
+    def run():
+        return {
+            alpha: empirical_cutoff(
+                generate_nonlinear_pa(NODES, stubs=1, exponent_alpha=alpha, seed=SEED)
+            )
+            for alpha in (0.5, 1.0, 1.5)
+        }
+
+    hubs = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["max_degree_by_alpha"] = hubs
+    # Sub-linear < linear < super-linear hub sizes.
+    assert hubs[0.5] < hubs[1.0] < hubs[1.5]
+
+    # A hard cutoff erases the difference entirely.
+    capped = {
+        alpha: empirical_cutoff(
+            generate_nonlinear_pa(
+                NODES, stubs=1, exponent_alpha=alpha, hard_cutoff=10, seed=SEED
+            )
+        )
+        for alpha in (0.5, 1.0, 1.5)
+    }
+    assert all(value <= 10 for value in capped.values())

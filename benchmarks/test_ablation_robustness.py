@@ -1,0 +1,24 @@
+"""Ablation benchmark: hard cutoffs and the robust-yet-fragile property."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_ablation_robustness(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "ablation_robustness", scale)
+
+    failure_free = result.get("failure, no kc")
+    attack_free = result.get("attack, no kc")
+    failure_capped = result.get("failure, kc=10")
+    attack_capped = result.get("attack, kc=10")
+
+    # Scale-free without cutoff: attacks shatter the network faster than
+    # random failures (robust yet fragile).
+    assert attack_free.final() <= failure_free.final() + 0.02
+
+    # With a hard cutoff there are no super hubs, so the attack/failure gap
+    # narrows (or at least does not widen).
+    gap_free = failure_free.final() - attack_free.final()
+    gap_capped = failure_capped.final() - attack_capped.final()
+    assert gap_capped <= gap_free + 0.1

@@ -1,0 +1,33 @@
+"""Benchmark / reproduction of paper Fig. 10 (normalized flooding on DAPA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import keeps_up, run_figure_benchmark
+
+
+def test_fig10_normalized_flooding_on_dapa(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig10", scale)
+
+    # Group by (m, tau_sub) and compare cutoffs: the kc=10 series should be
+    # at least comparable to the no-cutoff series (paper: "as the hard cutoff
+    # is getting smaller, the search efficiency improves").
+    groups = {}
+    for series in result.series:
+        key = (series.metadata["stubs"], series.metadata["tau_sub"])
+        groups.setdefault(key, {})[series.metadata["hard_cutoff"]] = series
+
+    wins = 0
+    comparisons = 0
+    for cutoffs in groups.values():
+        if 10 in cutoffs and None in cutoffs:
+            comparisons += 1
+            if keeps_up(cutoffs[10].final(), cutoffs[None].final()):
+                wins += 1
+    assert comparisons > 0
+    assert wins >= 0.6 * comparisons
+
+    # Better connectedness improves hits greatly (m=3 vs m=1), when both are present.
+    m1 = [s.final() for s in result.series if s.metadata["stubs"] == 1]
+    m3 = [s.final() for s in result.series if s.metadata["stubs"] == 3]
+    if m1 and m3:
+        assert max(m3) > 5 * max(m1)

@@ -1,0 +1,31 @@
+"""Benchmark / reproduction of paper Fig. 11 (random walk on PA, CM, HAPA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import keeps_up, run_figure_benchmark
+
+
+def test_fig11_random_walk(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig11", scale)
+
+    by_model_and_stubs = {}
+    for series in result.series:
+        key = (series.metadata["model"], series.metadata["stubs"])
+        by_model_and_stubs.setdefault(key, {})[series.metadata["hard_cutoff"]] = series
+
+    # On PA and HAPA the small-cutoff series keeps up with (or beats) the
+    # no-cutoff series at equal NF message budget.
+    checked = 0
+    for (model, stubs), cutoffs in by_model_and_stubs.items():
+        if model not in ("pa", "hapa"):
+            continue
+        if 10 in cutoffs and None in cutoffs:
+            checked += 1
+            assert keeps_up(
+                cutoffs[10].final(), cutoffs[None].final(), rel=0.85
+            ), (model, stubs)
+    assert checked >= 2
+
+    # RW hits grow with the message budget (monotone curves).
+    for series in result.series:
+        assert all(b >= a - 1e-9 for a, b in zip(series.y, series.y[1:])), series.label

@@ -1,0 +1,29 @@
+"""Benchmark / reproduction of paper Fig. 12 (random walk on DAPA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import keeps_up, run_figure_benchmark
+
+
+def test_fig12_random_walk_on_dapa(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig12", scale)
+
+    groups = {}
+    for series in result.series:
+        key = (series.metadata["stubs"], series.metadata["tau_sub"])
+        groups.setdefault(key, {})[series.metadata["hard_cutoff"]] = series
+
+    wins = 0
+    comparisons = 0
+    for cutoffs in groups.values():
+        if 10 in cutoffs and None in cutoffs:
+            comparisons += 1
+            if keeps_up(cutoffs[10].final(), cutoffs[None].final(), rel=0.8):
+                wins += 1
+    assert comparisons > 0
+    assert wins >= 0.6 * comparisons
+
+    m1 = [s.final() for s in result.series if s.metadata["stubs"] == 1]
+    m3 = [s.final() for s in result.series if s.metadata["stubs"] == 3]
+    if m1 and m3:
+        assert max(m3) > 5 * max(m1)

@@ -1,0 +1,26 @@
+"""Benchmark / reproduction of paper Fig. 1 (PA degree distributions)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig1_pa_degree_distributions(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig1", scale)
+
+    # Panel (b): cutoff series accumulate probability at k = kc.
+    cutoff_series = [
+        series for series in result.series
+        if series.label.startswith("P(k)") and series.metadata.get("hard_cutoff") == 10
+    ]
+    assert cutoff_series
+    for series in cutoff_series:
+        assert max(series.x) <= 10
+        probability_at_cutoff = series.y[series.x.index(max(series.x))]
+        assert probability_at_cutoff > 0
+
+    # Panel (c): the fitted exponent increases with the cutoff for every m.
+    for label in result.labels():
+        if label.startswith("gamma vs kc"):
+            series = result.get(label)
+            assert series.y[0] <= series.y[-1] + 0.35, label

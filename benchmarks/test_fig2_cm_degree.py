@@ -1,0 +1,26 @@
+"""Benchmark / reproduction of paper Fig. 2 (CM degree distributions)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig2_cm_degree_distributions(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig2", scale)
+
+    # Every cutoff series is truncated at its cutoff.
+    for label in result.labels():
+        series = result.get(label)
+        if "kc=10" in label:
+            assert max(series.x) <= 10, label
+        if "kc=40" in label:
+            assert max(series.x) <= 40, label
+
+    # The prescribed power law survives the cutoff: the mode of every
+    # distribution sits at the prescribed minimum degree m (nodes below m are
+    # rare self-loop/multi-edge deletion artifacts).
+    for label in result.labels():
+        series = result.get(label)
+        stubs = series.metadata["stubs"]
+        mode_degree = series.x[series.y.index(max(series.y))]
+        assert mode_degree == stubs, label

@@ -1,0 +1,22 @@
+"""Benchmark / reproduction of paper Fig. 3 (HAPA degree distributions)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig3_hapa_degree_distributions(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig3", scale)
+
+    no_cutoff_labels = [label for label in result.labels() if "no kc" in label]
+    cutoff_labels = [label for label in result.labels() if "kc=10" in label]
+    assert no_cutoff_labels and cutoff_labels
+
+    # Without a cutoff HAPA builds super hubs with degree on the order of the
+    # network size (star-like topology).
+    super_hub_degrees = [result.get(label).metadata["max_degree"] for label in no_cutoff_labels]
+    assert max(super_hub_degrees) > 0.3 * scale.nodes or max(super_hub_degrees) > 500
+
+    # A hard cutoff destroys the star: the maximum degree equals the cutoff.
+    for label in cutoff_labels:
+        assert result.get(label).metadata["max_degree"] <= 10

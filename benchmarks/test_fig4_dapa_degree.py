@@ -1,0 +1,37 @@
+"""Benchmark / reproduction of paper Fig. 4 (DAPA degree distributions)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig4_dapa_degree_distributions(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig4", scale)
+
+    # Group the P(k) series by (m, cutoff): within a group, the largest
+    # tau_sub should produce a tail at least as heavy as the smallest.
+    groups = {}
+    for label in result.labels():
+        if not label.startswith("P(k)"):
+            continue
+        series = result.get(label)
+        key = (series.metadata["stubs"], series.metadata["hard_cutoff"])
+        groups.setdefault(key, []).append(series)
+
+    assert groups
+    for (stubs, cutoff), series_list in groups.items():
+        by_tau = sorted(series_list, key=lambda s: s.metadata["tau_sub"])
+        shortsighted, farsighted = by_tau[0], by_tau[-1]
+        if cutoff is None:
+            assert (
+                farsighted.metadata["max_degree"]
+                >= shortsighted.metadata["max_degree"]
+            ), (stubs, cutoff)
+        else:
+            # With a hard cutoff all series are bounded by it.
+            assert farsighted.metadata["max_degree"] <= cutoff
+
+    # Panel (g): fitted exponents stay in a plausible scale-free range.
+    for label in result.labels():
+        if label.startswith("gamma vs kc"):
+            assert all(1.2 < value < 4.5 for value in result.get(label).y), label

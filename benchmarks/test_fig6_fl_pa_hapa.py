@@ -1,0 +1,38 @@
+"""Benchmark / reproduction of paper Fig. 6 (flooding on PA and HAPA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def _series_by(result, model: str, stubs: int):
+    return {
+        series.metadata["hard_cutoff"]: series
+        for series in result.series
+        if series.metadata["model"] == model and series.metadata["stubs"] == stubs
+    }
+
+
+def test_fig6_flooding_on_pa_and_hapa(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig6", scale)
+    reference_ttl = min(5, scale.flooding_max_ttl)
+
+    for model in ("pa", "hapa"):
+        # m=1: no cutoff dominates the hardest cutoff at the reference TTL.
+        low_m = _series_by(result, model, 1)
+        if None in low_m and 10 in low_m:
+            assert low_m[None].y_at(reference_ttl) >= low_m[10].y_at(reference_ttl), model
+
+    # The penalty ratio shrinks as m grows (the paper's m=3 guideline).
+    available_stubs = sorted(
+        {series.metadata["stubs"] for series in result.series if series.metadata["model"] == "pa"}
+    )
+    ratios = []
+    for stubs in available_stubs:
+        series_map = _series_by(result, "pa", stubs)
+        if None in series_map and 10 in series_map:
+            unbounded = series_map[None].y_at(reference_ttl)
+            bounded = max(series_map[10].y_at(reference_ttl), 1e-9)
+            ratios.append(unbounded / bounded)
+    assert len(ratios) >= 2
+    assert ratios[-1] <= ratios[0] + 0.25  # higher m => smaller (or equal) penalty

@@ -1,0 +1,28 @@
+"""Benchmark / reproduction of paper Fig. 7 (flooding on CM topologies)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig7_flooding_on_cm(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig7", scale)
+    network_size = scale.search_nodes
+
+    # m=1 CM graphs are disconnected: flooding saturates below the system
+    # size even at the largest TTL simulated.
+    m1_series = [series for series in result.series if series.metadata["stubs"] == 1]
+    assert m1_series
+    for series in m1_series:
+        assert series.final() < 0.97 * network_size, series.label
+
+    # For m>=2 the graph has a giant component covering almost everything, so
+    # flooding approaches the system size.
+    m_high_no_cutoff = [
+        series
+        for series in result.series
+        if series.metadata["stubs"] >= 2 and series.metadata["hard_cutoff"] is None
+    ]
+    assert m_high_no_cutoff
+    for series in m_high_no_cutoff:
+        assert series.final() > 0.7 * network_size, series.label

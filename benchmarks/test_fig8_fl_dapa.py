@@ -1,0 +1,42 @@
+"""Benchmark / reproduction of paper Fig. 8 (flooding on DAPA topologies)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import keeps_up, run_figure_benchmark
+
+
+def test_fig8_flooding_on_dapa(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig8", scale)
+    reference_ttl = min(8, scale.flooding_max_ttl)
+
+    # Larger locality horizons reach at least as many peers at the same TTL
+    # (compare the smallest and largest tau_sub within each (m, kc) group).
+    groups = {}
+    for series in result.series:
+        key = (series.metadata["stubs"], series.metadata["hard_cutoff"])
+        groups.setdefault(key, []).append(series)
+    assert groups
+    improvements = 0
+    comparisons = 0
+    for series_list in groups.values():
+        by_tau = sorted(series_list, key=lambda s: s.metadata["tau_sub"])
+        if len(by_tau) < 2:
+            continue
+        comparisons += 1
+        if keeps_up(
+            by_tau[-1].y_at(reference_ttl), by_tau[0].y_at(reference_ttl), rel=0.9
+        ):
+            improvements += 1
+    assert comparisons > 0
+    assert improvements >= comparisons * 0.6
+
+    # Connectedness interplay (m=1): the hard cutoff does not hurt flooding —
+    # the kc=10 curve finishes at or above ~80% of the no-cutoff curve.
+    m1_by_cutoff = {}
+    for series in result.series:
+        if series.metadata["stubs"] == 1:
+            m1_by_cutoff.setdefault(series.metadata["hard_cutoff"], []).append(series)
+    if None in m1_by_cutoff and 10 in m1_by_cutoff:
+        best_bounded = max(series.final() for series in m1_by_cutoff[10])
+        best_unbounded = max(series.final() for series in m1_by_cutoff[None])
+        assert keeps_up(best_bounded, best_unbounded, rel=0.8)

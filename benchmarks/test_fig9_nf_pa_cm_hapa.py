@@ -1,0 +1,50 @@
+"""Benchmark / reproduction of paper Fig. 9 (normalized flooding on PA, CM, HAPA)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import keeps_up, run_figure_benchmark
+
+
+def _best_final(series_list):
+    return max(series.final() for series in series_list)
+
+
+def test_fig9_normalized_flooding(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "fig9", scale)
+
+    by_model_and_stubs = {}
+    for series in result.series:
+        key = (series.metadata["model"], series.metadata["stubs"])
+        by_model_and_stubs.setdefault(key, {})[series.metadata["hard_cutoff"]] = series
+
+    # The paper's headline: on PA and HAPA, the smallest cutoff's hit count is
+    # at least comparable to (>= 90% of) the no-cutoff hit count, i.e. hard
+    # cutoffs do not hurt NF and usually help.
+    checked = 0
+    for (model, stubs), cutoffs in by_model_and_stubs.items():
+        if model not in ("pa", "hapa"):
+            continue
+        if 10 in cutoffs and None in cutoffs:
+            checked += 1
+            assert keeps_up(
+                cutoffs[10].final(), cutoffs[None].final(), rel=0.9
+            ), (model, stubs)
+    assert checked >= 2
+
+    # Connectedness dominates: for every model, m=2 or 3 reaches at least an
+    # order of magnitude more peers than m=1.
+    for model in {model for model, _ in by_model_and_stubs}:
+        m1 = [
+            series.final()
+            for (mdl, stubs), cutoffs in by_model_and_stubs.items()
+            for series in cutoffs.values()
+            if mdl == model and stubs == 1
+        ]
+        m_high = [
+            series.final()
+            for (mdl, stubs), cutoffs in by_model_and_stubs.items()
+            for series in cutoffs.values()
+            if mdl == model and stubs >= 2
+        ]
+        if m1 and m_high:
+            assert max(m_high) > 5 * max(m1), model

@@ -1,0 +1,45 @@
+"""Benchmark / reproduction of the paper's §V-B-2 messaging-complexity study."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_messaging_complexity(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "messaging", scale)
+
+    # Hard cutoffs cost little extra messaging: at the final tau the NF
+    # message count of the kc=10 series stays within 1.6x of the no-cutoff
+    # series for the same m.
+    nf_messages = {}
+    for series in result.series:
+        if series.label.startswith("nf messages"):
+            key = series.metadata["stubs"]
+            nf_messages.setdefault(key, {})[series.metadata["hard_cutoff"]] = series
+    assert nf_messages
+    for stubs, by_cutoff in nf_messages.items():
+        if 10 in by_cutoff and None in by_cutoff:
+            assert by_cutoff[10].final() <= 1.6 * by_cutoff[None].final() + 10, stubs
+
+    # NF is at least as message-efficient as RW: hits per message at the
+    # final tau (RW is evaluated at the same NF message budget, so comparing
+    # raw hits is the comparison).
+    nf_hits = {
+        (s.metadata["stubs"], s.metadata["hard_cutoff"]): s
+        for s in result.series
+        if s.label.startswith("nf hits")
+    }
+    rw_hits = {
+        (s.metadata["stubs"], s.metadata["hard_cutoff"]): s
+        for s in result.series
+        if s.label.startswith("rw hits")
+    }
+    compared = 0
+    nf_wins = 0
+    for key, nf_series in nf_hits.items():
+        if key in rw_hits:
+            compared += 1
+            if nf_series.final() >= 0.9 * rw_hits[key].final():
+                nf_wins += 1
+    assert compared > 0
+    assert nf_wins >= 0.6 * compared

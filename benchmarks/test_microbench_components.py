@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core building blocks.
+
+These are conventional pytest-benchmark timings (many rounds, statistical
+output) of the operations the figure reproductions are built from: topology
+construction for each model, and one query of each search algorithm.  They
+exist so performance regressions in the substrate show up independently of
+the minutes-long figure experiments, and they double as the ablation of the
+PA implementation strategy called out in DESIGN.md (accept/reject vs
+roulette selection).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.cm import generate_cm
+from repro.generators.dapa import generate_dapa
+from repro.generators.hapa import generate_hapa
+from repro.generators.pa import generate_pa
+from repro.search.flooding import flood
+from repro.search.normalized_flooding import normalized_flood
+from repro.search.random_walk import random_walk
+
+NODES = 2000
+
+
+@pytest.fixture(scope="module")
+def pa_topology():
+    return generate_pa(NODES, stubs=2, hard_cutoff=20, seed=5)
+
+
+class TestGeneratorBenchmarks:
+    def test_pa_roulette_generation(self, benchmark):
+        graph = benchmark(generate_pa, NODES, stubs=2, hard_cutoff=20, seed=1)
+        assert graph.number_of_nodes == NODES
+
+    def test_pa_attempt_generation(self, benchmark):
+        graph = benchmark(
+            generate_pa, 500, stubs=2, hard_cutoff=20, seed=1, strategy="attempt"
+        )
+        assert graph.number_of_nodes == 500
+
+    def test_cm_generation(self, benchmark):
+        graph = benchmark(
+            generate_cm, NODES, exponent=2.5, min_degree=2, hard_cutoff=30, seed=1
+        )
+        assert graph.number_of_nodes == NODES
+
+    def test_hapa_generation(self, benchmark):
+        graph = benchmark(generate_hapa, 800, stubs=1, hard_cutoff=20, seed=1)
+        assert graph.number_of_nodes == 800
+
+    def test_dapa_generation(self, benchmark):
+        graph = benchmark(
+            generate_dapa, 600, stubs=2, hard_cutoff=10, local_ttl=4, seed=1
+        )
+        assert graph.number_of_nodes <= 600
+
+
+class TestSearchBenchmarks:
+    def test_flooding_query(self, benchmark, pa_topology):
+        result = benchmark(flood, pa_topology, 0, 6)
+        assert result.hits > 0
+
+    def test_normalized_flooding_query(self, benchmark, pa_topology):
+        result = benchmark(normalized_flood, pa_topology, 0, 8, 2, 7)
+        assert result.hits > 0
+
+    def test_random_walk_query(self, benchmark, pa_topology):
+        result = benchmark(random_walk, pa_topology, 0, 200, 1, 7)
+        assert result.hits > 0

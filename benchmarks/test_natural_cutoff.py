@@ -1,0 +1,26 @@
+"""Benchmark / reproduction of the natural-cutoff scaling (paper Eqs. 2, 4, 5)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_natural_cutoff_scaling(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "natural_cutoff", scale)
+
+    measured_labels = [label for label in result.labels() if label.startswith("measured")]
+    assert measured_labels
+    for label in measured_labels:
+        measured = result.get(label)
+        stubs = measured.metadata["stubs"]
+        dorogovtsev = result.get(f"dorogovtsev m={stubs} (m*sqrt(N))")
+        aiello = result.get(f"aiello m={stubs} (N^(1/3))")
+
+        # The empirical maximum degree grows with N ...
+        assert measured.y[-1] > measured.y[0]
+        # ... roughly like the Dorogovtsev sqrt(N) estimate (within a factor
+        # of ~3 at the largest size) ...
+        ratio = measured.y[-1] / dorogovtsev.y[-1]
+        assert 1 / 3 < ratio < 3.0, label
+        # ... and clearly above the much smaller Aiello N^(1/3) estimate.
+        assert measured.y[-1] > aiello.y[-1], label

@@ -1,0 +1,33 @@
+"""Benchmark / reproduction of paper Table I (diameter scaling classes)."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_table1_diameter_scaling(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "table1", scale)
+
+    ultra_small = result.get("cm gamma=2.5 m=2")
+    dense_tree_free = result.get("pa gamma=3 m=2")
+    tree = result.get("pa gamma=3 m=1 (tree)")
+    steep = result.get("cm gamma=3.5 m=2")
+
+    largest_n = ultra_small.x[-1]
+
+    # Ordering at the largest common size: ultra-small <= gamma=3 (m>=2)
+    # < tree, and gamma>3 behaves like a small-world (>= gamma=3 case).
+    assert ultra_small.y_at(largest_n) <= dense_tree_free.y_at(largest_n) + 0.25
+    assert tree.y_at(largest_n) > dense_tree_free.y_at(largest_n)
+    assert steep.y_at(largest_n) >= ultra_small.y_at(largest_n) - 0.25
+
+    # Every class grows slower than linearly: going from the smallest to the
+    # largest N must inflate the path length far less than N itself inflates.
+    for series in result.series:
+        n_ratio = series.x[-1] / series.x[0]
+        path_ratio = series.y[-1] / max(series.y[0], 1e-9)
+        assert path_ratio < max(1.6, 0.75 * n_ratio), series.label
+        # and no faster than ~logarithmically (generous constant).
+        assert path_ratio < 3.0 * math.log(n_ratio) + 3.0, series.label

@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of paper Table II (global-information usage)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure_benchmark
+
+EXPECTED_SCORES = {"pa": 2, "cm": 2, "hapa": 1, "dapa": 0}
+
+
+def test_table2_global_information_usage(benchmark, scale):
+    result = run_figure_benchmark(benchmark, "table2", scale)
+    for model, expected_score in EXPECTED_SCORES.items():
+        series = result.get(model)
+        assert series.y == [expected_score], model
+        assert series.metadata["matches_paper"] is True, model

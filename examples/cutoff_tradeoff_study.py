@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Hard-cutoff trade-off study: search efficiency vs per-peer state.
+
+The paper's central question: how much search efficiency does a peer
+community give up (or gain!) by capping the number of neighbor entries each
+peer stores?  This example sweeps the hard cutoff kc over a wide range on PA
+topologies for m = 1, 2, 3 and reports, for each (m, kc):
+
+* the fitted power-law exponent of the degree distribution,
+* flooding coverage at a fixed TTL (the "best possible" search),
+* normalized-flooding hits at a fixed TTL (the practical search),
+* NF messages per query (the cost side of the trade-off).
+
+The table that comes out is the quantitative version of the paper's design
+guideline: with m >= 2-3, even a very small cutoff costs almost nothing, and
+for NF it is usually a net win.
+
+Run with:  python examples/cutoff_tradeoff_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FloodingSearch,
+    NormalizedFloodingSearch,
+    fit_power_law,
+    generate_pa,
+    search_curve,
+)
+from repro.core.errors import AnalysisError
+
+NODES = 3000
+CUTOFFS = [5, 10, 20, 40, 80, None]
+STUBS = [1, 2, 3]
+FL_TTL = 5
+NF_TTL = 8
+QUERIES = 60
+SEED = 11
+
+
+def row_for(stubs: int, cutoff: "int | None") -> dict:
+    """Measure one (m, kc) cell of the trade-off table."""
+    effective_cutoff = cutoff if cutoff is None or cutoff > stubs else stubs + 1
+    graph = generate_pa(NODES, stubs=stubs, hard_cutoff=effective_cutoff, seed=SEED)
+    try:
+        gamma = fit_power_law(graph, k_min=stubs, exclude_cutoff_spike=True).exponent
+    except AnalysisError:
+        gamma = float("nan")
+
+    fl = search_curve(graph, FloodingSearch(), [FL_TTL], queries=QUERIES, rng=SEED)
+    nf = search_curve(
+        graph, NormalizedFloodingSearch(k_min=stubs), [NF_TTL], queries=QUERIES, rng=SEED
+    )
+    return {
+        "m": stubs,
+        "kc": "none" if cutoff is None else cutoff,
+        "gamma": gamma,
+        "kmax": graph.max_degree(),
+        "fl_hits": fl.mean_hits[0],
+        "nf_hits": nf.mean_hits[0],
+        "nf_msgs": nf.mean_messages[0],
+    }
+
+
+def main() -> None:
+    print(
+        f"PA topologies, N={NODES}; FL hits at tau={FL_TTL}, NF hits/messages at "
+        f"tau={NF_TTL}, {QUERIES} queries per cell\n"
+    )
+    header = (
+        f"{'m':>2s} {'kc':>6s} {'gamma':>7s} {'kmax':>6s} "
+        f"{'FL hits':>9s} {'NF hits':>9s} {'NF msgs':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for stubs in STUBS:
+        for cutoff in CUTOFFS:
+            row = row_for(stubs, cutoff)
+            print(
+                f"{row['m']:>2d} {str(row['kc']):>6s} {row['gamma']:>7.2f} "
+                f"{row['kmax']:>6d} {row['fl_hits']:>9.1f} {row['nf_hits']:>9.1f} "
+                f"{row['nf_msgs']:>9.1f}"
+            )
+        print("-" * len(header))
+
+    print(
+        "\nReading the table: within each m block, walking up from kc=none to kc=5\n"
+        "barely moves (or improves) the NF column while capping every peer's state\n"
+        "— and the flooding penalty disappears once m reaches 2-3."
+    )
+
+
+if __name__ == "__main__":
+    main()

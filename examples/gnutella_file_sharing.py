@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gnutella-style file sharing on a bounded-degree overlay.
+
+This example exercises the discrete-event simulation layer end to end —
+exactly the scenario the paper's introduction motivates:
+
+1. 400 peers join a live overlay with a hard cutoff of 12 neighbor-table
+   entries, using the fully-local "discover" join rule (the DAPA rule);
+2. a content catalog of 150 items with Zipf popularity is replicated across
+   the peers;
+3. a Poisson query workload searches for items using flooding, normalized
+   flooding, and random walks, and we compare success rate, peers reached,
+   and messaging cost per query.
+
+Run with:  python examples/gnutella_file_sharing.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.simulation import (
+    ContentCatalog,
+    GnutellaProtocol,
+    JoinStrategy,
+    P2PNetwork,
+    QueryWorkload,
+)
+
+PEERS = 400
+HARD_CUTOFF = 12
+STUBS = 3
+CATALOG_ITEMS = 150
+QUERY_TTL = 6
+SEED = 7
+
+
+def build_network() -> P2PNetwork:
+    """Join PEERS peers with the local discover rule and bounded tables."""
+    network = P2PNetwork(
+        hard_cutoff=HARD_CUTOFF,
+        stubs=STUBS,
+        join_strategy=JoinStrategy.DISCOVER,
+        horizon=2,
+        rng=SEED,
+    )
+    for _ in range(PEERS):
+        network.join()
+    return network
+
+
+def place_content(network: P2PNetwork) -> ContentCatalog:
+    """Create the catalog and hand replicas to random peers."""
+    catalog = ContentCatalog(
+        number_of_items=CATALOG_ITEMS, skew=1.0, replication="proportional",
+        replicas_per_item=4,
+    )
+    placement = catalog.place(network.online_peers(), rng=SEED + 1)
+    for peer_id, items in placement.items():
+        for keyword in items:
+            network.peer(peer_id).share(keyword)
+    return catalog
+
+
+def main() -> None:
+    network = build_network()
+    graph = network.overlay_graph()
+    print(
+        f"overlay: {graph.number_of_nodes} peers, {graph.number_of_edges} links, "
+        f"<k>={graph.mean_degree():.2f}, kmax={graph.max_degree()} "
+        f"(cutoff {HARD_CUTOFF})"
+    )
+
+    catalog = place_content(network)
+    workload = QueryWorkload(catalog, query_rate=3.0, duration=20.0, seed=SEED + 2)
+    events = workload.generate(network.online_peers())
+    print(f"workload: {len(events)} queries over {workload.duration} time units\n")
+
+    summary = defaultdict(lambda: {"queries": 0, "hits": 0, "reached": 0, "messages": 0})
+    for policy in ("fl", "nf", "rw"):
+        protocol = GnutellaProtocol(
+            network, policy=policy, k_min=STUBS, walkers=4, rng=SEED + 3
+        )
+        ttl = QUERY_TTL if policy != "rw" else QUERY_TTL * 8  # walks need more hops
+        for _, source, keyword in events:
+            stats = protocol.query(source, keyword, ttl=ttl)
+            bucket = summary[policy]
+            bucket["queries"] += 1
+            bucket["hits"] += int(stats.success)
+            bucket["reached"] += stats.peers_reached
+            bucket["messages"] += stats.query_messages
+
+    print(f"{'policy':<8s} {'success rate':>12s} {'peers/query':>12s} {'msgs/query':>12s}")
+    for policy, bucket in summary.items():
+        queries = max(1, bucket["queries"])
+        print(
+            f"{policy:<8s} {bucket['hits'] / queries:>12.2%} "
+            f"{bucket['reached'] / queries:>12.1f} {bucket['messages'] / queries:>12.1f}"
+        )
+
+    print(
+        "\nFlooding finds nearly everything but floods the network; NF keeps most of\n"
+        "the success rate at a fraction of the messages; RW is cheapest per query\n"
+        "but needs long walks (or many walkers) to match the hit rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare peer-join strategies for a live bounded-degree overlay.
+
+The paper's Table II contrasts the construction mechanisms by how much
+global information they need.  This example asks the follow-up question a
+protocol designer cares about: if every peer enforces the same hard cutoff,
+how much does the *join rule* actually change the resulting overlay and its
+search performance?
+
+Four join rules are compared on the live-network simulator (same peer count,
+same cutoff, same seed):
+
+* ``random``           — connect to uniformly random peers;
+* ``preferential``     — the PA rule (global degree knowledge);
+* ``hop_and_attempt``  — the HAPA rule (partial global knowledge);
+* ``discover``         — the DAPA rule (fully local).
+
+For each overlay we report degree statistics, the power-law fit, average path
+length, and NF search efficiency.
+
+Run with:  python examples/join_strategy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    NormalizedFloodingSearch,
+    fit_power_law,
+    giant_component_fraction,
+    path_length_statistics,
+    search_curve,
+)
+from repro.core.errors import AnalysisError
+from repro.simulation import JoinStrategy, P2PNetwork
+
+PEERS = 600
+HARD_CUTOFF = 10
+STUBS = 2
+NF_TTL = 8
+SEED = 5
+
+
+def build_overlay(strategy: JoinStrategy):
+    """Grow a PEERS-node overlay with the given join rule."""
+    network = P2PNetwork(
+        hard_cutoff=HARD_CUTOFF,
+        stubs=STUBS,
+        join_strategy=strategy,
+        horizon=2,
+        rng=SEED,
+    )
+    for _ in range(PEERS):
+        network.join()
+    return network.overlay_graph()
+
+
+def main() -> None:
+    print(
+        f"{PEERS} peers, hard cutoff kc={HARD_CUTOFF}, m={STUBS}; NF hits at "
+        f"tau={NF_TTL}\n"
+    )
+    header = (
+        f"{'strategy':<16s} {'<k>':>6s} {'kmax':>5s} {'giant%':>7s} "
+        f"{'gamma':>6s} {'avg path':>9s} {'NF hits':>8s} {'NF msgs':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for strategy in JoinStrategy:
+        graph = build_overlay(strategy)
+        try:
+            gamma = f"{fit_power_law(graph, k_min=STUBS, exclude_cutoff_spike=True).exponent:.2f}"
+        except AnalysisError:
+            gamma = "n/a"
+        paths = path_length_statistics(graph, sample_size=100, rng=SEED)
+        nf = search_curve(
+            graph,
+            NormalizedFloodingSearch(k_min=STUBS),
+            [NF_TTL],
+            queries=60,
+            rng=SEED,
+        )
+        print(
+            f"{strategy.value:<16s} {graph.mean_degree():>6.2f} {graph.max_degree():>5d} "
+            f"{giant_component_fraction(graph):>7.1%} {gamma:>6s} "
+            f"{paths.average:>9.2f} {nf.mean_hits[0]:>8.1f} {nf.mean_messages[0]:>8.1f}"
+        )
+
+    print(
+        "\nAll four rules respect the cutoff.  The degree-aware rules (preferential,\n"
+        "hop_and_attempt) give the shortest paths, while the more homogeneous\n"
+        "topologies are at least as good for NF — the same effect that makes hard\n"
+        "cutoffs help NF in the paper.  The discover rule pays a locality penalty\n"
+        "(longer paths, fewer hits) but needs no global information at all, which\n"
+        "is the trade-off the paper's Table II is about."
+    )
+
+
+if __name__ == "__main__":
+    main()

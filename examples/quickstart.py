@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: build a scale-free overlay with a hard cutoff and search it.
+
+This walks through the library's core loop in under a minute:
+
+1. generate an overlay topology with each of the paper's four construction
+   mechanisms (PA, CM, HAPA, DAPA), all with a hard cutoff of 20 links;
+2. inspect the degree distribution and fit the power-law exponent;
+3. measure flooding (FL), normalized flooding (NF), and random-walk (RW)
+   search efficiency on the PA topology, with and without the cutoff.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FloodingSearch,
+    NormalizedFloodingSearch,
+    fit_power_law,
+    generate_cm,
+    generate_dapa,
+    generate_hapa,
+    generate_pa,
+    is_connected,
+    normalized_walk_curve,
+    path_length_statistics,
+    search_curve,
+)
+
+NODES = 3000
+CUTOFF = 20
+SEED = 42
+
+
+def describe(name: str, graph) -> None:
+    """Print a one-line topology summary plus a power-law fit when possible."""
+    stats = graph.stats()
+    line = (
+        f"{name:<22s} N={stats.number_of_nodes:<6d} E={stats.number_of_edges:<7d} "
+        f"<k>={stats.mean_degree:5.2f}  kmax={stats.max_degree:<5d} "
+        f"connected={is_connected(graph)}"
+    )
+    try:
+        fit = fit_power_law(graph, k_min=2, exclude_cutoff_spike=True)
+        line += f"  gamma~{fit.exponent:.2f}"
+    except Exception:  # a star-like or degenerate distribution has no exponent
+        line += "  gamma=n/a"
+    print(line)
+
+
+def main() -> None:
+    print(f"== Topologies (N={NODES}, hard cutoff kc={CUTOFF}) ==")
+    pa_cut = generate_pa(NODES, stubs=2, hard_cutoff=CUTOFF, seed=SEED)
+    pa_free = generate_pa(NODES, stubs=2, hard_cutoff=None, seed=SEED)
+    cm = generate_cm(NODES, exponent=2.5, min_degree=2, hard_cutoff=CUTOFF, seed=SEED)
+    hapa = generate_hapa(min(NODES, 2000), stubs=2, hard_cutoff=CUTOFF, seed=SEED)
+    dapa = generate_dapa(NODES // 2, stubs=2, hard_cutoff=CUTOFF, local_ttl=6, seed=SEED)
+
+    describe("PA  (kc=20)", pa_cut)
+    describe("PA  (no cutoff)", pa_free)
+    describe("CM  (gamma=2.5)", cm)
+    describe("HAPA(kc=20)", hapa)
+    describe("DAPA(tau_sub=6)", dapa)
+
+    print("\n== Path lengths (sampled) ==")
+    for name, graph in [("PA kc=20", pa_cut), ("PA no cutoff", pa_free)]:
+        stats = path_length_statistics(graph, sample_size=100, rng=SEED)
+        print(f"{name:<14s} avg={stats.average:.2f}  diameter>={stats.diameter}")
+
+    print("\n== Search efficiency on the PA topology ==")
+    ttl_fl = [1, 2, 3, 4, 5, 6]
+    ttl_nf = [2, 4, 6, 8, 10]
+    for name, graph in [("kc=20", pa_cut), ("no cutoff", pa_free)]:
+        fl = search_curve(graph, FloodingSearch(), ttl_fl, queries=60, rng=SEED)
+        nf = search_curve(
+            graph, NormalizedFloodingSearch(k_min=2), ttl_nf, queries=60, rng=SEED
+        )
+        rw = normalized_walk_curve(graph, ttl_nf, k_min=2, queries=60, rng=SEED)
+        print(f"-- PA {name}")
+        print(f"   FL hits @tau={ttl_fl}: {[round(h) for h in fl.mean_hits]}")
+        print(f"   NF hits @tau={ttl_nf}: {[round(h, 1) for h in nf.mean_hits]}")
+        print(f"   RW hits @tau={ttl_nf}: {[round(h, 1) for h in rw.mean_hits]}")
+
+    print(
+        "\nNote how the hard cutoff barely hurts flooding at m=2 and actually helps\n"
+        "NF/RW — the paper's counter-intuitive headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce every figure and table of the paper in one run.
+
+Runs the complete experiment registry (Figs. 1-4 and 6-12, Tables I-II, the
+messaging study, and the two ablations) at the chosen scale and writes one
+JSON + CSV pair per experiment into an output directory, plus a combined
+text report.  At ``--scale small`` (default) the whole run takes on the
+order of tens of minutes; ``--scale smoke`` finishes in a couple of minutes;
+``--scale paper`` uses the paper's network sizes and is an overnight job.
+
+Run with:  python examples/reproduce_paper.py --scale smoke --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentScale, available_experiments, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["smoke", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="run only these experiment ids (default: all)",
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_name(args.scale)
+    experiments = args.only if args.only else available_experiments()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    report_lines = []
+    for experiment_id in experiments:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, scale=scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        result.save_json(args.out / f"{experiment_id}.json")
+        result.save_csv(args.out / f"{experiment_id}.csv")
+        table = result.to_table()
+        report_lines.append(table)
+        report_lines.append(f"  [{elapsed:.1f}s]\n")
+        print(table)
+        print(f"  [{elapsed:.1f}s]\n")
+
+    report_path = args.out / "report.txt"
+    report_path.write_text("\n".join(report_lines))
+    print(f"wrote per-experiment JSON/CSV and {report_path}")
+
+
+if __name__ == "__main__":
+    main()

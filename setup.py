@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package needed by PEP 517 editable builds (pip then falls
+back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

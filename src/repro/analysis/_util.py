@@ -1,0 +1,30 @@
+"""Internal helpers shared by the analysis modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+
+__all__ = ["degrees_from"]
+
+
+def degrees_from(source: Union[Graph, Sequence[int]]) -> List[int]:
+    """Normalise a graph or raw degree sequence into a list of degrees."""
+    if isinstance(source, Graph):
+        return source.degree_sequence()
+    degrees = list(source)
+    if any((not isinstance(degree, (int,)) or degree < 0) for degree in degrees):
+        # Allow numpy integers too.
+        coerced: List[int] = []
+        for degree in degrees:
+            try:
+                value = int(degree)
+            except (TypeError, ValueError):
+                raise AnalysisError(f"invalid degree value: {degree!r}") from None
+            if value < 0:
+                raise AnalysisError("degrees must be non-negative")
+            coerced.append(value)
+        return coerced
+    return degrees

@@ -1,0 +1,82 @@
+"""Natural-cutoff estimators (paper §III-A, Eqs. 1–5).
+
+A finite scale-free network cannot contain arbitrarily large hubs: the
+*natural cutoff* is the largest degree one expects to observe in a network of
+``N`` nodes.  The paper quotes three related estimates:
+
+* Aiello–Chung–Lu (Eq. 2): ``k_nc ~ N^{1/γ}`` — the degree whose expected
+  number of occupants is one;
+* Dorogovtsev–Mendes (Eq. 4): ``k_nc ~ m N^{1/(γ-1)}`` — the degree above
+  which one expects at most one node (the definition the paper adopts);
+* PA special case (Eq. 5): ``k_nc ~ m √N`` for γ = 3.
+
+A *hard* cutoff is only meaningful when it is smaller than the natural
+cutoff, so these estimators are used by the experiment harness to sanity-
+check every cutoff sweep and by the ``benchmarks/test_natural_cutoff.py``
+bench that verifies the scaling empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.analysis._util import degrees_from
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+from repro.generators.degree_sequence import aiello_natural_cutoff, natural_cutoff
+
+__all__ = [
+    "natural_cutoff_aiello",
+    "natural_cutoff_dorogovtsev",
+    "natural_cutoff_pa",
+    "empirical_cutoff",
+]
+
+
+def natural_cutoff_aiello(number_of_nodes: int, exponent: float) -> float:
+    """Aiello et al. natural cutoff ``N^{1/γ}`` (paper Eq. 2).
+
+    Examples
+    --------
+    >>> round(natural_cutoff_aiello(1000, 3.0))
+    10
+    """
+    return aiello_natural_cutoff(number_of_nodes, exponent)
+
+
+def natural_cutoff_dorogovtsev(
+    number_of_nodes: int, exponent: float, min_degree: int = 1
+) -> float:
+    """Dorogovtsev et al. natural cutoff ``m N^{1/(γ-1)}`` (paper Eq. 4).
+
+    Examples
+    --------
+    >>> round(natural_cutoff_dorogovtsev(10000, 3.0, min_degree=1))
+    100
+    """
+    return natural_cutoff(number_of_nodes, exponent, min_degree)
+
+
+def natural_cutoff_pa(number_of_nodes: int, min_degree: int = 1) -> float:
+    """Natural cutoff of a PA (γ = 3) network, ``m √N`` (paper Eq. 5).
+
+    Examples
+    --------
+    >>> natural_cutoff_pa(10000, min_degree=2)
+    200.0
+    """
+    return natural_cutoff(number_of_nodes, 3.0, min_degree)
+
+
+def empirical_cutoff(source: Union[Graph, Sequence[int]]) -> int:
+    """Return the maximum observed degree of a graph or degree sequence.
+
+    Examples
+    --------
+    >>> empirical_cutoff([1, 5, 3])
+    5
+    """
+    degrees = degrees_from(source)
+    if not degrees:
+        raise AnalysisError("cannot compute the cutoff of an empty graph")
+    return max(degrees)

@@ -1,0 +1,248 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    List the reproducible experiments (figures, tables, ablations).
+``repro figure fig9 --scale small --out results/``
+    Run one experiment and print its series (optionally saving JSON/CSV).
+``repro generate pa --nodes 10000 --stubs 2 --cutoff 40 --out topo.json``
+    Generate a topology and print (or save) its summary statistics.
+``repro search nf --model pa --nodes 5000 --stubs 2 --cutoff 10 --ttl 8``
+    Generate a topology and run a search-efficiency measurement on it.
+``repro churn --peers 200 --duration 100 --cutoff 8``
+    Run a join/leave (churn) simulation and print the topology time series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.analysis.degree_distribution import degree_distribution
+from repro.analysis.powerlaw import fit_power_law
+from repro.core.errors import AnalysisError, ReproError
+from repro.experiments.registry import (
+    available_experiments,
+    experiment_titles,
+    run_experiment,
+)
+from repro.experiments.runner import ExperimentScale
+from repro.generators.registry import available_generators, create_generator
+from repro.search.flooding import FloodingSearch
+from repro.search.metrics import normalized_walk_curve, search_curve
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+from repro.simulation.churn import ChurnConfig, ChurnProcess
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scale-free overlay topologies with hard cutoffs for unstructured "
+            "P2P networks (Guclu & Yuksel, ICDCS 2007) — reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    # list
+    subparsers.add_parser("list", help="list reproducible experiments")
+
+    # figure
+    figure = subparsers.add_parser("figure", help="run one figure/table experiment")
+    figure.add_argument("experiment", help="experiment id, e.g. fig1, table1, fig9")
+    figure.add_argument(
+        "--scale", default="small", choices=["smoke", "small", "paper"],
+        help="experiment scale preset (default: small)",
+    )
+    figure.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    figure.add_argument("--out", type=Path, default=None,
+                        help="directory to write <experiment>.json and .csv into")
+
+    # generate
+    generate = subparsers.add_parser("generate", help="generate one overlay topology")
+    generate.add_argument("model", choices=available_generators())
+    generate.add_argument("--nodes", type=int, default=10_000)
+    generate.add_argument("--stubs", type=int, default=1, help="number of stubs m")
+    generate.add_argument("--cutoff", type=int, default=None, help="hard cutoff kc")
+    generate.add_argument("--exponent", type=float, default=3.0,
+                          help="prescribed exponent (CM only)")
+    generate.add_argument("--tau-sub", type=int, default=4,
+                          help="locality horizon (DAPA only)")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--fit", action="store_true",
+                          help="also fit a power-law exponent to the result")
+    generate.add_argument("--out", type=Path, default=None,
+                          help="write the edge list to this path")
+
+    # search
+    search = subparsers.add_parser("search", help="measure search efficiency")
+    search.add_argument("algorithm", choices=["fl", "nf", "rw"])
+    search.add_argument("--model", default="pa", choices=available_generators())
+    search.add_argument("--nodes", type=int, default=5000)
+    search.add_argument("--stubs", type=int, default=2)
+    search.add_argument("--cutoff", type=int, default=None)
+    search.add_argument("--exponent", type=float, default=3.0)
+    search.add_argument("--tau-sub", type=int, default=4)
+    search.add_argument("--ttl", type=int, default=8, help="maximum TTL")
+    search.add_argument("--queries", type=int, default=100)
+    search.add_argument("--seed", type=int, default=None)
+
+    # churn
+    churn = subparsers.add_parser("churn", help="run a join/leave simulation")
+    churn.add_argument("--peers", type=int, default=200, help="initial peers")
+    churn.add_argument("--duration", type=float, default=100.0)
+    churn.add_argument("--arrival-rate", type=float, default=2.0)
+    churn.add_argument("--session", type=float, default=50.0,
+                       help="mean session length (0 disables departures)")
+    churn.add_argument("--cutoff", type=int, default=None)
+    churn.add_argument("--stubs", type=int, default=2)
+    churn.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_list(_: argparse.Namespace) -> int:
+    titles = experiment_titles()
+    width = max(len(exp_id) for exp_id in titles)
+    for exp_id in available_experiments():
+        print(f"{exp_id:<{width}}  {titles[exp_id]}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = ExperimentScale.from_name(args.scale)
+    result = run_experiment(args.experiment, scale=scale, seed=args.seed)
+    print(result.to_table())
+    if args.out is not None:
+        json_path = result.save_json(args.out / f"{result.experiment_id}.json")
+        csv_path = result.save_csv(args.out / f"{result.experiment_id}.csv")
+        print(f"wrote {json_path} and {csv_path}")
+    return 0
+
+
+def _build_generator(args: argparse.Namespace):
+    kwargs = {"seed": args.seed}
+    if args.model == "cm":
+        kwargs.update(
+            number_of_nodes=args.nodes,
+            exponent=args.exponent,
+            min_degree=args.stubs,
+            hard_cutoff=args.cutoff,
+        )
+    elif args.model == "dapa":
+        kwargs.update(
+            overlay_size=args.nodes,
+            stubs=args.stubs,
+            hard_cutoff=args.cutoff,
+            local_ttl=args.tau_sub,
+        )
+    else:
+        kwargs.update(
+            number_of_nodes=args.nodes,
+            stubs=args.stubs,
+            hard_cutoff=args.cutoff,
+        )
+    return create_generator(args.model, **kwargs)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = _build_generator(args)
+    result = generator.generate()
+    summary = result.summary()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.fit:
+        try:
+            fit = fit_power_law(
+                result.graph, k_min=max(1, args.stubs), exclude_cutoff_spike=True
+            )
+            print(json.dumps({"power_law_fit": fit.as_dict()}, indent=2))
+        except AnalysisError as error:
+            print(f"power-law fit unavailable: {error}", file=sys.stderr)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        with args.out.open("w") as handle:
+            for u, v in result.graph.edges():
+                handle.write(f"{u} {v}\n")
+        print(f"wrote edge list to {args.out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    generator = _build_generator(args)
+    graph = generator.generate_graph()
+    ttl_values = list(range(1, args.ttl + 1))
+    if args.algorithm == "fl":
+        curve = search_curve(
+            graph, FloodingSearch(), ttl_values, queries=args.queries, rng=args.seed
+        )
+    elif args.algorithm == "nf":
+        curve = search_curve(
+            graph,
+            NormalizedFloodingSearch(k_min=args.stubs),
+            ttl_values,
+            queries=args.queries,
+            rng=args.seed,
+        )
+    else:
+        curve = normalized_walk_curve(
+            graph, ttl_values, k_min=args.stubs, queries=args.queries, rng=args.seed
+        )
+    print(json.dumps(curve.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    config = ChurnConfig(
+        initial_peers=args.peers,
+        duration=args.duration,
+        arrival_rate=args.arrival_rate,
+        mean_session_length=args.session if args.session > 0 else None,
+        hard_cutoff=args.cutoff,
+        stubs=args.stubs,
+        seed=args.seed,
+    )
+    report = ChurnProcess(config).run()
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "figure": _cmd_figure,
+    "generate": _cmd_generate,
+    "search": _cmd_search,
+    "churn": _cmd_churn,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Core primitives shared by every subsystem of :mod:`repro`.
+
+This subpackage provides the foundational building blocks used by the
+topology generators, search algorithms, analysis routines, and the P2P
+simulation layer:
+
+``graph``
+    A compact adjacency-list undirected graph implementation
+    (:class:`~repro.core.graph.Graph`) designed for the access patterns of
+    the paper's algorithms: degree queries, random neighbor selection,
+    edge-existence checks, and incremental growth.
+
+``rng``
+    A seedable random-source façade (:class:`~repro.core.rng.RandomSource`)
+    so every stochastic component of the library is reproducible.
+
+``config``
+    Validated configuration dataclasses for generators and searches.
+
+``errors``
+    The library-wide exception hierarchy.
+
+``types``
+    Shared light-weight type aliases and small value objects.
+"""
+
+from repro.core.errors import (
+    ConfigurationError,
+    CutoffError,
+    GenerationError,
+    GraphError,
+    ReproError,
+    SearchError,
+    SimulationError,
+)
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.core.types import DegreeSequence, EdgeList, NodeId
+
+__all__ = [
+    "ConfigurationError",
+    "CutoffError",
+    "DegreeSequence",
+    "EdgeList",
+    "GenerationError",
+    "Graph",
+    "GraphError",
+    "NodeId",
+    "RandomSource",
+    "ReproError",
+    "SearchError",
+    "SimulationError",
+]

@@ -1,0 +1,374 @@
+"""Adjacency-list undirected graph.
+
+:class:`Graph` is the data structure every generator, search algorithm, and
+the simulation layer operate on.  It is deliberately small and tuned for the
+access patterns of the paper's algorithms:
+
+* constant-time degree queries (``ktotal`` and per-node degrees drive the
+  preferential-attachment acceptance test),
+* constant-time edge-existence checks (``node not in Adj[i]`` in the
+  pseudo-code),
+* O(1) uniform random neighbor selection (the HAPA hop and the random-walk
+  step),
+* incremental growth one node / edge at a time,
+* cheap conversion to :mod:`networkx` for the analysis code that benefits
+  from the mature algorithms there.
+
+Nodes are integers.  Parallel edges are not stored (an ``add_edge`` on an
+existing edge is a no-op returning ``False``) and self-loops are rejected,
+which matches the paper's models: the configuration model explicitly deletes
+self-loops and multi-edges after stub matching, and the growth models never
+create them in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.errors import GraphError, NodeNotFoundError
+from repro.core.rng import RandomSource
+from repro.core.types import Edge, GraphStats, NodeId
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A mutable, undirected, simple graph over integer node ids.
+
+    Parameters
+    ----------
+    number_of_nodes:
+        If given, nodes ``0 .. number_of_nodes - 1`` are created up front.
+
+    Examples
+    --------
+    >>> g = Graph(3)
+    >>> g.add_edge(0, 1)
+    True
+    >>> g.degree(0)
+    1
+    >>> sorted(g.neighbors(1))
+    [0]
+    >>> g.has_edge(1, 0)
+    True
+    """
+
+    __slots__ = ("_adjacency", "_neighbor_lists", "_number_of_edges", "_total_degree")
+
+    def __init__(self, number_of_nodes: int = 0) -> None:
+        if number_of_nodes < 0:
+            raise GraphError("number_of_nodes must be non-negative")
+        # Set-based adjacency for O(1) membership tests.
+        self._adjacency: Dict[NodeId, Set[NodeId]] = {
+            node: set() for node in range(number_of_nodes)
+        }
+        # List-based adjacency mirrors, kept in sync, for O(1) random
+        # neighbor selection without materialising the set each time.
+        self._neighbor_lists: Dict[NodeId, List[NodeId]] = {
+            node: [] for node in range(number_of_nodes)
+        }
+        self._number_of_edges = 0
+        self._total_degree = 0
+
+    # ------------------------------------------------------------------ #
+    # Node operations
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Optional[NodeId] = None) -> NodeId:
+        """Add a node and return its id.
+
+        If ``node`` is ``None`` the next unused integer id is assigned.
+        Adding an existing node is a no-op.
+        """
+        if node is None:
+            node = len(self._adjacency)
+            while node in self._adjacency:  # defensive: ids may be sparse
+                node += 1
+        if node < 0:
+            raise GraphError("node ids must be non-negative integers")
+        if node not in self._adjacency:
+            self._adjacency[node] = set()
+            self._neighbor_lists[node] = []
+        return node
+
+    def add_nodes(self, count: int) -> List[NodeId]:
+        """Add ``count`` fresh nodes and return their ids."""
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all its incident edges."""
+        if node not in self._adjacency:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._adjacency[node]):
+            self.remove_edge(node, neighbor)
+        del self._adjacency[node]
+        del self._neighbor_lists[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._adjacency
+
+    def nodes(self) -> List[NodeId]:
+        """Return a list of all node ids (in insertion order)."""
+        return list(self._adjacency.keys())
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adjacency
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._adjacency)
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def number_of_nodes(self) -> int:
+        """Total number of nodes ``N``."""
+        return len(self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Edge operations
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Add the undirected edge ``(u, v)``.
+
+        Returns ``True`` if the edge was added, ``False`` if it already
+        existed.  Self-loops raise :class:`GraphError`; referencing a missing
+        node raises :class:`NodeNotFoundError`.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u})")
+        if u not in self._adjacency:
+            raise NodeNotFoundError(u)
+        if v not in self._adjacency:
+            raise NodeNotFoundError(v)
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._neighbor_lists[u].append(v)
+        self._neighbor_lists[v].append(u)
+        self._number_of_edges += 1
+        self._total_degree += 2
+        return True
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the undirected edge ``(u, v)``; missing edges are ignored."""
+        if u not in self._adjacency or v not in self._adjacency:
+            raise NodeNotFoundError(u if u not in self._adjacency else v)
+        if v not in self._adjacency[u]:
+            return
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._neighbor_lists[u].remove(v)
+        self._neighbor_lists[v].remove(u)
+        self._number_of_edges -= 1
+        self._total_degree -= 2
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        neighbors = self._adjacency.get(u)
+        return neighbors is not None and v in neighbors
+
+    def edges(self) -> List[Edge]:
+        """Return all edges as ``(min(u, v), max(u, v))`` pairs."""
+        seen: List[Edge] = []
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                if u < v:
+                    seen.append((u, v))
+        return seen
+
+    @property
+    def number_of_edges(self) -> int:
+        """Total number of undirected edges."""
+        return self._number_of_edges
+
+    # ------------------------------------------------------------------ #
+    # Degrees and neighborhoods
+    # ------------------------------------------------------------------ #
+    def degree(self, node: NodeId) -> int:
+        """Return the degree of ``node``."""
+        try:
+            return len(self._adjacency[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degrees(self) -> Dict[NodeId, int]:
+        """Return a mapping ``node -> degree`` for every node."""
+        return {node: len(neighbors) for node, neighbors in self._adjacency.items()}
+
+    def degree_sequence(self) -> List[int]:
+        """Return the list of degrees in node-id order."""
+        return [len(self._adjacency[node]) for node in self._adjacency]
+
+    @property
+    def total_degree(self) -> int:
+        """Sum of all degrees (``2 * number_of_edges``, the paper's ``ktotal``)."""
+        return self._total_degree
+
+    def min_degree(self) -> int:
+        """Return the smallest degree (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return min(len(neighbors) for neighbors in self._adjacency.values())
+
+    def max_degree(self) -> int:
+        """Return the largest degree, i.e. the empirical cutoff of the network."""
+        if not self._adjacency:
+            return 0
+        return max(len(neighbors) for neighbors in self._adjacency.values())
+
+    def mean_degree(self) -> float:
+        """Return the average degree ``2E / N`` (0.0 for an empty graph)."""
+        if not self._adjacency:
+            return 0.0
+        return self._total_degree / len(self._adjacency)
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Return a list of the neighbors of ``node``."""
+        try:
+            return list(self._neighbor_lists[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbor_set(self, node: NodeId) -> Set[NodeId]:
+        """Return the neighbor set of ``node`` (do not mutate)."""
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def random_neighbor(self, node: NodeId, rng: RandomSource) -> Optional[NodeId]:
+        """Return a uniformly random neighbor of ``node`` or ``None`` if isolated.
+
+        This is the ``RANDOM_LINK(i)`` primitive from the HAPA pseudo-code and
+        the single step of a random walk.
+        """
+        neighbors = self._neighbor_lists.get(node)
+        if neighbors is None:
+            raise NodeNotFoundError(node)
+        if not neighbors:
+            return None
+        return neighbors[rng.randint(0, len(neighbors) - 1)]
+
+    def random_node(self, rng: RandomSource) -> NodeId:
+        """Return a uniformly random node id."""
+        if not self._adjacency:
+            raise GraphError("cannot pick a random node from an empty graph")
+        # Node ids are dense in all generated graphs, but fall back to an
+        # explicit list when they are not (e.g. after removals).
+        n = len(self._adjacency)
+        candidate = rng.randint(0, n - 1)
+        if candidate in self._adjacency:
+            return candidate
+        return rng.choice(list(self._adjacency.keys()))
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph utilities
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph()
+        for node in self._adjacency:
+            clone.add_node(node)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._adjacency)
+        if missing:
+            raise NodeNotFoundError(next(iter(missing)))
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for u in keep:
+            for v in self._adjacency[u]:
+                if v in keep and u < v:
+                    sub.add_edge(u, v)
+        return sub
+
+    def stats(self) -> GraphStats:
+        """Return a :class:`~repro.core.types.GraphStats` summary."""
+        return GraphStats(
+            number_of_nodes=self.number_of_nodes,
+            number_of_edges=self.number_of_edges,
+            min_degree=self.min_degree(),
+            max_degree=self.max_degree(),
+            mean_degree=self.mean_degree(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interoperability
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` (nodes and edges only)."""
+        g = nx.Graph()
+        g.add_nodes_from(self._adjacency.keys())
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.Graph) -> "Graph":
+        """Build a :class:`Graph` from a :class:`networkx.Graph`.
+
+        Node labels must be hashable; they are relabelled to dense integers
+        ``0..N-1`` in iteration order if they are not already integers.
+        """
+        labels = list(g.nodes())
+        if all(isinstance(label, int) for label in labels):
+            mapping = {label: label for label in labels}
+            graph = cls()
+            for label in labels:
+                graph.add_node(label)
+        else:
+            mapping = {label: index for index, label in enumerate(labels)}
+            graph = cls(len(labels))
+        for u, v in g.edges():
+            if u == v:
+                continue  # drop self-loops on import
+            graph.add_edge(mapping[u], mapping[v])
+        return graph
+
+    @classmethod
+    def from_edges(cls, number_of_nodes: int, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph with ``number_of_nodes`` nodes and the given edges."""
+        graph = cls(number_of_nodes)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def complete(cls, number_of_nodes: int) -> "Graph":
+        """Return the complete graph on ``number_of_nodes`` nodes.
+
+        The PA and HAPA growth models start from a fully connected seed of
+        ``m + 1`` nodes; this constructor builds that seed.
+        """
+        graph = cls(number_of_nodes)
+        for u in range(number_of_nodes):
+            for v in range(u + 1, number_of_nodes):
+                graph.add_edge(u, v)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(nodes={self.number_of_nodes}, edges={self.number_of_edges}, "
+            f"max_degree={self.max_degree()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            set(self._adjacency) == set(other._adjacency)
+            and {n: set(v) for n, v in self._adjacency.items()}
+            == {n: set(v) for n, v in other._adjacency.items()}
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash only.
+        return id(self)

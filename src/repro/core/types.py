@@ -1,0 +1,70 @@
+"""Shared type aliases and small value objects.
+
+The library deliberately keeps node identifiers as plain integers: the
+paper's algorithms index nodes ``0..N-1`` and integer ids keep the adjacency
+structures compact and hashing cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "NodeId",
+    "Edge",
+    "EdgeList",
+    "DegreeSequence",
+    "DegreeHistogram",
+    "GraphStats",
+]
+
+#: A node identifier.  Nodes are integers in ``range(number_of_nodes)``.
+NodeId = int
+
+#: An undirected edge, stored as an ordered pair ``(min(u, v), max(u, v))``.
+Edge = Tuple[NodeId, NodeId]
+
+#: A list of undirected edges.
+EdgeList = List[Edge]
+
+#: A degree sequence: ``sequence[i]`` is the (target or actual) degree of node ``i``.
+DegreeSequence = Sequence[int]
+
+#: Mapping from degree value ``k`` to the number of nodes with that degree.
+DegreeHistogram = dict
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for a graph, as reported by :meth:`Graph.stats`.
+
+    Attributes
+    ----------
+    number_of_nodes:
+        Total node count ``N``.
+    number_of_edges:
+        Total undirected edge count.
+    min_degree:
+        Smallest node degree (0 for an empty or isolated-node graph).
+    max_degree:
+        Largest node degree; the empirical cutoff of the network.
+    mean_degree:
+        Average degree ``2 * E / N`` (0.0 for an empty graph).
+    """
+
+    number_of_nodes: int
+    number_of_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary (JSON-friendly)."""
+        return {
+            "number_of_nodes": self.number_of_nodes,
+            "number_of_edges": self.number_of_edges,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+        }

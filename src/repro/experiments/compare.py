@@ -1,0 +1,141 @@
+"""Compare two experiment results (e.g. this run vs. a stored baseline).
+
+Reproduction work needs a quick answer to "did anything move?": between two
+runs of the same experiment (different seeds, different scales, a code
+change, or a stored baseline under ``benchmarks/results/``), which series
+appeared or disappeared, and how far apart are the shared ones?  This module
+provides that diff as plain data so it can be printed by the CLI, asserted
+in regression tests, or embedded in EXPERIMENTS.md updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ExperimentError
+from repro.experiments.results import ExperimentResult, Series
+
+__all__ = ["SeriesComparison", "ComparisonReport", "compare_results"]
+
+
+@dataclass
+class SeriesComparison:
+    """Difference between one series present in both results.
+
+    Attributes
+    ----------
+    label:
+        The shared series label.
+    max_relative_difference:
+        ``max_i |a_i - b_i| / max(|b_i|, eps)`` over the shared x grid.
+    mean_relative_difference:
+        The mean of the same per-point quantity.
+    points_compared:
+        Number of x values present in both series.
+    identical_grid:
+        Whether the two series share exactly the same x values.
+    """
+
+    label: str
+    max_relative_difference: float
+    mean_relative_difference: float
+    points_compared: int
+    identical_grid: bool
+
+    def within(self, tolerance: float) -> bool:
+        """Return ``True`` when the maximum relative difference is below ``tolerance``."""
+        return self.max_relative_difference <= tolerance
+
+
+@dataclass
+class ComparisonReport:
+    """Full diff between two :class:`ExperimentResult` objects."""
+
+    experiment_id: str
+    shared: List[SeriesComparison] = field(default_factory=list)
+    only_in_first: List[str] = field(default_factory=list)
+    only_in_second: List[str] = field(default_factory=list)
+
+    def worst(self) -> Optional[SeriesComparison]:
+        """Return the shared series with the largest relative difference."""
+        if not self.shared:
+            return None
+        return max(self.shared, key=lambda item: item.max_relative_difference)
+
+    def all_within(self, tolerance: float) -> bool:
+        """Return ``True`` when every shared series differs by at most ``tolerance``."""
+        return all(item.within(tolerance) for item in self.shared)
+
+    def summary(self) -> Dict[str, object]:
+        """Return a JSON-friendly summary of the comparison."""
+        worst = self.worst()
+        return {
+            "experiment_id": self.experiment_id,
+            "shared_series": len(self.shared),
+            "only_in_first": list(self.only_in_first),
+            "only_in_second": list(self.only_in_second),
+            "worst_label": worst.label if worst else None,
+            "worst_max_relative_difference": (
+                worst.max_relative_difference if worst else None
+            ),
+        }
+
+
+def _compare_series(first: Series, second: Series, eps: float = 1e-12) -> SeriesComparison:
+    first_points = dict(zip(first.x, first.y))
+    second_points = dict(zip(second.x, second.y))
+    shared_x = sorted(set(first_points) & set(second_points))
+    if not shared_x:
+        raise ExperimentError(
+            f"series {first.label!r} share no x values between the two results"
+        )
+    differences = []
+    for x_value in shared_x:
+        a = float(first_points[x_value])
+        b = float(second_points[x_value])
+        differences.append(abs(a - b) / max(abs(b), eps))
+    return SeriesComparison(
+        label=first.label,
+        max_relative_difference=max(differences),
+        mean_relative_difference=sum(differences) / len(differences),
+        points_compared=len(shared_x),
+        identical_grid=list(first.x) == list(second.x),
+    )
+
+
+def compare_results(first: ExperimentResult, second: ExperimentResult) -> ComparisonReport:
+    """Diff two results of the same experiment.
+
+    Raises :class:`~repro.core.errors.ExperimentError` when the experiment
+    ids differ (comparing a Fig. 9 run against a Fig. 11 run is a mistake,
+    not a diff).
+
+    Examples
+    --------
+    >>> from repro.experiments.results import ExperimentResult, Series
+    >>> a = ExperimentResult("figX", "t", [Series("s", [1, 2], [10.0, 20.0])])
+    >>> b = ExperimentResult("figX", "t", [Series("s", [1, 2], [10.0, 22.0])])
+    >>> report = compare_results(a, b)
+    >>> round(report.worst().max_relative_difference, 3)
+    0.091
+    >>> report.all_within(0.1)
+    True
+    """
+    if first.experiment_id != second.experiment_id:
+        raise ExperimentError(
+            "cannot compare results of different experiments "
+            f"({first.experiment_id!r} vs {second.experiment_id!r})"
+        )
+    report = ComparisonReport(experiment_id=first.experiment_id)
+    second_by_label = {series.label: series for series in second.series}
+    for series in first.series:
+        if series.label in second_by_label:
+            report.shared.append(_compare_series(series, second_by_label[series.label]))
+        else:
+            report.only_in_first.append(series.label)
+    first_labels = {series.label for series in first.series}
+    report.only_in_second = [
+        series.label for series in second.series if series.label not in first_labels
+    ]
+    return report

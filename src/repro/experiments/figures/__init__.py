@@ -1,0 +1,55 @@
+"""One module per paper figure / table.
+
+Every module exposes three things:
+
+* ``EXPERIMENT_ID`` — the id used by the registry and the CLI;
+* ``TITLE`` — a one-line description of the paper artefact;
+* ``run(scale=None, seed=None)`` — regenerate the artefact's data as an
+  :class:`~repro.experiments.results.ExperimentResult`.
+
+The modules are deliberately thin: they wire the generators, search
+algorithms, and analysis routines together with the paper's parameter grids;
+all heavy lifting lives in the library proper.
+"""
+
+from repro.experiments.figures import (  # noqa: F401  (re-exported for discovery)
+    ablation_min_degree,
+    ablation_robustness,
+    fig1_pa_degree,
+    fig2_cm_degree,
+    fig3_hapa_degree,
+    fig4_dapa_degree,
+    fig6_fl_pa_hapa,
+    fig7_fl_cm,
+    fig8_fl_dapa,
+    fig9_nf_global,
+    fig10_nf_dapa,
+    fig11_rw_global,
+    fig12_rw_dapa,
+    messaging,
+    natural_cutoff,
+    table1_diameter,
+    table2_locality,
+)
+
+ALL_FIGURE_MODULES = [
+    fig1_pa_degree,
+    fig2_cm_degree,
+    fig3_hapa_degree,
+    fig4_dapa_degree,
+    table1_diameter,
+    table2_locality,
+    fig6_fl_pa_hapa,
+    fig7_fl_cm,
+    fig8_fl_dapa,
+    fig9_nf_global,
+    fig10_nf_dapa,
+    fig11_rw_global,
+    fig12_rw_dapa,
+    messaging,
+    natural_cutoff,
+    ablation_min_degree,
+    ablation_robustness,
+]
+
+__all__ = ["ALL_FIGURE_MODULES"]

@@ -1,0 +1,373 @@
+"""Shared plumbing for the figure-reproduction modules.
+
+The individual figure modules only differ in which topology model they build,
+which search algorithm they run, and which parameter grid they sweep; the
+mechanics of "generate R realizations, measure a curve on each, average"
+live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.degree_distribution import degree_distribution
+from repro.analysis.powerlaw import fit_power_law
+from repro.core.config import GRNConfig
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.results import Series
+from repro.experiments.runner import ExperimentScale, realization_seeds
+from repro.generators.cm import generate_cm
+from repro.generators.dapa import generate_dapa
+from repro.generators.hapa import generate_hapa
+from repro.generators.pa import generate_pa
+from repro.search.flooding import FloodingSearch
+from repro.search.metrics import SearchCurve, average_search_curve, normalized_walk_curve, search_curve
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+
+__all__ = [
+    "resolve_scale",
+    "build_graph",
+    "degree_distribution_series",
+    "exponent_vs_cutoff_series",
+    "flooding_series",
+    "normalized_flooding_series",
+    "random_walk_series",
+    "messaging_series",
+    "cutoff_grid",
+    "dapa_tau_sub_grid",
+    "dapa_cutoff_grid",
+]
+
+
+def resolve_scale(scale: Optional[ExperimentScale], seed: Optional[int]) -> ExperimentScale:
+    """Default to the 'small' preset; apply a seed override when given."""
+    resolved = scale if scale is not None else ExperimentScale.small()
+    if seed is not None:
+        resolved = resolved.with_seed(seed)
+    return resolved
+
+
+# --------------------------------------------------------------------------- #
+# Parameter grids (scaled-down versions of the paper's grids)
+# --------------------------------------------------------------------------- #
+def cutoff_grid(scale: ExperimentScale, high_cutoff: int = 50) -> List[Optional[int]]:
+    """Hard-cutoff values used by most search figures: 10, ~50, and none."""
+    if scale.name == "smoke":
+        return [10, None]
+    return [10, high_cutoff, None]
+
+
+def dapa_tau_sub_grid(scale: ExperimentScale) -> List[int]:
+    """Locality-horizon values τ_sub, trimmed for the smaller presets."""
+    if scale.name == "smoke":
+        return [2, 4]
+    if scale.name == "paper":
+        return [2, 4, 6, 8, 10, 20, 50]
+    return [2, 4, 10]
+
+
+def dapa_cutoff_grid(scale: ExperimentScale) -> List[Optional[int]]:
+    """Hard-cutoff values used by the DAPA figures (10, 50, none)."""
+    if scale.name == "smoke":
+        return [10, None]
+    return [10, 50, None]
+
+
+# --------------------------------------------------------------------------- #
+# Topology construction
+# --------------------------------------------------------------------------- #
+def build_graph(
+    model: str,
+    scale: ExperimentScale,
+    seed: int,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+    for_search: bool = False,
+) -> Graph:
+    """Build one realization of ``model`` with the figure's parameters.
+
+    ``for_search`` selects the (smaller) search network size the paper uses
+    for Figs. 6–12 instead of the degree-distribution size of Figs. 1–4.
+    """
+    nodes = scale.search_nodes if for_search else scale.nodes
+    if model == "pa":
+        return generate_pa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
+    if model == "cm":
+        return generate_cm(
+            nodes,
+            exponent=exponent,
+            min_degree=stubs,
+            hard_cutoff=hard_cutoff,
+            seed=seed,
+        )
+    if model == "hapa":
+        # HAPA with a small cutoff is the most expensive growth model (the
+        # acceptance probability is bounded by kc / k_total); cap the size of
+        # non-paper runs so the harness stays interactive.
+        if scale.name != "paper":
+            nodes = min(nodes, 2000 if not for_search else nodes)
+        return generate_hapa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
+    if model == "dapa":
+        overlay = scale.search_nodes if for_search else min(scale.nodes, scale.substrate_nodes // 2)
+        substrate = GRNConfig(
+            number_of_nodes=max(scale.substrate_nodes, 2 * overlay),
+            target_mean_degree=10.0,
+            dimensions=2,
+            seed=seed,
+        )
+        return generate_dapa(
+            overlay_size=overlay,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            local_ttl=tau_sub,
+            substrate_config=substrate,
+            seed=seed,
+        )
+    raise ValueError(f"unknown model {model!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Degree-distribution figures (Figs. 1–4)
+# --------------------------------------------------------------------------- #
+def degree_distribution_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+) -> Series:
+    """P(k) for one parameter combination, pooled over all realizations."""
+    pooled_degrees: List[int] = []
+    for seed in realization_seeds(scale, label):
+        graph = build_graph(
+            model,
+            scale,
+            seed,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            exponent=exponent,
+            tau_sub=tau_sub,
+        )
+        pooled_degrees.extend(graph.degree_sequence())
+    distribution = degree_distribution(pooled_degrees)
+    return Series(
+        label=label,
+        x=[int(k) for k in distribution],
+        y=[float(p) for p in distribution.values()],
+        metadata={
+            "model": model,
+            "stubs": stubs,
+            "hard_cutoff": hard_cutoff,
+            "exponent": exponent,
+            "tau_sub": tau_sub,
+            "realizations": scale.realizations,
+            "max_degree": max(pooled_degrees) if pooled_degrees else 0,
+        },
+    )
+
+
+def exponent_vs_cutoff_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int,
+    cutoffs: Sequence[int],
+    tau_sub: int = 10,
+) -> Series:
+    """Fitted γ as a function of the hard cutoff (Figs. 1c and 4g)."""
+    exponents: List[float] = []
+    used_cutoffs: List[int] = []
+    for cutoff in cutoffs:
+        pooled: List[int] = []
+        for seed in realization_seeds(scale, f"{label}-kc{cutoff}"):
+            graph = build_graph(
+                model,
+                scale,
+                seed,
+                stubs=stubs,
+                hard_cutoff=cutoff,
+                tau_sub=tau_sub,
+            )
+            pooled.extend(graph.degree_sequence())
+        try:
+            fit = fit_power_law(
+                pooled, k_min=max(1, stubs), exclude_cutoff_spike=True
+            )
+        except AnalysisError:
+            continue
+        used_cutoffs.append(int(cutoff))
+        exponents.append(fit.exponent)
+    return Series(
+        label=label,
+        x=used_cutoffs,
+        y=exponents,
+        metadata={"model": model, "stubs": stubs, "tau_sub": tau_sub},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Search figures (Figs. 6–12)
+# --------------------------------------------------------------------------- #
+def _averaged_curve(
+    model: str,
+    scale: ExperimentScale,
+    label: str,
+    algorithm: str,
+    ttl_values: Sequence[int],
+    stubs: int,
+    hard_cutoff: Optional[int],
+    exponent: float,
+    tau_sub: int,
+) -> SearchCurve:
+    curves: List[SearchCurve] = []
+    for seed in realization_seeds(scale, f"{algorithm}:{label}"):
+        graph = build_graph(
+            model,
+            scale,
+            seed,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            exponent=exponent,
+            tau_sub=tau_sub,
+            for_search=True,
+        )
+        if algorithm == "fl":
+            curve = search_curve(
+                graph,
+                FloodingSearch(),
+                ttl_values,
+                queries=scale.queries,
+                rng=seed + 977,
+            )
+        elif algorithm == "nf":
+            curve = search_curve(
+                graph,
+                NormalizedFloodingSearch(k_min=stubs),
+                ttl_values,
+                queries=scale.queries,
+                rng=seed + 977,
+            )
+        elif algorithm == "rw":
+            curve = normalized_walk_curve(
+                graph,
+                ttl_values,
+                k_min=stubs,
+                queries=scale.queries,
+                rng=seed + 977,
+            )
+        else:
+            raise ValueError(f"unknown search algorithm {algorithm!r}")
+        curves.append(curve)
+    return average_search_curve(curves)
+
+
+def flooding_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+) -> Series:
+    """FL hits-vs-τ curve for one parameter combination."""
+    curve = _averaged_curve(
+        model, scale, label, "fl", scale.flooding_ttl_grid(),
+        stubs, hard_cutoff, exponent, tau_sub,
+    )
+    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
+
+
+def normalized_flooding_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+) -> Series:
+    """NF hits-vs-τ curve for one parameter combination."""
+    curve = _averaged_curve(
+        model, scale, label, "nf", scale.ttl_grid(),
+        stubs, hard_cutoff, exponent, tau_sub,
+    )
+    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
+
+
+def random_walk_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+) -> Series:
+    """NF-message-normalized RW hits-vs-τ curve for one parameter combination."""
+    curve = _averaged_curve(
+        model, scale, label, "rw", scale.ttl_grid(),
+        stubs, hard_cutoff, exponent, tau_sub,
+    )
+    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
+
+
+def messaging_series(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    algorithm: str,
+    stubs: int = 2,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+) -> Series:
+    """Messages-per-query vs τ for NF or RW (the §V-B-2 messaging study)."""
+    curve = _averaged_curve(
+        model, scale, label, algorithm, scale.ttl_grid(),
+        stubs, hard_cutoff, exponent, tau_sub,
+    )
+    return Series(
+        label=label,
+        x=list(curve.ttl_values),
+        y=list(curve.mean_messages),
+        metadata={
+            "model": model,
+            "algorithm": algorithm,
+            "stubs": stubs,
+            "hard_cutoff": hard_cutoff,
+            "metric": "messages",
+        },
+    )
+
+
+def _series_from_curve(
+    curve: SearchCurve,
+    label: str,
+    model: str,
+    stubs: int,
+    hard_cutoff: Optional[int],
+    exponent: float,
+    tau_sub: int,
+) -> Series:
+    return Series(
+        label=label,
+        x=list(curve.ttl_values),
+        y=list(curve.mean_hits),
+        metadata={
+            "model": model,
+            "algorithm": curve.algorithm,
+            "stubs": stubs,
+            "hard_cutoff": hard_cutoff,
+            "exponent": exponent,
+            "tau_sub": tau_sub,
+            "mean_messages": list(curve.mean_messages),
+            "queries": curve.queries,
+        },
+    )

@@ -1,0 +1,58 @@
+"""Fig. 7 — flooding search efficiency on configuration-model topologies.
+
+Number of hits versus TTL for prescribed exponents γ ∈ {2.2, 2.6, 3.0},
+m ∈ {1, 2, 3}, and kc ∈ {10, 40, none}.
+
+Expected qualitative agreement: for m ≥ 2 the no-cutoff series dominates and
+the cutoff penalty shrinks with m; for m = 1 the CM graph is disconnected, so
+the hit count saturates well below the network size for every cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.figures._common import flooding_series, resolve_scale
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sweeps import format_label
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Flooding search on configuration-model topologies (paper Fig. 7)"
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
+) -> ExperimentResult:
+    """Regenerate the three panels of Fig. 7 as labelled hit-vs-τ series."""
+    scale = resolve_scale(scale, seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters=scale.as_dict(),
+        notes=(
+            "m=1 series must saturate below the network size (disconnected "
+            "CM); for m>=2 the 'no kc' series dominates its cutoff variants."
+        ),
+    )
+
+    exponents = (2.2, 2.6, 3.0) if scale.name != "smoke" else (2.2, 3.0)
+    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
+    cutoffs = [10, 40, None] if scale.name != "smoke" else [10, None]
+
+    for exponent in exponents:
+        for stubs in stubs_values:
+            for cutoff in cutoffs:
+                result.add(
+                    flooding_series(
+                        "cm",
+                        label=(
+                            f"gamma={exponent}, {format_label(m=stubs, kc=cutoff)}"
+                        ),
+                        scale=scale,
+                        stubs=stubs,
+                        hard_cutoff=cutoff,
+                        exponent=exponent,
+                    )
+                )
+    return result

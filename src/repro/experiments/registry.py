@@ -1,0 +1,67 @@
+"""Registry of reproducible experiments (figures, tables, ablations)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import ExperimentError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import ExperimentScale
+
+__all__ = ["available_experiments", "get_experiment", "run_experiment", "experiment_titles"]
+
+ExperimentRunner = Callable[..., ExperimentResult]
+
+
+def _load_modules():
+    # Imported lazily to keep `import repro.experiments` cheap and to avoid
+    # a circular import through figures/_common.
+    from repro.experiments.figures import ALL_FIGURE_MODULES
+
+    return ALL_FIGURE_MODULES
+
+
+def _registry() -> Dict[str, object]:
+    modules = _load_modules()
+    registry: Dict[str, object] = {}
+    for module in modules:
+        registry[module.EXPERIMENT_ID] = module
+    return registry
+
+
+def available_experiments() -> List[str]:
+    """Return the ids of every registered experiment, in paper order."""
+    return list(_registry().keys())
+
+
+def experiment_titles() -> Dict[str, str]:
+    """Return a mapping of experiment id to its human-readable title."""
+    return {exp_id: module.TITLE for exp_id, module in _registry().items()}
+
+
+def get_experiment(experiment_id: str) -> ExperimentRunner:
+    """Return the ``run`` callable of the experiment with the given id."""
+    registry = _registry()
+    if experiment_id not in registry:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(available_experiments())}"
+        )
+    return registry[experiment_id].run
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment by id and return its result.
+
+    Examples
+    --------
+    >>> result = run_experiment("table2")
+    >>> result.experiment_id
+    'table2'
+    """
+    runner = get_experiment(experiment_id)
+    return runner(scale=scale, seed=seed)

@@ -1,0 +1,54 @@
+"""Overlay-topology generators.
+
+The paper studies four construction mechanisms for scale-free overlay
+topologies with hard cutoffs:
+
+=========  ==============================================  ====================
+Model      Module                                          Global information
+=========  ==============================================  ====================
+PA         :mod:`repro.generators.pa`                      yes
+CM         :mod:`repro.generators.cm`                      yes
+HAPA       :mod:`repro.generators.hapa`                    partial
+DAPA       :mod:`repro.generators.dapa`                    no
+=========  ==============================================  ====================
+
+(The table mirrors Table II of the paper.)
+
+Every generator exposes both a class API (construct, inspect configuration,
+call :meth:`~repro.generators.base.TopologyGenerator.generate`) and a
+one-call functional helper (``generate_pa``, ``generate_cm``, ...).
+"""
+
+from repro.generators.base import GenerationResult, TopologyGenerator
+from repro.generators.cm import ConfigurationModelGenerator, generate_cm
+from repro.generators.dapa import DAPAGenerator, generate_dapa
+from repro.generators.degree_sequence import (
+    power_law_degree_sequence,
+    power_law_probabilities,
+)
+from repro.generators.hapa import HAPAGenerator, generate_hapa
+from repro.generators.nonlinear_pa import (
+    NonlinearPreferentialAttachmentGenerator,
+    generate_nonlinear_pa,
+)
+from repro.generators.pa import PreferentialAttachmentGenerator, generate_pa
+from repro.generators.registry import available_generators, create_generator
+
+__all__ = [
+    "ConfigurationModelGenerator",
+    "DAPAGenerator",
+    "GenerationResult",
+    "HAPAGenerator",
+    "NonlinearPreferentialAttachmentGenerator",
+    "PreferentialAttachmentGenerator",
+    "TopologyGenerator",
+    "available_generators",
+    "create_generator",
+    "generate_cm",
+    "generate_dapa",
+    "generate_hapa",
+    "generate_nonlinear_pa",
+    "generate_pa",
+    "power_law_degree_sequence",
+    "power_law_probabilities",
+]

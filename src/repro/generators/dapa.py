@@ -1,0 +1,358 @@
+"""Discover-and-Attempt Preferential Attachment (DAPA, paper §IV-B, Algorithm 4).
+
+DAPA is the paper's fully-local construction and the one that "imitates the
+method for finding peers in Gnutella-like unstructured P2P networks".  It
+maintains two graphs:
+
+* a fixed **substrate network** ``G_S`` (the physical connectivity — the
+  paper uses a 2-D geometric random network with N_S = 2×10⁴ nodes and mean
+  degree 10, or alternatively a regular mesh), and
+* the **overlay network** ``G_O`` being built on top of it.
+
+At every step a random substrate node that is not yet a peer sends a
+discovery query limited to ``τ_sub`` substrate hops (its *horizon*), collects
+the overlay peers it can see whose overlay degree is still below the hard
+cutoff, and then connects to ``m`` of them chosen by preferential attachment
+restricted to that horizon.  If it sees fewer than ``m`` peers it connects to
+all of them.  A node that finds at least one peer becomes a peer itself.
+The process repeats until the overlay has ``N_O`` peers.
+
+Small ``τ_sub`` makes nodes short-sighted and the overlay degree distribution
+exponential; large ``τ_sub`` recovers a power law (paper Fig. 4) — DAPA
+interpolates between the two purely through the locality parameter, without
+any node ever holding global topology information.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import DAPAConfig, GRNConfig, MeshConfig
+from repro.core.errors import ConfigurationError, GenerationError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.generators.base import TopologyGenerator
+from repro.substrate.grn import GeometricRandomNetwork
+from repro.substrate.mesh import MeshNetwork
+
+__all__ = ["DAPAGenerator", "generate_dapa"]
+
+#: Acceptance-test retries per stub before falling back to a weighted draw
+#: over the horizon.  The paper's repeat-until loop has no bound; this keeps
+#: construction from stalling on tiny or saturated horizons.
+_MAX_ATTEMPTS_PER_STUB = 50_000
+
+
+class DAPAGenerator(TopologyGenerator):
+    """Build a P2P overlay on a substrate using horizon-limited preferential attachment.
+
+    Parameters
+    ----------
+    overlay_size:
+        Target number of overlay peers ``N_O``.
+    stubs:
+        Stubs ``m`` each joining peer tries to fill.
+    hard_cutoff:
+        Hard cutoff ``kc`` on overlay degree (``None`` for unbounded).
+    local_ttl:
+        Horizon ``τ_sub`` in substrate hops.
+    initial_peers:
+        Number of substrate nodes seeded into the overlay (the paper uses 2;
+        they are connected in a clique so the overlay starts connected).
+    substrate_graph:
+        An explicit substrate :class:`~repro.core.graph.Graph` to build on.
+        Mutually exclusive with ``substrate_config``.
+    substrate_config:
+        A :class:`~repro.core.config.GRNConfig` or
+        :class:`~repro.core.config.MeshConfig` describing the substrate to
+        build.  When both are omitted the paper's default substrate (2-D GRN,
+        ``N_S = 2 · N_O``, mean degree 10) is used.
+    seed:
+        Optional RNG seed.
+
+    Examples
+    --------
+    >>> gen = DAPAGenerator(overlay_size=100, stubs=2, hard_cutoff=10,
+    ...                     local_ttl=4, seed=5)
+    >>> result = gen.generate()
+    >>> result.graph.number_of_nodes <= 100
+    True
+    >>> result.graph.max_degree() <= 10
+    True
+    """
+
+    model_name = "dapa"
+    uses_global_information = "no"
+
+    def __init__(
+        self,
+        overlay_size: int,
+        stubs: int = 1,
+        hard_cutoff: Optional[int] = None,
+        local_ttl: int = 2,
+        initial_peers: int = 2,
+        substrate_graph: Optional[Graph] = None,
+        substrate_config: "GRNConfig | MeshConfig | None" = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if substrate_graph is not None and substrate_config is not None:
+            raise ConfigurationError(
+                "provide either substrate_graph or substrate_config, not both"
+            )
+        self.config = DAPAConfig(
+            overlay_size=overlay_size,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            local_ttl=local_ttl,
+            initial_peers=initial_peers,
+            seed=seed,
+            substrate=substrate_config,
+        )
+        if substrate_graph is not None and substrate_graph.number_of_nodes < overlay_size:
+            raise ConfigurationError(
+                "substrate_graph must have at least overlay_size nodes"
+            )
+        self.substrate_graph = substrate_graph
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # TopologyGenerator interface
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Dict[str, Any]:
+        substrate_description: Any
+        if self.substrate_graph is not None:
+            substrate_description = "explicit"
+        elif self.config.substrate is not None:
+            substrate_description = type(self.config.substrate).__name__
+        else:
+            substrate_description = "default_grn"
+        return {
+            "model": self.model_name,
+            "overlay_size": self.config.overlay_size,
+            "stubs": self.config.stubs,
+            "hard_cutoff": self.config.hard_cutoff,
+            "local_ttl": self.config.local_ttl,
+            "initial_peers": self.config.initial_peers,
+            "substrate": substrate_description,
+            "seed": self.seed,
+        }
+
+    def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
+        substrate = self._resolve_substrate(rng)
+        config = self.config
+        cutoff = config.effective_cutoff()
+        m = config.stubs
+        target_peers = config.overlay_size
+
+        substrate_nodes = substrate.nodes()
+        if len(substrate_nodes) < target_peers:
+            raise GenerationError(
+                "substrate has fewer nodes than the requested overlay size"
+            )
+
+        # Overlay graph shares node ids with the substrate; only peers are
+        # added to it.  `peers` tracks membership for O(1) lookups.
+        overlay = Graph()
+        peers: Set[int] = set()
+
+        # Seed the overlay with a small clique of random substrate nodes.
+        seeds = rng.sample(substrate_nodes, config.initial_peers)
+        for node in seeds:
+            overlay.add_node(node)
+            peers.add(node)
+        for index, u in enumerate(seeds):
+            for v in seeds[index + 1 :]:
+                overlay.add_edge(u, v)
+
+        attempts_without_progress = 0
+        max_attempts_without_progress = 20 * len(substrate_nodes)
+        empty_horizons = 0
+        short_horizons = 0
+        discovery_messages = 0
+
+        while len(peers) < target_peers:
+            if attempts_without_progress > max_attempts_without_progress:
+                # No remaining substrate node can see a peer within tau_sub
+                # hops (e.g. a disconnected substrate component with no seed).
+                break
+            node = substrate_nodes[rng.randint(0, len(substrate_nodes) - 1)]
+            if node in peers:
+                attempts_without_progress += 1
+                continue
+
+            horizon = self._discover_horizon(substrate, node, peers, overlay, cutoff)
+            discovery_messages += 1
+            if not horizon:
+                empty_horizons += 1
+                attempts_without_progress += 1
+                continue
+
+            overlay.add_node(node)
+            if len(horizon) <= m:
+                short_horizons += 1
+                for peer in horizon:
+                    overlay.add_edge(node, peer)
+            else:
+                self._attach_preferentially(overlay, node, horizon, m, cutoff, rng)
+            peers.add(node)
+            attempts_without_progress = 0
+
+        metadata = {
+            "substrate_nodes": substrate.number_of_nodes,
+            "substrate_edges": substrate.number_of_edges,
+            "substrate_mean_degree": substrate.mean_degree(),
+            "overlay_peers": len(peers),
+            "target_overlay_size": target_peers,
+            "reached_target": len(peers) >= target_peers,
+            "empty_horizons": empty_horizons,
+            "short_horizons": short_horizons,
+            "discovery_messages": discovery_messages,
+            "substrate_graph": substrate,
+        }
+        return overlay, metadata
+
+    # ------------------------------------------------------------------ #
+    # Substrate handling
+    # ------------------------------------------------------------------ #
+    def _resolve_substrate(self, rng: RandomSource) -> Graph:
+        if self.substrate_graph is not None:
+            return self.substrate_graph
+        config = self.config.substrate
+        if config is None:
+            config = self.config.default_substrate()
+        if isinstance(config, GRNConfig):
+            builder = GeometricRandomNetwork(
+                number_of_nodes=config.number_of_nodes,
+                radius=config.radius,
+                target_mean_degree=config.target_mean_degree,
+                dimensions=config.dimensions,
+                torus=config.torus,
+                seed=config.seed,
+            )
+            return builder.build(rng.spawn("substrate"))
+        if isinstance(config, MeshConfig):
+            builder = MeshNetwork(
+                rows=config.rows, columns=config.columns, torus=config.torus
+            )
+            return builder.build(rng.spawn("substrate"))
+        raise ConfigurationError(f"unsupported substrate configuration: {config!r}")
+
+    # ------------------------------------------------------------------ #
+    # Discovery and attachment
+    # ------------------------------------------------------------------ #
+    def _discover_horizon(
+        self,
+        substrate: Graph,
+        node: int,
+        peers: Set[int],
+        overlay: Graph,
+        cutoff: int,
+    ) -> List[int]:
+        """Breadth-first search bounded by ``τ_sub`` returning eligible peers.
+
+        Eligible means: already an overlay peer, within ``τ_sub`` substrate
+        hops of ``node``, and with overlay degree strictly below the hard
+        cutoff (paper Algorithm 4, lines 6-10).
+        """
+        max_depth = self.config.local_ttl
+        visited = {node: 0}
+        frontier = deque([node])
+        horizon: List[int] = []
+        remaining_peers = len(peers)
+        while frontier and remaining_peers > 0:
+            current = frontier.popleft()
+            depth = visited[current]
+            if depth >= max_depth:
+                continue
+            for neighbor in substrate.neighbor_set(current):
+                if neighbor in visited:
+                    continue
+                visited[neighbor] = depth + 1
+                frontier.append(neighbor)
+                if neighbor in peers:
+                    remaining_peers -= 1
+                    if overlay.degree(neighbor) < cutoff:
+                        horizon.append(neighbor)
+        return horizon
+
+    @staticmethod
+    def _attach_preferentially(
+        overlay: Graph,
+        node: int,
+        horizon: List[int],
+        stubs: int,
+        cutoff: int,
+        rng: RandomSource,
+    ) -> None:
+        """Connect ``node`` to ``stubs`` horizon peers with probability ∝ degree.
+
+        Follows the accept/reject loop of Algorithm 4 (lines 18-29): a random
+        horizon peer is accepted with probability ``k_peer / k_horizon``
+        where ``k_horizon`` is the total degree of the peers in the horizon
+        ("their degrees divided by the total degrees of the peers in its
+        horizon").  Degenerate horizons (all degrees zero) fall back to a
+        uniform choice.
+        """
+        chosen: Set[int] = set()
+        attempts = 0
+        horizon_total_degree = sum(overlay.degree(peer) for peer in horizon)
+        while len(chosen) < stubs and len(chosen) < len(horizon):
+            if attempts >= _MAX_ATTEMPTS_PER_STUB or horizon_total_degree == 0:
+                # Weighted (or uniform) draw over the remaining eligible peers
+                # to guarantee termination.
+                remaining = [
+                    peer
+                    for peer in horizon
+                    if peer not in chosen and overlay.degree(peer) < cutoff
+                ]
+                if not remaining:
+                    break
+                weights = [max(overlay.degree(peer), 1) for peer in remaining]
+                peer = remaining[rng.weighted_index(weights)]
+                overlay.add_edge(node, peer)
+                chosen.add(peer)
+                attempts = 0
+                continue
+            attempts += 1
+            peer = horizon[rng.randint(0, len(horizon) - 1)]
+            if peer in chosen or overlay.has_edge(node, peer):
+                continue
+            degree = overlay.degree(peer)
+            if degree >= cutoff:
+                continue
+            if rng.random() < degree / horizon_total_degree:
+                overlay.add_edge(node, peer)
+                chosen.add(peer)
+
+
+def generate_dapa(
+    overlay_size: int,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    local_ttl: int = 2,
+    initial_peers: int = 2,
+    substrate_graph: Optional[Graph] = None,
+    substrate_config: "GRNConfig | MeshConfig | None" = None,
+    seed: Optional[int] = None,
+    rng: Optional[RandomSource] = None,
+) -> Graph:
+    """Generate a DAPA overlay and return the overlay graph.
+
+    Examples
+    --------
+    >>> graph = generate_dapa(80, stubs=1, hard_cutoff=10, local_ttl=3, seed=2)
+    >>> graph.number_of_nodes <= 80
+    True
+    """
+    generator = DAPAGenerator(
+        overlay_size=overlay_size,
+        stubs=stubs,
+        hard_cutoff=hard_cutoff,
+        local_ttl=local_ttl,
+        initial_peers=initial_peers,
+        substrate_graph=substrate_graph,
+        substrate_config=substrate_config,
+        seed=seed,
+    )
+    return generator.generate_graph(rng)

@@ -1,0 +1,221 @@
+"""Hop-and-Attempt Preferential Attachment (HAPA, paper §IV-A, Algorithm 3).
+
+HAPA is the paper's first local-heuristic construction.  A joining node first
+attempts to attach to one uniformly chosen existing node (using the same
+degree-proportional acceptance test and hard-cutoff condition as PA); it then
+*hops* along existing links — repeatedly moving to a random neighbor of the
+current node — attempting to attach at every step, until all ``m`` stubs are
+filled.
+
+Hopping along edges biases the walk towards high-degree nodes, so without a
+hard cutoff a handful of "super hubs" with degree on the order of the system
+size emerge and the topology becomes star-like (paper Fig. 3a).  A hard
+cutoff destroys the star and restores a power-law-like distribution with an
+exponential correction (Fig. 3b–c).
+
+HAPA still needs *partial* global information: the acceptance test divides
+by the total degree ``k_total`` of the network (Table II classifies it as
+"partial").  The hop itself uses only local neighbor lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import HAPAConfig
+from repro.core.errors import ConfigurationError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.generators.base import TopologyGenerator
+
+__all__ = ["HAPAGenerator", "generate_hapa"]
+
+
+class HAPAGenerator(TopologyGenerator):
+    """Grow an overlay by hop-and-attempt preferential attachment.
+
+    Parameters
+    ----------
+    number_of_nodes:
+        Final network size ``N``.
+    stubs:
+        Links ``m`` each new node creates.
+    hard_cutoff:
+        Maximum degree ``kc`` (``None`` for no cutoff — expect a star-like
+        topology).
+    seed:
+        Optional RNG seed.
+    max_hops_per_stub:
+        Safety bound on hop attempts for a single stub; when exceeded the
+        generator falls back to a uniform eligible node so construction
+        always terminates (the fallback count is reported in metadata and is
+        zero in normal operation).
+
+    Examples
+    --------
+    >>> graph = HAPAGenerator(200, stubs=2, hard_cutoff=10, seed=3).generate_graph()
+    >>> graph.number_of_nodes
+    200
+    >>> graph.max_degree() <= 10
+    True
+    """
+
+    model_name = "hapa"
+    uses_global_information = "partial"
+
+    def __init__(
+        self,
+        number_of_nodes: int,
+        stubs: int = 1,
+        hard_cutoff: Optional[int] = None,
+        seed: Optional[int] = None,
+        max_hops_per_stub: int = 10_000,
+    ) -> None:
+        self.config = HAPAConfig(
+            number_of_nodes=number_of_nodes,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            seed=seed,
+            max_hops_per_stub=max_hops_per_stub,
+        )
+        if hard_cutoff is not None and hard_cutoff <= stubs:
+            raise ConfigurationError(
+                "hard_cutoff must exceed stubs for a growing HAPA network"
+            )
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # TopologyGenerator interface
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Dict[str, Any]:
+        return {
+            "model": self.model_name,
+            "number_of_nodes": self.config.number_of_nodes,
+            "stubs": self.config.stubs,
+            "hard_cutoff": self.config.hard_cutoff,
+            "max_hops_per_stub": self.config.max_hops_per_stub,
+            "seed": self.seed,
+        }
+
+    def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
+        config = self.config
+        n, m = config.number_of_nodes, config.stubs
+        cutoff = config.effective_cutoff()
+        max_hops = config.max_hops_per_stub
+
+        graph = Graph.complete(min(m + 1, n))
+        total_hops = 0
+        fallback_attachments = 0
+        unfilled_stubs = 0
+
+        for new_node in range(graph.number_of_nodes, n):
+            graph.add_node(new_node)
+            filled = 0
+
+            # Step 1 (paper lines 3-7): one attempt at a uniformly random
+            # existing node with the PA acceptance test.
+            candidate = rng.randint(0, new_node - 1)
+            if self._accepts(graph, new_node, candidate, cutoff, rng):
+                graph.add_edge(new_node, candidate)
+                filled += 1
+                current = candidate
+            else:
+                current = candidate
+
+            # Step 2 (paper lines 8-15): hop along existing links, attempting
+            # to attach at every visited node, until all stubs are filled.
+            hops_for_node = 0
+            while filled < m:
+                next_node = graph.random_neighbor(current, rng)
+                if next_node is None:
+                    # Isolated landing spot (possible only in degenerate tiny
+                    # graphs): restart from a random existing node.
+                    next_node = rng.randint(0, new_node - 1)
+                current = next_node
+                hops_for_node += 1
+                total_hops += 1
+                if current != new_node and self._accepts(
+                    graph, new_node, current, cutoff, rng
+                ):
+                    graph.add_edge(new_node, current)
+                    filled += 1
+                    hops_for_node = 0
+                    continue
+                if hops_for_node >= max_hops:
+                    placed = self._fallback_attach(graph, new_node, cutoff, rng)
+                    if placed:
+                        fallback_attachments += 1
+                        filled += 1
+                    else:
+                        unfilled_stubs += m - filled
+                        break
+                    hops_for_node = 0
+
+        metadata = {
+            "total_hops": total_hops,
+            "fallback_attachments": fallback_attachments,
+            "unfilled_stubs": unfilled_stubs,
+        }
+        return graph, metadata
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _accepts(
+        graph: Graph, new_node: int, candidate: int, cutoff: int, rng: RandomSource
+    ) -> bool:
+        """The PA acceptance test of Algorithm 3 (lines 4 and 11)."""
+        if candidate == new_node or graph.has_edge(new_node, candidate):
+            return False
+        degree = graph.degree(candidate)
+        if degree >= cutoff or degree == 0:
+            return False
+        total_degree = graph.total_degree
+        if total_degree == 0:
+            return False
+        return rng.random() < degree / total_degree
+
+    @staticmethod
+    def _fallback_attach(
+        graph: Graph, new_node: int, cutoff: int, rng: RandomSource
+    ) -> bool:
+        """Attach to a uniformly chosen eligible node (termination guarantee)."""
+        neighbor_set = graph.neighbor_set(new_node)
+        eligible = [
+            node
+            for node in graph.nodes()
+            if node != new_node
+            and node not in neighbor_set
+            and graph.degree(node) < cutoff
+        ]
+        if not eligible:
+            return False
+        graph.add_edge(new_node, rng.choice(eligible))
+        return True
+
+
+def generate_hapa(
+    number_of_nodes: int,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    seed: Optional[int] = None,
+    max_hops_per_stub: int = 10_000,
+    rng: Optional[RandomSource] = None,
+) -> Graph:
+    """Generate a HAPA topology and return the graph.
+
+    Examples
+    --------
+    >>> graph = generate_hapa(150, stubs=1, hard_cutoff=20, seed=9)
+    >>> graph.number_of_nodes
+    150
+    """
+    generator = HAPAGenerator(
+        number_of_nodes=number_of_nodes,
+        stubs=stubs,
+        hard_cutoff=hard_cutoff,
+        seed=seed,
+        max_hops_per_stub=max_hops_per_stub,
+    )
+    return generator.generate_graph(rng)

@@ -1,0 +1,65 @@
+"""Registry mapping model names to generator classes.
+
+The experiment harness and the CLI construct generators from string names
+("pa", "cm", "hapa", "dapa") and keyword parameters read from experiment
+specifications; this module centralises that mapping so adding a new model
+(e.g. a nonlinear-PA variant) requires registering it in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from repro.core.errors import ConfigurationError
+from repro.generators.base import TopologyGenerator
+from repro.generators.cm import ConfigurationModelGenerator
+from repro.generators.dapa import DAPAGenerator
+from repro.generators.hapa import HAPAGenerator
+from repro.generators.nonlinear_pa import NonlinearPreferentialAttachmentGenerator
+from repro.generators.pa import PreferentialAttachmentGenerator
+
+__all__ = ["GENERATORS", "available_generators", "create_generator", "register_generator"]
+
+GENERATORS: Dict[str, Type[TopologyGenerator]] = {
+    "pa": PreferentialAttachmentGenerator,
+    "cm": ConfigurationModelGenerator,
+    "hapa": HAPAGenerator,
+    "dapa": DAPAGenerator,
+    "nlpa": NonlinearPreferentialAttachmentGenerator,
+}
+
+
+def available_generators() -> List[str]:
+    """Return the sorted list of registered model names."""
+    return sorted(GENERATORS)
+
+
+def register_generator(name: str, cls: Type[TopologyGenerator]) -> None:
+    """Register a new generator class under ``name``.
+
+    Raises :class:`~repro.core.errors.ConfigurationError` if the name is
+    already taken, so accidental shadowing of the built-in models is loud.
+    """
+    key = name.lower()
+    if key in GENERATORS:
+        raise ConfigurationError(f"generator {name!r} is already registered")
+    if not issubclass(cls, TopologyGenerator):
+        raise ConfigurationError("generator classes must subclass TopologyGenerator")
+    GENERATORS[key] = cls
+
+
+def create_generator(name: str, **parameters: Any) -> TopologyGenerator:
+    """Instantiate the generator registered under ``name`` with ``parameters``.
+
+    Examples
+    --------
+    >>> gen = create_generator("pa", number_of_nodes=100, stubs=2, seed=1)
+    >>> gen.model_name
+    'pa'
+    """
+    key = name.lower()
+    if key not in GENERATORS:
+        raise ConfigurationError(
+            f"unknown generator {name!r}; available: {', '.join(available_generators())}"
+        )
+    return GENERATORS[key](**parameters)

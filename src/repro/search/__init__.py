@@ -1,0 +1,54 @@
+"""Decentralised search algorithms over overlay topologies.
+
+The paper evaluates three message-passing search strategies (§V-A):
+
+* **Flooding (FL)** — :mod:`repro.search.flooding`: every node forwards the
+  query to all neighbors (except the one it came from); the upper bound on
+  coverage per TTL and the least scalable in messages.
+* **Normalized flooding (NF)** — :mod:`repro.search.normalized_flooding`:
+  nodes forward to at most ``k_min`` random neighbors, taming the message
+  explosion at hubs.
+* **Random walk (RW)** — :mod:`repro.search.random_walk`: the query moves to
+  one random neighbor per step; minimal messaging, serial delivery.
+
+All three are TTL-bounded, fully decentralised, and measured by the paper's
+two metrics: *number of hits* (distinct nodes reached per query) and
+*messaging complexity* (messages per query).  :mod:`repro.search.metrics`
+builds the hits-vs-τ curves of Figs. 6–12, including the NF-message
+normalization the paper applies to RW.
+"""
+
+from repro.search.base import QueryResult, SearchAlgorithm
+from repro.search.flooding import FloodingSearch, flood
+from repro.search.metrics import (
+    SearchCurve,
+    average_search_curve,
+    normalized_walk_curve,
+    search_curve,
+)
+from repro.search.normalized_flooding import NormalizedFloodingSearch, normalized_flood
+from repro.search.probabilistic_flooding import (
+    ProbabilisticFloodingSearch,
+    probabilistic_flood,
+)
+from repro.search.random_walk import RandomWalkSearch, random_walk
+from repro.search.registry import available_search_algorithms, create_search_algorithm
+
+__all__ = [
+    "FloodingSearch",
+    "NormalizedFloodingSearch",
+    "ProbabilisticFloodingSearch",
+    "QueryResult",
+    "RandomWalkSearch",
+    "SearchAlgorithm",
+    "SearchCurve",
+    "available_search_algorithms",
+    "average_search_curve",
+    "create_search_algorithm",
+    "flood",
+    "normalized_flood",
+    "normalized_walk_curve",
+    "probabilistic_flood",
+    "random_walk",
+    "search_curve",
+]

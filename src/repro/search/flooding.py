@@ -1,0 +1,130 @@
+"""Flooding search (FL, paper §V-A1).
+
+The source sends the query to all of its neighbors; every node that receives
+the query for the first time forwards it to all of *its* neighbors except the
+one it came from; the process stops after ``τ`` hops.  Nodes forward a given
+query at most once (standard Gnutella duplicate suppression via message
+identifiers), but duplicate deliveries still count as messages — that is
+exactly the messaging overhead the paper calls unscalable.
+
+Because FL deterministically performs "a complete sweep of all the nodes
+within a τ hop distance from the source", its hits-vs-τ curve is simply the
+cumulative BFS ball size around the source, which is how it is computed here
+(one BFS gives the entire curve).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.core.types import NodeId
+from repro.search.base import QueryResult, SearchAlgorithm
+
+__all__ = ["FloodingSearch", "flood"]
+
+
+class FloodingSearch(SearchAlgorithm):
+    """TTL-bounded flooding (broadcast) search.
+
+    Parameters
+    ----------
+    count_source_as_hit:
+        Whether the source node itself is included in the hit counts.  The
+        paper counts peers discovered by the query, so the default is
+        ``False``.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)])
+    >>> result = FloodingSearch().run(g, source=0, ttl=2)
+    >>> result.hits_per_ttl
+    [0, 2, 4]
+    """
+
+    algorithm_name = "fl"
+
+    def __init__(self, count_source_as_hit: bool = False) -> None:
+        self.count_source_as_hit = count_source_as_hit
+
+    def run(
+        self,
+        graph: Graph,
+        source: NodeId,
+        ttl: int,
+        rng: "RandomSource | int | None" = None,
+        target: Optional[NodeId] = None,
+    ) -> QueryResult:
+        self._validate(graph, source, ttl)
+
+        base_hits = 1 if self.count_source_as_hit else 0
+        hits_per_ttl: List[int] = [base_hits]
+        messages_per_ttl: List[int] = [0]
+
+        visited = {source}
+        # Each frontier entry is (node, previous_hop); the previous hop is
+        # excluded from forwarding, as in the paper's description.
+        frontier: deque = deque([(source, None)])
+        found_at: Optional[int] = 0 if target == source else None
+
+        cumulative_hits = base_hits
+        cumulative_messages = 0
+
+        for hop in range(1, ttl + 1):
+            next_frontier: deque = deque()
+            while frontier:
+                node, previous = frontier.popleft()
+                for neighbor in graph.neighbor_set(node):
+                    if neighbor == previous:
+                        continue
+                    cumulative_messages += 1
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    cumulative_hits += 1
+                    if target is not None and neighbor == target and found_at is None:
+                        found_at = hop
+                    next_frontier.append((neighbor, node))
+            frontier = next_frontier
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+            if not frontier:
+                # The flood has covered its connected component; the curve is
+                # flat from here on, so fill the remaining TTL slots.
+                for _ in range(hop + 1, ttl + 1):
+                    hits_per_ttl.append(cumulative_hits)
+                    messages_per_ttl.append(cumulative_messages)
+                break
+
+        return QueryResult(
+            algorithm=self.algorithm_name,
+            source=source,
+            ttl=ttl,
+            hits_per_ttl=hits_per_ttl,
+            messages_per_ttl=messages_per_ttl,
+            visited=visited,
+            target=target,
+            found_at=found_at,
+        )
+
+
+def flood(
+    graph: Graph,
+    source: NodeId,
+    ttl: int,
+    count_source_as_hit: bool = False,
+    target: Optional[NodeId] = None,
+) -> QueryResult:
+    """Run one flooding query and return its :class:`~repro.search.base.QueryResult`.
+
+    Examples
+    --------
+    >>> g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    >>> flood(g, 0, 3).hits
+    3
+    """
+    return FloodingSearch(count_source_as_hit=count_source_as_hit).run(
+        graph, source, ttl, target=target
+    )

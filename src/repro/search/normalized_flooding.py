@@ -1,0 +1,199 @@
+"""Normalized flooding search (NF, paper §V-A2, after Gkantsidis et al.).
+
+Flooding explodes at hubs: a single high-degree node multiplies the message
+count by its degree.  Normalized flooding caps the branching factor at the
+*minimum degree* of the network, ``k_min``:
+
+* a node whose degree equals ``k_min`` forwards the query to **all** of its
+  neighbors except the one it received it from;
+* a node with a larger degree forwards to ``k_min`` **randomly chosen**
+  neighbors, again excluding the previous hop;
+* the source initiates the query by sending it to ``k_min`` random neighbors
+  (or all of them if it has fewer).
+
+Nodes forward a given query at most once (duplicate suppression); duplicate
+deliveries still count as messages.  The paper runs NF with ``k_min`` equal
+to the construction parameter ``m`` even when deletions (CM) or short
+horizons (DAPA) leave a few nodes below ``m``; the ``k_min`` parameter here
+defaults to the graph's true minimum degree but can be pinned to ``m`` to
+match that choice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.core.types import NodeId
+from repro.search.base import QueryResult, SearchAlgorithm
+
+__all__ = ["NormalizedFloodingSearch", "normalized_flood"]
+
+
+class NormalizedFloodingSearch(SearchAlgorithm):
+    """TTL-bounded normalized flooding with branching factor ``k_min``.
+
+    Parameters
+    ----------
+    k_min:
+        Branching factor.  ``None`` (default) uses the minimum degree of the
+        graph being searched, computed per query; the paper pins it to the
+        construction parameter ``m``.
+    count_source_as_hit:
+        Whether the source counts as a hit (default ``False``).
+
+    Examples
+    --------
+    >>> g = Graph.complete(6)
+    >>> result = NormalizedFloodingSearch(k_min=2).run(g, source=0, ttl=1, rng=1)
+    >>> result.hits_per_ttl[1]
+    2
+    """
+
+    algorithm_name = "nf"
+
+    def __init__(
+        self, k_min: Optional[int] = None, count_source_as_hit: bool = False
+    ) -> None:
+        if k_min is not None and k_min < 1:
+            raise ValueError("k_min must be at least 1")
+        self.k_min = k_min
+        self.count_source_as_hit = count_source_as_hit
+
+    def run(
+        self,
+        graph: Graph,
+        source: NodeId,
+        ttl: int,
+        rng: "RandomSource | int | None" = None,
+        target: Optional[NodeId] = None,
+    ) -> QueryResult:
+        self._validate(graph, source, ttl)
+        random_source = self._resolve_rng(rng)
+
+        branching = self.k_min
+        if branching is None:
+            branching = max(1, graph.min_degree())
+
+        base_hits = 1 if self.count_source_as_hit else 0
+        hits_per_ttl: List[int] = [base_hits]
+        messages_per_ttl: List[int] = [0]
+
+        visited = {source}
+        forwarded = {source}
+        frontier: deque = deque()
+        found_at: Optional[int] = 0 if target == source else None
+
+        cumulative_hits = base_hits
+        cumulative_messages = 0
+
+        # Hop 1: the source sends to `branching` random neighbors (or all of
+        # them when it has fewer than `branching`).
+        if ttl >= 1:
+            recipients = self._select_recipients(
+                graph, source, previous=None, branching=branching, rng=random_source
+            )
+            for neighbor in recipients:
+                cumulative_messages += 1
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    cumulative_hits += 1
+                    if target is not None and neighbor == target and found_at is None:
+                        found_at = 1
+                    frontier.append((neighbor, source))
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+
+        for hop in range(2, ttl + 1):
+            next_frontier: deque = deque()
+            while frontier:
+                node, previous = frontier.popleft()
+                if node in forwarded:
+                    continue
+                forwarded.add(node)
+                recipients = self._select_recipients(
+                    graph, node, previous=previous, branching=branching, rng=random_source
+                )
+                for neighbor in recipients:
+                    cumulative_messages += 1
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    cumulative_hits += 1
+                    if target is not None and neighbor == target and found_at is None:
+                        found_at = hop
+                    next_frontier.append((neighbor, node))
+            frontier = next_frontier
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+            if not frontier:
+                for _ in range(hop + 1, ttl + 1):
+                    hits_per_ttl.append(cumulative_hits)
+                    messages_per_ttl.append(cumulative_messages)
+                break
+
+        # Pad if ttl == 0 requested larger arrays than hops produced.
+        while len(hits_per_ttl) < ttl + 1:
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+
+        return QueryResult(
+            algorithm=self.algorithm_name,
+            source=source,
+            ttl=ttl,
+            hits_per_ttl=hits_per_ttl,
+            messages_per_ttl=messages_per_ttl,
+            visited=visited,
+            target=target,
+            found_at=found_at,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forwarding rule
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _select_recipients(
+        graph: Graph,
+        node: NodeId,
+        previous: Optional[NodeId],
+        branching: int,
+        rng: RandomSource,
+    ) -> List[NodeId]:
+        """Apply the NF forwarding rule at ``node``.
+
+        Degree-``k_min`` nodes (and any node with no more than ``branching``
+        candidates after excluding the previous hop) forward to every
+        candidate; higher-degree nodes forward to ``branching`` random
+        candidates.
+        """
+        candidates = [
+            neighbor for neighbor in graph.neighbors(node) if neighbor != previous
+        ]
+        if len(candidates) <= branching:
+            return candidates
+        return rng.sample(candidates, branching)
+
+
+def normalized_flood(
+    graph: Graph,
+    source: NodeId,
+    ttl: int,
+    k_min: Optional[int] = None,
+    rng: "RandomSource | int | None" = None,
+    count_source_as_hit: bool = False,
+    target: Optional[NodeId] = None,
+) -> QueryResult:
+    """Run one normalized-flooding query and return its result.
+
+    Examples
+    --------
+    >>> g = Graph.complete(5)
+    >>> normalized_flood(g, 0, 2, k_min=1, rng=3).hits >= 1
+    True
+    """
+    search = NormalizedFloodingSearch(
+        k_min=k_min, count_source_as_hit=count_source_as_hit
+    )
+    return search.run(graph, source, ttl, rng=rng, target=target)

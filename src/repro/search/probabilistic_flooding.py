@@ -1,0 +1,139 @@
+"""Probabilistic flooding search (extension; paper §II-A pointer).
+
+Among the unstructured-search literature the paper surveys are
+"probabilistic flooding techniques" (Kumar et al., Gkantsidis et al.): every
+node forwards the query to each neighbor independently with probability
+``p`` instead of to all of them.  ``p = 1`` is plain flooding; lowering ``p``
+trades coverage for messages, sitting between FL and NF/RW on the paper's
+cost spectrum.  The implementation mirrors :class:`FloodingSearch`
+(duplicate suppression, per-TTL curves) and registers itself as ``"pf"`` so
+the harness and CLI can sweep it alongside the paper's three algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.core.errors import SearchError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.core.types import NodeId
+from repro.search.base import QueryResult, SearchAlgorithm
+
+__all__ = ["ProbabilisticFloodingSearch", "probabilistic_flood"]
+
+
+class ProbabilisticFloodingSearch(SearchAlgorithm):
+    """TTL-bounded flooding where each forward happens with probability ``p``.
+
+    Parameters
+    ----------
+    forward_probability:
+        Per-neighbor forwarding probability ``p`` in ``(0, 1]``.
+    count_source_as_hit:
+        Whether the source counts as a hit (default ``False``).
+
+    Examples
+    --------
+    >>> g = Graph.complete(6)
+    >>> full = ProbabilisticFloodingSearch(1.0).run(g, 0, 1, rng=1)
+    >>> full.hits
+    5
+    """
+
+    algorithm_name = "pf"
+
+    def __init__(
+        self, forward_probability: float = 0.5, count_source_as_hit: bool = False
+    ) -> None:
+        if not 0.0 < forward_probability <= 1.0:
+            raise SearchError("forward_probability must be in (0, 1]")
+        self.forward_probability = forward_probability
+        self.count_source_as_hit = count_source_as_hit
+
+    def run(
+        self,
+        graph: Graph,
+        source: NodeId,
+        ttl: int,
+        rng: "RandomSource | int | None" = None,
+        target: Optional[NodeId] = None,
+    ) -> QueryResult:
+        self._validate(graph, source, ttl)
+        random_source = self._resolve_rng(rng)
+        probability = self.forward_probability
+
+        base_hits = 1 if self.count_source_as_hit else 0
+        hits_per_ttl: List[int] = [base_hits]
+        messages_per_ttl: List[int] = [0]
+        visited = {source}
+        frontier: deque = deque([(source, None)])
+        found_at: Optional[int] = 0 if target == source else None
+
+        cumulative_hits = base_hits
+        cumulative_messages = 0
+
+        for hop in range(1, ttl + 1):
+            next_frontier: deque = deque()
+            while frontier:
+                node, previous = frontier.popleft()
+                for neighbor in graph.neighbor_set(node):
+                    if neighbor == previous:
+                        continue
+                    if probability < 1.0 and random_source.random() >= probability:
+                        continue
+                    cumulative_messages += 1
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    cumulative_hits += 1
+                    if target is not None and neighbor == target and found_at is None:
+                        found_at = hop
+                    next_frontier.append((neighbor, node))
+            frontier = next_frontier
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+            if not frontier:
+                for _ in range(hop + 1, ttl + 1):
+                    hits_per_ttl.append(cumulative_hits)
+                    messages_per_ttl.append(cumulative_messages)
+                break
+
+        while len(hits_per_ttl) < ttl + 1:
+            hits_per_ttl.append(cumulative_hits)
+            messages_per_ttl.append(cumulative_messages)
+
+        return QueryResult(
+            algorithm=self.algorithm_name,
+            source=source,
+            ttl=ttl,
+            hits_per_ttl=hits_per_ttl,
+            messages_per_ttl=messages_per_ttl,
+            visited=visited,
+            target=target,
+            found_at=found_at,
+        )
+
+
+def probabilistic_flood(
+    graph: Graph,
+    source: NodeId,
+    ttl: int,
+    forward_probability: float = 0.5,
+    rng: "RandomSource | int | None" = None,
+    count_source_as_hit: bool = False,
+    target: Optional[NodeId] = None,
+) -> QueryResult:
+    """Run one probabilistic-flooding query and return its result.
+
+    Examples
+    --------
+    >>> g = Graph.complete(10)
+    >>> probabilistic_flood(g, 0, 2, forward_probability=1.0, rng=1).hits
+    9
+    """
+    search = ProbabilisticFloodingSearch(
+        forward_probability=forward_probability, count_source_as_hit=count_source_as_hit
+    )
+    return search.run(graph, source, ttl, rng=rng, target=target)

@@ -1,0 +1,67 @@
+"""Registry mapping algorithm names to search classes.
+
+Mirrors :mod:`repro.generators.registry` for the search side: the experiment
+harness and the CLI refer to algorithms by the short names the paper uses
+("fl", "nf", "rw").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from repro.core.errors import ConfigurationError
+from repro.search.base import SearchAlgorithm
+from repro.search.flooding import FloodingSearch
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+from repro.search.probabilistic_flooding import ProbabilisticFloodingSearch
+from repro.search.random_walk import RandomWalkSearch
+
+__all__ = [
+    "SEARCH_ALGORITHMS",
+    "available_search_algorithms",
+    "create_search_algorithm",
+    "register_search_algorithm",
+]
+
+SEARCH_ALGORITHMS: Dict[str, Type[SearchAlgorithm]] = {
+    "fl": FloodingSearch,
+    "flooding": FloodingSearch,
+    "nf": NormalizedFloodingSearch,
+    "normalized_flooding": NormalizedFloodingSearch,
+    "rw": RandomWalkSearch,
+    "random_walk": RandomWalkSearch,
+    "pf": ProbabilisticFloodingSearch,
+    "probabilistic_flooding": ProbabilisticFloodingSearch,
+}
+
+
+def available_search_algorithms() -> List[str]:
+    """Return the sorted list of registered algorithm names (including aliases)."""
+    return sorted(SEARCH_ALGORITHMS)
+
+
+def register_search_algorithm(name: str, cls: Type[SearchAlgorithm]) -> None:
+    """Register a new search algorithm class under ``name``."""
+    key = name.lower()
+    if key in SEARCH_ALGORITHMS:
+        raise ConfigurationError(f"search algorithm {name!r} is already registered")
+    if not issubclass(cls, SearchAlgorithm):
+        raise ConfigurationError("search classes must subclass SearchAlgorithm")
+    SEARCH_ALGORITHMS[key] = cls
+
+
+def create_search_algorithm(name: str, **parameters: Any) -> SearchAlgorithm:
+    """Instantiate the search algorithm registered under ``name``.
+
+    Examples
+    --------
+    >>> create_search_algorithm("nf", k_min=2).algorithm_name
+    'nf'
+    """
+    key = name.lower()
+    if key not in SEARCH_ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown search algorithm {name!r}; "
+            f"available: {', '.join(available_search_algorithms())}"
+        )
+    return SEARCH_ALGORITHMS[key](**parameters)

@@ -1,0 +1,51 @@
+"""Discrete-event simulation of a Gnutella-like unstructured P2P network.
+
+The topology generators and search algorithms operate on static graph
+snapshots — exactly what the paper's evaluation does.  This subpackage adds
+the dynamic system those snapshots abstract: peers with bounded neighbor
+tables, a message-passing protocol (ping/pong discovery, query/query-hit
+search), an event-driven engine with per-link latency, and a churn process
+(peers joining and leaving over time), which the paper lists as future work.
+
+Layering:
+
+* :mod:`repro.simulation.messages` — the protocol messages;
+* :mod:`repro.simulation.peer` — a peer: neighbor table with a hard cutoff,
+  shared content, duplicate suppression;
+* :mod:`repro.simulation.events` — the discrete-event engine;
+* :mod:`repro.simulation.network` — the overlay: peers + message delivery +
+  join/leave, with pluggable join strategies mirroring PA / HAPA / DAPA;
+* :mod:`repro.simulation.protocol` — query execution (FL / NF / RW) over the
+  live overlay and hit/message accounting;
+* :mod:`repro.simulation.churn` — join/leave workloads and topology tracking;
+* :mod:`repro.simulation.workload` — content catalogs and Zipf query streams.
+"""
+
+from repro.simulation.churn import ChurnConfig, ChurnProcess, ChurnReport
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.messages import Message, Ping, Pong, Query, QueryHit
+from repro.simulation.network import JoinStrategy, P2PNetwork
+from repro.simulation.peer import NeighborTable, Peer
+from repro.simulation.protocol import GnutellaProtocol, QueryStats
+from repro.simulation.workload import ContentCatalog, QueryWorkload
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "ChurnReport",
+    "ContentCatalog",
+    "Event",
+    "EventQueue",
+    "GnutellaProtocol",
+    "JoinStrategy",
+    "Message",
+    "NeighborTable",
+    "P2PNetwork",
+    "Peer",
+    "Ping",
+    "Pong",
+    "Query",
+    "QueryHit",
+    "QueryStats",
+    "QueryWorkload",
+]

@@ -1,0 +1,272 @@
+"""Peer churn: joins and departures over time (the paper's future work).
+
+The paper closes with: "Future work will include study of join/leave
+scenarios for the overlay topologies while attempting to maintain the
+scale-freeness of the overall topology."  :class:`ChurnProcess` implements
+that study: peers arrive as a Poisson process and stay for exponentially
+distributed sessions, joining through one of the
+:class:`~repro.simulation.network.JoinStrategy` rules (with hard cutoffs
+enforced throughout) and leaving with simple neighbor rewiring.  The process
+samples the overlay periodically and reports how the degree distribution,
+connectivity, and maximum degree evolve — i.e. whether scale-freeness and
+the cutoff survive dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.components import giant_component_fraction
+from repro.analysis.powerlaw import fit_power_law
+from repro.core.errors import AnalysisError, ConfigurationError
+from repro.core.rng import RandomSource, ensure_source
+from repro.simulation.network import JoinStrategy, P2PNetwork
+
+__all__ = ["ChurnConfig", "ChurnReport", "ChurnSample", "ChurnProcess"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of a churn simulation.
+
+    Attributes
+    ----------
+    initial_peers:
+        Number of peers bootstrapped before churn starts.
+    duration:
+        Simulated time to run churn for.
+    arrival_rate:
+        Poisson arrival rate of new peers (peers per unit time).
+    mean_session_length:
+        Mean online time of a peer; ``None`` disables departures (pure
+        growth).
+    hard_cutoff:
+        Neighbor-table capacity applied to every peer (``None`` unbounded).
+    stubs:
+        Links each joining peer attempts to create.
+    join_strategy:
+        Join rule used for every arrival.
+    sample_interval:
+        Time between topology snapshots.
+    rewire_on_leave:
+        Whether a departing peer's neighbors are reconnected pairwise.
+    seed:
+        Optional RNG seed.
+    """
+
+    initial_peers: int = 50
+    duration: float = 100.0
+    arrival_rate: float = 1.0
+    mean_session_length: Optional[float] = 50.0
+    hard_cutoff: Optional[int] = None
+    stubs: int = 2
+    join_strategy: JoinStrategy = JoinStrategy.PREFERENTIAL
+    sample_interval: float = 10.0
+    rewire_on_leave: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.initial_peers < 2:
+            raise ConfigurationError("initial_peers must be at least 2")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.arrival_rate < 0:
+            raise ConfigurationError("arrival_rate must be non-negative")
+        if self.mean_session_length is not None and self.mean_session_length <= 0:
+            raise ConfigurationError("mean_session_length must be positive")
+        if self.stubs < 1:
+            raise ConfigurationError("stubs must be at least 1")
+        if self.hard_cutoff is not None and self.hard_cutoff < self.stubs:
+            raise ConfigurationError("hard_cutoff must be >= stubs")
+        if self.sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+
+
+@dataclass
+class ChurnSample:
+    """One topology snapshot taken during churn."""
+
+    time: float
+    peers: int
+    edges: int
+    mean_degree: float
+    max_degree: int
+    min_degree: int
+    giant_component_fraction: float
+    fitted_exponent: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+        return {
+            "time": self.time,
+            "peers": self.peers,
+            "edges": self.edges,
+            "mean_degree": self.mean_degree,
+            "max_degree": self.max_degree,
+            "min_degree": self.min_degree,
+            "giant_component_fraction": self.giant_component_fraction,
+            "fitted_exponent": self.fitted_exponent,
+        }
+
+
+@dataclass
+class ChurnReport:
+    """Full outcome of a churn simulation.
+
+    Attributes
+    ----------
+    samples:
+        Periodic topology snapshots, in time order.
+    joins / leaves:
+        Total number of arrivals and departures processed.
+    final_peers:
+        Number of peers online when the simulation ended.
+    cutoff_violations:
+        Number of times any peer's degree exceeded its hard cutoff (always 0
+        unless the invariant is broken — asserted by the tests).
+    """
+
+    samples: List[ChurnSample] = field(default_factory=list)
+    joins: int = 0
+    leaves: int = 0
+    final_peers: int = 0
+    cutoff_violations: int = 0
+
+    def max_degree_over_time(self) -> List[int]:
+        """Return the sequence of maximum degrees across samples."""
+        return [sample.max_degree for sample in self.samples]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+        return {
+            "samples": [sample.as_dict() for sample in self.samples],
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "final_peers": self.final_peers,
+            "cutoff_violations": self.cutoff_violations,
+        }
+
+
+class ChurnProcess:
+    """Drive joins and leaves on a :class:`P2PNetwork` and record the topology.
+
+    Examples
+    --------
+    >>> config = ChurnConfig(initial_peers=20, duration=20.0, arrival_rate=2.0,
+    ...                      mean_session_length=30.0, hard_cutoff=8, stubs=2,
+    ...                      sample_interval=5.0, seed=11)
+    >>> report = ChurnProcess(config).run()
+    >>> report.joins > 0
+    True
+    >>> report.cutoff_violations
+    0
+    """
+
+    def __init__(self, config: ChurnConfig, network: Optional[P2PNetwork] = None) -> None:
+        self.config = config
+        self.rng = ensure_source(config.seed)
+        self.network = network or P2PNetwork(
+            hard_cutoff=config.hard_cutoff,
+            stubs=config.stubs,
+            join_strategy=config.join_strategy,
+            rng=self.rng.spawn("network"),
+        )
+        self.report = ChurnReport()
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(self) -> ChurnReport:
+        """Run the configured churn scenario and return the report."""
+        config = self.config
+        network = self.network
+
+        for _ in range(config.initial_peers):
+            network.join()
+
+        self._schedule_next_arrival()
+        for peer_id in network.online_peers():
+            self._schedule_departure(peer_id)
+        self._schedule_sample(config.sample_interval)
+
+        network.run(until=config.duration)
+
+        self._take_sample(config.duration)
+        self.report.final_peers = network.peer_count
+        return self.report
+
+    # ------------------------------------------------------------------ #
+    # Event factories
+    # ------------------------------------------------------------------ #
+    def _schedule_next_arrival(self) -> None:
+        if self.config.arrival_rate <= 0:
+            return
+        delay = self.rng.expovariate(self.config.arrival_rate)
+        self.network.events.schedule_in(delay, self._on_arrival, label="join")
+
+    def _on_arrival(self) -> None:
+        if self.network.now <= self.config.duration:
+            peer_id = self.network.join()
+            self.report.joins += 1
+            self._schedule_departure(peer_id)
+        self._schedule_next_arrival()
+
+    def _schedule_departure(self, peer_id: int) -> None:
+        if self.config.mean_session_length is None:
+            return
+        delay = self.rng.expovariate(1.0 / self.config.mean_session_length)
+        self.network.events.schedule_in(
+            delay, lambda: self._on_departure(peer_id), label="leave"
+        )
+
+    def _on_departure(self, peer_id: int) -> None:
+        if not self.network.has_peer(peer_id):
+            return
+        if self.network.peer_count <= 2:
+            return  # keep a minimal overlay alive
+        self.network.leave(peer_id, rewire=self.config.rewire_on_leave)
+        self.report.leaves += 1
+
+    def _schedule_sample(self, at_time: float) -> None:
+        if at_time > self.config.duration:
+            return
+        self.network.events.schedule(at_time, lambda: self._on_sample(at_time), label="sample")
+
+    def _on_sample(self, at_time: float) -> None:
+        self._take_sample(at_time)
+        self._schedule_sample(at_time + self.config.sample_interval)
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def _take_sample(self, time: float) -> None:
+        graph = self.network.graph
+        if graph.number_of_nodes == 0:
+            return
+        exponent: Optional[float] = None
+        degrees = graph.degree_sequence()
+        if len(set(degrees)) >= 3 and graph.number_of_nodes >= 50:
+            try:
+                exponent = fit_power_law(
+                    degrees, k_min=max(1, self.config.stubs), exclude_cutoff_spike=True
+                ).exponent
+            except AnalysisError:
+                exponent = None
+        violations = 0
+        cutoff = self.config.hard_cutoff
+        if cutoff is not None:
+            violations = sum(1 for degree in degrees if degree > cutoff)
+        self.report.cutoff_violations += violations
+        self.report.samples.append(
+            ChurnSample(
+                time=time,
+                peers=graph.number_of_nodes,
+                edges=graph.number_of_edges,
+                mean_degree=graph.mean_degree(),
+                max_degree=graph.max_degree(),
+                min_degree=graph.min_degree(),
+                giant_component_fraction=giant_component_fraction(graph),
+                fitted_exponent=exponent,
+            )
+        )

@@ -1,0 +1,413 @@
+"""The live overlay network: peers, links, message delivery, join and leave.
+
+:class:`P2PNetwork` is the dynamic counterpart of the static graphs produced
+by :mod:`repro.generators`.  It keeps a :class:`~repro.core.graph.Graph` and
+the per-peer :class:`~repro.simulation.peer.Peer` state in sync, delivers
+messages through a :class:`~repro.simulation.events.EventQueue` with
+configurable link latency, and implements peer *join* using the same three
+families of rules the paper studies for topology construction:
+
+* ``"random"`` — connect to uniformly random online peers (the baseline);
+* ``"preferential"`` — degree-proportional choice over all online peers,
+  i.e. the PA rule (requires global degree knowledge, as Table II notes);
+* ``"hop_and_attempt"`` — the HAPA rule: start from a random bootstrap peer
+  and hop along overlay links, attempting preferentially at every step;
+* ``"discover"`` — the DAPA rule: discover candidate peers within a bounded
+  horizon of an attachment point and attach preferentially among them (fully
+  local).
+
+Every join respects the hard cutoffs of both end points, so the overlay's
+maximum degree never exceeds the configured bound — even under churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource, ensure_source
+from repro.core.types import NodeId
+from repro.simulation.events import EventQueue
+from repro.simulation.messages import Message
+from repro.simulation.peer import NeighborTable, Peer
+from repro.substrate.horizon import bfs_horizon
+
+__all__ = ["JoinStrategy", "LatencyModel", "P2PNetwork"]
+
+
+class JoinStrategy(str, Enum):
+    """Peer-join rules supported by :meth:`P2PNetwork.join`."""
+
+    RANDOM = "random"
+    PREFERENTIAL = "preferential"
+    HOP_AND_ATTEMPT = "hop_and_attempt"
+    DISCOVER = "discover"
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-hop message latency: uniform in ``[minimum, maximum]``.
+
+    The default (10–50 ms) is a generic wide-area overlay latency; the exact
+    values only matter for the event-ordering of the protocol simulation, not
+    for any of the paper's metrics.
+    """
+
+    minimum: float = 0.010
+    maximum: float = 0.050
+
+    def sample(self, rng: RandomSource) -> float:
+        """Draw one latency value."""
+        if self.maximum <= self.minimum:
+            return self.minimum
+        return rng.uniform(self.minimum, self.maximum)
+
+
+MessageHandler = Callable[["P2PNetwork", NodeId, NodeId, Message], None]
+
+
+class P2PNetwork:
+    """A dynamic unstructured P2P overlay with bounded-degree peers.
+
+    Parameters
+    ----------
+    hard_cutoff:
+        Default neighbor-table capacity applied to peers that do not specify
+        their own (``None`` for unbounded tables).
+    stubs:
+        Default number of links a joining peer tries to establish.
+    join_strategy:
+        Default join rule (see :class:`JoinStrategy`).
+    horizon:
+        Hop horizon used by the ``"discover"`` join rule.
+    latency:
+        Link-latency model for message delivery.
+    rng:
+        Random source or seed.
+
+    Examples
+    --------
+    >>> net = P2PNetwork(hard_cutoff=4, stubs=2, rng=1)
+    >>> ids = [net.join() for _ in range(10)]
+    >>> net.peer_count
+    10
+    >>> net.overlay_graph().max_degree() <= 4
+    True
+    """
+
+    def __init__(
+        self,
+        hard_cutoff: Optional[int] = None,
+        stubs: int = 2,
+        join_strategy: "JoinStrategy | str" = JoinStrategy.PREFERENTIAL,
+        horizon: int = 2,
+        latency: Optional[LatencyModel] = None,
+        rng: "RandomSource | int | None" = None,
+    ) -> None:
+        if stubs < 1:
+            raise SimulationError("stubs must be at least 1")
+        if hard_cutoff is not None and hard_cutoff < stubs:
+            raise SimulationError("hard_cutoff must be >= stubs")
+        if horizon < 1:
+            raise SimulationError("horizon must be at least 1")
+        self.default_hard_cutoff = hard_cutoff
+        self.default_stubs = stubs
+        self.default_join_strategy = JoinStrategy(join_strategy)
+        self.horizon = horizon
+        self.latency = latency or LatencyModel()
+        self.rng = ensure_source(rng)
+        self.events = EventQueue()
+        self.peers: Dict[NodeId, Peer] = {}
+        self._graph = Graph()
+        self._next_peer_id = 0
+        self._message_handler: Optional[MessageHandler] = None
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def peer_count(self) -> int:
+        """Number of online peers."""
+        return len(self.peers)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.events.now
+
+    def peer(self, peer_id: NodeId) -> Peer:
+        """Return the :class:`Peer` with ``peer_id`` (it must be online)."""
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise SimulationError(f"peer {peer_id} is not online") from None
+
+    def has_peer(self, peer_id: NodeId) -> bool:
+        """Return ``True`` when ``peer_id`` is currently online."""
+        return peer_id in self.peers
+
+    def online_peers(self) -> List[NodeId]:
+        """Return the ids of all online peers."""
+        return list(self.peers.keys())
+
+    def overlay_graph(self) -> Graph:
+        """Return a copy of the current overlay graph (online peers only)."""
+        return self._graph.copy()
+
+    @property
+    def graph(self) -> Graph:
+        """The live overlay graph (do not mutate directly; use connect/disconnect)."""
+        return self._graph
+
+    def degree(self, peer_id: NodeId) -> int:
+        """Return the overlay degree of an online peer."""
+        return self.peer(peer_id).degree
+
+    # ------------------------------------------------------------------ #
+    # Link management
+    # ------------------------------------------------------------------ #
+    def connect(self, u: NodeId, v: NodeId) -> bool:
+        """Create the overlay link ``(u, v)`` if both neighbor tables allow it."""
+        if u == v:
+            return False
+        peer_u, peer_v = self.peer(u), self.peer(v)
+        if v in peer_u.neighbor_table or u in peer_v.neighbor_table:
+            return False
+        if peer_u.neighbor_table.is_full or peer_v.neighbor_table.is_full:
+            return False
+        peer_u.neighbor_table.add(v)
+        peer_v.neighbor_table.add(u)
+        self._graph.add_edge(u, v)
+        return True
+
+    def disconnect(self, u: NodeId, v: NodeId) -> bool:
+        """Remove the overlay link ``(u, v)`` if it exists."""
+        if not self._graph.has_edge(u, v):
+            return False
+        self.peer(u).neighbor_table.remove(v)
+        self.peer(v).neighbor_table.remove(u)
+        self._graph.remove_edge(u, v)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Join
+    # ------------------------------------------------------------------ #
+    def join(
+        self,
+        peer_id: Optional[NodeId] = None,
+        hard_cutoff: Optional[int] = "default",  # type: ignore[assignment]
+        stubs: Optional[int] = None,
+        strategy: "JoinStrategy | str | None" = None,
+        shared_items: Optional[Sequence[str]] = None,
+    ) -> NodeId:
+        """Add a peer to the network and connect it using the join rule.
+
+        Returns the new peer's id.  The first peer of an empty network joins
+        without links; subsequent peers obtain up to ``stubs`` links, subject
+        to the hard cutoffs of the chosen targets.
+        """
+        if peer_id is None:
+            peer_id = self._next_peer_id
+        if peer_id in self.peers:
+            raise SimulationError(f"peer {peer_id} is already online")
+        self._next_peer_id = max(self._next_peer_id, peer_id) + 1
+
+        if hard_cutoff == "default":
+            hard_cutoff = self.default_hard_cutoff
+        capacity = hard_cutoff
+        table = NeighborTable(capacity=capacity)
+        peer = Peer(peer_id=peer_id, neighbor_table=table, joined_at=self.now)
+        if shared_items:
+            for item in shared_items:
+                peer.share(item)
+
+        existing = self.online_peers()
+        self.peers[peer_id] = peer
+        self._graph.add_node(peer_id)
+
+        if not existing:
+            return peer_id
+
+        stub_count = stubs if stubs is not None else self.default_stubs
+        join_rule = JoinStrategy(strategy) if strategy is not None else self.default_join_strategy
+        targets = self._select_targets(peer_id, existing, stub_count, join_rule)
+        for target in targets:
+            self.connect(peer_id, target)
+        return peer_id
+
+    def _select_targets(
+        self,
+        new_peer: NodeId,
+        existing: Sequence[NodeId],
+        stubs: int,
+        strategy: JoinStrategy,
+    ) -> List[NodeId]:
+        eligible = [
+            peer_id
+            for peer_id in existing
+            if not self.peers[peer_id].neighbor_table.is_full
+        ]
+        if not eligible:
+            return []
+        wanted = min(stubs, len(eligible))
+
+        if strategy is JoinStrategy.RANDOM:
+            return self.rng.sample(eligible, wanted)
+        if strategy is JoinStrategy.PREFERENTIAL:
+            return self._preferential_targets(eligible, wanted)
+        if strategy is JoinStrategy.HOP_AND_ATTEMPT:
+            return self._hop_and_attempt_targets(eligible, wanted)
+        return self._discover_targets(eligible, wanted)
+
+    def _preferential_targets(self, eligible: Sequence[NodeId], wanted: int) -> List[NodeId]:
+        chosen: List[NodeId] = []
+        pool = list(eligible)
+        for _ in range(wanted):
+            if not pool:
+                break
+            weights = [max(1, self.peers[p].degree) for p in pool]
+            index = self.rng.weighted_index(weights)
+            chosen.append(pool.pop(index))
+        return chosen
+
+    def _hop_and_attempt_targets(
+        self, eligible: Sequence[NodeId], wanted: int
+    ) -> List[NodeId]:
+        chosen: List[NodeId] = []
+        total_degree = max(1, self._graph.total_degree)
+        current = eligible[self.rng.randint(0, len(eligible) - 1)]
+        attempts_budget = 200 * max(1, wanted)
+        while len(chosen) < wanted and attempts_budget > 0:
+            attempts_budget -= 1
+            peer = self.peers.get(current)
+            if (
+                peer is not None
+                and current not in chosen
+                and not peer.neighbor_table.is_full
+                and self.rng.random() < max(1, peer.degree) / total_degree
+            ):
+                chosen.append(current)
+            next_hop = self._graph.random_neighbor(current, self.rng)
+            if next_hop is None:
+                current = eligible[self.rng.randint(0, len(eligible) - 1)]
+            else:
+                current = next_hop
+        if len(chosen) < wanted:
+            remainder = [p for p in eligible if p not in chosen]
+            chosen.extend(self.rng.sample(remainder, wanted - len(chosen)))
+        return chosen[:wanted]
+
+    def _discover_targets(self, eligible: Sequence[NodeId], wanted: int) -> List[NodeId]:
+        entry_point = eligible[self.rng.randint(0, len(eligible) - 1)]
+        horizon_peers = bfs_horizon(
+            self._graph, entry_point, self.horizon, eligible=set(eligible)
+        )
+        candidates = [entry_point] + [p for p in horizon_peers if p != entry_point]
+        candidates = [
+            p for p in candidates if not self.peers[p].neighbor_table.is_full
+        ]
+        if len(candidates) <= wanted:
+            return candidates
+        chosen: List[NodeId] = []
+        pool = list(candidates)
+        for _ in range(wanted):
+            weights = [max(1, self.peers[p].degree) for p in pool]
+            index = self.rng.weighted_index(weights)
+            chosen.append(pool.pop(index))
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # Leave
+    # ------------------------------------------------------------------ #
+    def leave(self, peer_id: NodeId, rewire: bool = True) -> List[Tuple[NodeId, NodeId]]:
+        """Remove an online peer.
+
+        With ``rewire=True`` (default) the departing peer's neighbors are
+        reconnected pairwise (subject to their cutoffs) so the overlay does
+        not fragment — the simple maintenance rule the paper's future-work
+        section asks for.  Returns the list of replacement links created.
+        """
+        peer = self.peer(peer_id)
+        neighbors = peer.neighbors()
+        for neighbor in neighbors:
+            self.disconnect(peer_id, neighbor)
+        self._graph.remove_node(peer_id)
+        peer.online = False
+        peer.left_at = self.now
+        del self.peers[peer_id]
+
+        created: List[Tuple[NodeId, NodeId]] = []
+        if rewire and len(neighbors) >= 2:
+            shuffled = self.rng.shuffled(neighbors)
+            for first, second in zip(shuffled[::2], shuffled[1::2]):
+                if self.connect(first, second):
+                    created.append((first, second))
+        return created
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+    def set_message_handler(self, handler: MessageHandler) -> None:
+        """Register the callable invoked whenever a message is delivered."""
+        self._message_handler = handler
+
+    def send(self, sender: NodeId, recipient: NodeId, message: Message) -> None:
+        """Schedule delivery of ``message`` from ``sender`` to ``recipient``."""
+        if recipient not in self.peers:
+            return  # the recipient left before delivery; the message is lost
+        delay = self.latency.sample(self.rng)
+        self.events.schedule_in(
+            delay,
+            lambda: self._deliver(sender, recipient, message),
+            label=f"deliver:{type(message).__name__}",
+        )
+
+    def _deliver(self, sender: NodeId, recipient: NodeId, message: Message) -> None:
+        peer = self.peers.get(recipient)
+        if peer is None:
+            return
+        peer.messages_received += 1
+        self.messages_delivered += 1
+        if self._message_handler is not None:
+            self._message_handler(self, sender, recipient, message)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event queue (see :meth:`EventQueue.run`)."""
+        return self.events.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------ #
+    # Bulk construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        hard_cutoff: Optional[int] = None,
+        rng: "RandomSource | int | None" = None,
+        **kwargs: object,
+    ) -> "P2PNetwork":
+        """Wrap an already-generated overlay graph into a live network.
+
+        The neighbor tables are sized to ``hard_cutoff`` (or to each node's
+        current degree when that degree already exceeds the cutoff, so the
+        imported topology is preserved verbatim).
+        """
+        network = cls(hard_cutoff=hard_cutoff, rng=rng, **kwargs)
+        for node in graph.nodes():
+            capacity = hard_cutoff
+            if capacity is not None:
+                capacity = max(capacity, graph.degree(node))
+            network.peers[node] = Peer(
+                peer_id=node, neighbor_table=NeighborTable(capacity=capacity)
+            )
+            network._graph.add_node(node)
+            network._next_peer_id = max(network._next_peer_id, node + 1)
+        for u, v in graph.edges():
+            network.peers[u].neighbor_table.add(v)
+            network.peers[v].neighbor_table.add(u)
+            network._graph.add_edge(u, v)
+        return network

@@ -1,0 +1,313 @@
+"""Gnutella-like query protocol over the live overlay.
+
+:class:`GnutellaProtocol` executes content searches on a
+:class:`~repro.simulation.network.P2PNetwork` through its event queue, using
+one of the three forwarding policies the paper evaluates:
+
+* ``"fl"`` — flooding: forward to every neighbor except the previous hop;
+* ``"nf"`` — normalized flooding: forward to at most ``k_min`` random
+  neighbors (all of them at degree-``k_min`` peers);
+* ``"rw"`` — random walk: forward to one random neighbor (optionally several
+  parallel walkers at the source).
+
+Every peer that shares the requested keyword answers with a
+:class:`~repro.simulation.messages.QueryHit` routed back to the source (the
+simulation delivers hits directly to the origin, as Gnutella does over the
+reverse path / a direct connection; the reverse-path traffic is accounted in
+``QueryStats.hit_messages``).
+
+The protocol produces :class:`QueryStats` that mirror the paper's metrics —
+peers reached, messages used — plus content-level metrics (items found, time
+to first hit) that the example applications use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.errors import SimulationError
+from repro.core.rng import RandomSource, ensure_source
+from repro.core.types import NodeId
+from repro.simulation.messages import Query, QueryHit, next_message_id
+from repro.simulation.network import P2PNetwork
+
+__all__ = ["GnutellaProtocol", "QueryStats"]
+
+_POLICIES = ("fl", "nf", "rw")
+
+
+@dataclass
+class QueryStats:
+    """Outcome of one simulated query.
+
+    Attributes
+    ----------
+    query_id:
+        Message id of the query.
+    source:
+        The querying peer.
+    keyword:
+        The requested item.
+    policy:
+        Forwarding policy used ("fl", "nf", or "rw").
+    ttl:
+        Initial time-to-live.
+    peers_reached:
+        Distinct peers (excluding the source) that received the query.
+    query_messages:
+        Number of query forwards sent.
+    hit_messages:
+        Number of query-hit responses sent back to the source.
+    providers:
+        Peers that answered with a hit.
+    first_hit_time:
+        Simulation time of the first hit delivery (``None`` if no hit).
+    completed_at:
+        Simulation time when the query stopped propagating.
+    """
+
+    query_id: int
+    source: NodeId
+    keyword: str
+    policy: str
+    ttl: int
+    peers_reached: int = 0
+    query_messages: int = 0
+    hit_messages: int = 0
+    providers: Set[NodeId] = field(default_factory=set)
+    first_hit_time: Optional[float] = None
+    completed_at: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        """``True`` when at least one provider answered."""
+        return bool(self.providers)
+
+    @property
+    def total_messages(self) -> int:
+        """Query forwards plus hit responses."""
+        return self.query_messages + self.hit_messages
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly summary."""
+        return {
+            "query_id": self.query_id,
+            "source": self.source,
+            "keyword": self.keyword,
+            "policy": self.policy,
+            "ttl": self.ttl,
+            "peers_reached": self.peers_reached,
+            "query_messages": self.query_messages,
+            "hit_messages": self.hit_messages,
+            "providers": sorted(self.providers),
+            "success": self.success,
+            "first_hit_time": self.first_hit_time,
+        }
+
+
+class GnutellaProtocol:
+    """Query execution engine bound to one :class:`P2PNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The live overlay to search.
+    policy:
+        Default forwarding policy ("fl", "nf", or "rw").
+    k_min:
+        Branching factor for normalized flooding; defaults to the minimum
+        degree of the overlay at query time.
+    walkers:
+        Number of parallel walkers for random-walk queries.
+    rng:
+        Random source or seed for the probabilistic forwarding decisions.
+
+    Examples
+    --------
+    >>> network = P2PNetwork(hard_cutoff=6, stubs=2, rng=3)
+    >>> ids = [network.join() for _ in range(20)]
+    >>> network.peer(ids[-1]).share("song.mp3")
+    >>> protocol = GnutellaProtocol(network, policy="fl", rng=3)
+    >>> stats = protocol.query(ids[0], "song.mp3", ttl=6)
+    >>> stats.peers_reached > 0
+    True
+    """
+
+    def __init__(
+        self,
+        network: P2PNetwork,
+        policy: str = "fl",
+        k_min: Optional[int] = None,
+        walkers: int = 1,
+        rng: "RandomSource | int | None" = None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise SimulationError(
+                f"unknown forwarding policy {policy!r}; expected one of {_POLICIES}"
+            )
+        if walkers < 1:
+            raise SimulationError("walkers must be at least 1")
+        self.network = network
+        self.policy = policy
+        self.k_min = k_min
+        self.walkers = walkers
+        self.rng = ensure_source(rng)
+        self._active: Dict[int, QueryStats] = {}
+        network.set_message_handler(self._handle_message)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        source: NodeId,
+        keyword: str,
+        ttl: int = 5,
+        policy: Optional[str] = None,
+        run: bool = True,
+    ) -> QueryStats:
+        """Issue a query from ``source`` and (by default) run it to completion."""
+        if ttl < 1:
+            raise SimulationError("ttl must be at least 1")
+        active_policy = policy or self.policy
+        if active_policy not in _POLICIES:
+            raise SimulationError(f"unknown forwarding policy {active_policy!r}")
+        source_peer = self.network.peer(source)
+
+        message = Query(
+            message_id=next_message_id(),
+            origin=source,
+            ttl=ttl,
+            keyword=keyword,
+        )
+        stats = QueryStats(
+            query_id=message.message_id,
+            source=source,
+            keyword=keyword,
+            policy=active_policy,
+            ttl=ttl,
+        )
+        self._active[message.message_id] = stats
+        source_peer.mark_seen(message.message_id)
+
+        recipients = self._initial_recipients(source, active_policy)
+        for recipient in recipients:
+            stats.query_messages += 1
+            source_peer.messages_forwarded += 1
+            self.network.send(source, recipient, message)
+
+        if run:
+            self.network.run()
+            stats.completed_at = self.network.now
+        return stats
+
+    def stats_for(self, query_id: int) -> QueryStats:
+        """Return the statistics collected for ``query_id``."""
+        try:
+            return self._active[query_id]
+        except KeyError:
+            raise SimulationError(f"unknown query id {query_id}") from None
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def _handle_message(
+        self, network: P2PNetwork, sender: NodeId, recipient: NodeId, message
+    ) -> None:
+        if isinstance(message, QueryHit):
+            self._handle_hit(recipient, message)
+            return
+        if isinstance(message, Query):
+            self._handle_query(sender, recipient, message)
+
+    def _handle_hit(self, recipient: NodeId, hit: QueryHit) -> None:
+        stats = self._active.get(hit.query_id)
+        if stats is None or recipient != stats.source:
+            return
+        stats.providers.add(hit.responder)
+        if stats.first_hit_time is None:
+            stats.first_hit_time = self.network.now
+
+    def _handle_query(self, sender: NodeId, recipient: NodeId, query: Query) -> None:
+        stats = self._active.get(query.message_id)
+        peer = self.network.peers.get(recipient)
+        if peer is None:
+            return
+        first_time = peer.mark_seen(query.message_id)
+        if stats is not None and first_time:
+            stats.peers_reached += 1
+
+        # Answer if the peer shares the item (only on the first delivery, so
+        # duplicate floods do not trigger duplicate hits).
+        if first_time and peer.has_item(query.keyword):
+            peer.queries_answered += 1
+            hit = QueryHit(
+                message_id=next_message_id(),
+                origin=recipient,
+                ttl=query.hops + 1,
+                responder=recipient,
+                keyword=query.keyword,
+                query_id=query.message_id,
+            )
+            if stats is not None:
+                stats.hit_messages += 1
+            self.network.send(recipient, stats.source if stats else query.origin, hit)
+
+        if not first_time or query.expired:
+            return
+        forwarded = query.forwarded()
+        if forwarded.expired:
+            # The ttl reached zero on this hop: the message was delivered but
+            # the recipient does not propagate it further.
+            return
+        policy = stats.policy if stats is not None else self.policy
+        recipients = self._forward_recipients(recipient, sender, policy)
+        for target in recipients:
+            if stats is not None:
+                stats.query_messages += 1
+            peer.messages_forwarded += 1
+            self.network.send(recipient, target, forwarded)
+
+    # ------------------------------------------------------------------ #
+    # Forwarding rules
+    # ------------------------------------------------------------------ #
+    def _branching(self) -> int:
+        if self.k_min is not None:
+            return self.k_min
+        graph = self.network.graph
+        return max(1, graph.min_degree()) if graph.number_of_nodes else 1
+
+    def _initial_recipients(self, source: NodeId, policy: str) -> List[NodeId]:
+        neighbors = self.network.peer(source).neighbors()
+        if not neighbors:
+            return []
+        if policy == "fl":
+            return neighbors
+        if policy == "nf":
+            branching = self._branching()
+            if len(neighbors) <= branching:
+                return neighbors
+            return self.rng.sample(neighbors, branching)
+        # random walk: launch `walkers` walkers
+        return [
+            neighbors[self.rng.randint(0, len(neighbors) - 1)]
+            for _ in range(min(self.walkers, max(1, len(neighbors))))
+        ]
+
+    def _forward_recipients(
+        self, holder: NodeId, previous: NodeId, policy: str
+    ) -> List[NodeId]:
+        neighbors = [
+            peer for peer in self.network.peer(holder).neighbors() if peer != previous
+        ]
+        if not neighbors:
+            return []
+        if policy == "fl":
+            return neighbors
+        if policy == "nf":
+            branching = self._branching()
+            if len(neighbors) <= branching:
+                return neighbors
+            return self.rng.sample(neighbors, branching)
+        return [neighbors[self.rng.randint(0, len(neighbors) - 1)]]

@@ -1,0 +1,41 @@
+"""Substrate (underlay) network models.
+
+The DAPA construction (paper §IV-B) builds the P2P overlay *on top of* a
+pre-existing substrate network: nodes discover candidate peers by querying
+their substrate neighborhood up to ``τ_sub`` hops.  The paper uses a
+two-dimensional geometric random network (GRN) with a giant component as the
+substrate because "it is topologically closer to real life nodes in the
+Internet than a regular or highly random network", and mentions a 2-D regular
+mesh as an alternative.
+
+This subpackage provides:
+
+* :class:`~repro.substrate.grn.GeometricRandomNetwork` — random points in the
+  unit box linked when closer than a radius ``R`` (cell-list accelerated);
+* :class:`~repro.substrate.mesh.MeshNetwork` — a 2-D regular lattice
+  (optionally a torus);
+* :class:`~repro.substrate.random_graph.ErdosRenyiNetwork` — a G(N, p)
+  baseline used in tests and ablations;
+* :func:`~repro.substrate.horizon.bfs_horizon` /
+  :func:`~repro.substrate.horizon.bfs_distances` — the bounded breadth-first
+  searches a joining peer runs to discover its horizon.
+"""
+
+from repro.substrate.base import SubstrateNetwork
+from repro.substrate.grn import GeometricRandomNetwork, generate_grn
+from repro.substrate.horizon import bfs_distances, bfs_horizon, nodes_within
+from repro.substrate.mesh import MeshNetwork, generate_mesh
+from repro.substrate.random_graph import ErdosRenyiNetwork, generate_erdos_renyi
+
+__all__ = [
+    "ErdosRenyiNetwork",
+    "GeometricRandomNetwork",
+    "MeshNetwork",
+    "SubstrateNetwork",
+    "bfs_distances",
+    "bfs_horizon",
+    "generate_erdos_renyi",
+    "generate_grn",
+    "generate_mesh",
+    "nodes_within",
+]

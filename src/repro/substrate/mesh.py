@@ -1,0 +1,89 @@
+"""Two-dimensional regular mesh substrate (paper §IV-B).
+
+The paper mentions a "two-dimensional regular network (mesh with nodes
+connected to four neighbors in four different directions)" as one of the two
+substrate topologies DAPA can run on.  Nodes are laid out on a
+``rows × columns`` grid; node ``(r, c)`` is mapped to id ``r * columns + c``
+and connected to its von Neumann neighbors.  With ``torus=True`` the grid
+wraps so every node has exactly four neighbors; otherwise border nodes have
+two or three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import MeshConfig
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.substrate.base import SubstrateNetwork
+
+__all__ = ["MeshNetwork", "generate_mesh"]
+
+
+class MeshNetwork(SubstrateNetwork):
+    """Build a 2-D regular lattice substrate.
+
+    Examples
+    --------
+    >>> mesh = MeshNetwork(4, 5)
+    >>> graph = mesh.generate_graph()
+    >>> graph.number_of_nodes
+    20
+    >>> graph.degree(mesh.node_id(0, 0))   # corner node
+    2
+    >>> torus = MeshNetwork(4, 5, torus=True).generate_graph()
+    >>> set(torus.degree_sequence()) == {4}
+    True
+    """
+
+    substrate_name = "mesh"
+
+    def __init__(self, rows: int, columns: int, torus: bool = False) -> None:
+        self.config = MeshConfig(rows=rows, columns=columns, torus=torus)
+        self.seed: Optional[int] = None  # deterministic substrate
+
+    def parameters(self) -> Dict[str, Any]:
+        return {
+            "substrate": self.substrate_name,
+            "rows": self.config.rows,
+            "columns": self.config.columns,
+            "torus": self.config.torus,
+        }
+
+    def node_id(self, row: int, column: int) -> int:
+        """Return the node id of grid position ``(row, column)``."""
+        return row * self.config.columns + column
+
+    def position(self, node: int) -> Tuple[int, int]:
+        """Return the ``(row, column)`` grid position of ``node``."""
+        return divmod(node, self.config.columns)
+
+    def build(self, rng: RandomSource) -> Graph:  # rng unused; mesh is deterministic
+        rows, columns, torus = self.config.rows, self.config.columns, self.config.torus
+        graph = Graph(rows * columns)
+        for row in range(rows):
+            for column in range(columns):
+                node = self.node_id(row, column)
+                right_column = column + 1
+                down_row = row + 1
+                if right_column < columns:
+                    graph.add_edge(node, self.node_id(row, right_column))
+                elif torus and columns > 2:
+                    graph.add_edge(node, self.node_id(row, 0))
+                if down_row < rows:
+                    graph.add_edge(node, self.node_id(down_row, column))
+                elif torus and rows > 2:
+                    graph.add_edge(node, self.node_id(0, column))
+        return graph
+
+
+def generate_mesh(rows: int, columns: int, torus: bool = False) -> Graph:
+    """Generate a 2-D mesh substrate and return the graph.
+
+    Examples
+    --------
+    >>> generate_mesh(3, 3).number_of_nodes
+    9
+    """
+    return MeshNetwork(rows=rows, columns=columns, torus=torus).generate_graph()

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test-suite.
+
+Graph fixtures are deliberately small (tens to a few hundred nodes): every
+algorithmic property the paper relies on — cutoff enforcement, power-law
+shape, search monotonicity — is already observable at that size, and the
+whole suite stays fast enough to run on every change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.experiments.runner import ExperimentScale
+from repro.generators.cm import generate_cm
+from repro.generators.pa import generate_pa
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A seeded random source (fresh per test)."""
+    return RandomSource(seed=12345)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 5-node path: 0 - 1 - 2 - 3 - 4."""
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A 6-node star with node 0 at the center."""
+    return Graph.from_edges(6, [(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def two_component_graph() -> Graph:
+    """Two disjoint triangles: {0,1,2} and {3,4,5}."""
+    return Graph.from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+
+
+@pytest.fixture
+def complete_graph() -> Graph:
+    """The complete graph on 6 nodes."""
+    return Graph.complete(6)
+
+
+@pytest.fixture(scope="session")
+def pa_graph_small() -> Graph:
+    """A 400-node PA topology with m=2 and no cutoff (session-cached)."""
+    return generate_pa(400, stubs=2, hard_cutoff=None, seed=101)
+
+
+@pytest.fixture(scope="session")
+def pa_graph_cutoff() -> Graph:
+    """A 400-node PA topology with m=2 and kc=10 (session-cached)."""
+    return generate_pa(400, stubs=2, hard_cutoff=10, seed=101)
+
+
+@pytest.fixture(scope="session")
+def cm_graph_small() -> Graph:
+    """A 400-node CM topology, gamma=2.5, m=2, kc=20 (session-cached)."""
+    return generate_cm(400, exponent=2.5, min_degree=2, hard_cutoff=20, seed=77)
+
+
+@pytest.fixture(scope="session")
+def smoke_scale() -> ExperimentScale:
+    """The smallest experiment scale, shared by the harness tests."""
+    return ExperimentScale.smoke()

@@ -1,0 +1,46 @@
+"""Unit tests for the degree-assortativity coefficient."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.assortativity import degree_assortativity
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+from repro.generators.cm import generate_cm
+from repro.generators.pa import generate_pa
+
+
+class TestDegreeAssortativity:
+    def test_star_is_perfectly_disassortative(self, star_graph):
+        assert degree_assortativity(star_graph) == pytest.approx(-1.0)
+
+    def test_matches_networkx(self):
+        graph = generate_pa(400, stubs=2, hard_cutoff=20, seed=3)
+        ours = degree_assortativity(graph)
+        reference = nx.degree_assortativity_coefficient(graph.to_networkx())
+        assert ours == pytest.approx(reference, abs=1e-6)
+
+    def test_bounded_in_minus_one_one(self):
+        for seed in range(3):
+            graph = generate_pa(300, stubs=2, seed=seed)
+            assert -1.0 <= degree_assortativity(graph) <= 1.0
+
+    def test_pa_is_not_strongly_assortative(self):
+        """Growth models are neutral-to-disassortative, never strongly assortative."""
+        graph = generate_pa(1000, stubs=2, seed=5)
+        assert degree_assortativity(graph) < 0.2
+
+    def test_cm_is_nearly_uncorrelated(self):
+        """The configuration model generates uncorrelated networks (paper §III-C)."""
+        graph = generate_cm(3000, exponent=2.8, min_degree=2, hard_cutoff=30, seed=7)
+        assert abs(degree_assortativity(graph)) < 0.15
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            degree_assortativity(Graph(5))
+
+    def test_regular_graph_undefined(self, complete_graph):
+        with pytest.raises(AnalysisError):
+            degree_assortativity(complete_graph)

@@ -1,0 +1,70 @@
+"""Unit tests for clustering-coefficient analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import average_clustering, local_clustering, transitivity
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+from repro.generators.pa import generate_pa
+
+
+class TestLocalClustering:
+    def test_complete_graph_is_fully_clustered(self, complete_graph):
+        assert all(local_clustering(complete_graph, node) == 1.0 for node in complete_graph)
+
+    def test_star_center_has_zero_clustering(self, star_graph):
+        assert local_clustering(star_graph, 0) == 0.0
+
+    def test_low_degree_nodes_are_zero(self, path_graph):
+        assert local_clustering(path_graph, 0) == 0.0
+        assert local_clustering(path_graph, 2) == 0.0
+
+    def test_triangle_with_tail(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert local_clustering(graph, 0) == 1.0
+        assert local_clustering(graph, 2) == pytest.approx(1 / 3)
+
+
+class TestAverageClusteringAndTransitivity:
+    def test_complete_graph(self, complete_graph):
+        assert average_clustering(complete_graph) == 1.0
+        assert transitivity(complete_graph) == 1.0
+
+    def test_pa_tree_has_no_clustering(self):
+        tree = generate_pa(300, stubs=1, seed=3)
+        assert average_clustering(tree) == 0.0
+        assert transitivity(tree) == 0.0
+
+    def test_pa_m2_has_some_clustering(self):
+        graph = generate_pa(300, stubs=2, seed=3)
+        assert average_clustering(graph) > 0.0
+        assert 0.0 < transitivity(graph) < 1.0
+
+    def test_sampled_estimate_close_to_exact(self):
+        graph = generate_pa(400, stubs=3, seed=5)
+        exact = average_clustering(graph)
+        sampled = average_clustering(graph, sample_size=150, rng=1)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        graph = generate_pa(200, stubs=2, hard_cutoff=15, seed=7)
+        ours = average_clustering(graph)
+        reference = nx.average_clustering(graph.to_networkx())
+        assert ours == pytest.approx(reference, abs=1e-9)
+        assert transitivity(graph) == pytest.approx(
+            nx.transitivity(graph.to_networkx()), abs=1e-9
+        )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            average_clustering(Graph())
+        with pytest.raises(AnalysisError):
+            transitivity(Graph())
+
+    def test_invalid_sample_size(self, complete_graph):
+        with pytest.raises(AnalysisError):
+            average_clustering(complete_graph, sample_size=0)

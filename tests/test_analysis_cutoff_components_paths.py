@@ -1,0 +1,125 @@
+"""Unit tests for natural cutoffs, connected components, and path statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import (
+    component_of,
+    connected_components,
+    giant_component,
+    giant_component_fraction,
+    is_connected,
+)
+from repro.analysis.cutoff import (
+    empirical_cutoff,
+    natural_cutoff_aiello,
+    natural_cutoff_dorogovtsev,
+    natural_cutoff_pa,
+)
+from repro.analysis.paths import (
+    average_shortest_path_length,
+    diameter,
+    expected_diameter_class,
+    path_length_statistics,
+)
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+
+
+class TestCutoffEstimators:
+    def test_pa_natural_cutoff(self):
+        assert natural_cutoff_pa(10_000, 2) == pytest.approx(200.0)
+
+    def test_dorogovtsev_vs_aiello_ordering(self):
+        assert natural_cutoff_dorogovtsev(10_000, 2.5) > natural_cutoff_aiello(10_000, 2.5)
+
+    def test_empirical_cutoff(self, star_graph):
+        assert empirical_cutoff(star_graph) == 5
+        assert empirical_cutoff([3, 9, 1]) == 9
+
+    def test_empirical_cutoff_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            empirical_cutoff([])
+
+
+class TestComponents:
+    def test_components_sorted_by_size(self):
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2, 1]
+
+    def test_component_of(self, two_component_graph):
+        assert component_of(two_component_graph, 4) == {3, 4, 5}
+
+    def test_component_of_missing_node(self, two_component_graph):
+        with pytest.raises(AnalysisError):
+            component_of(two_component_graph, 42)
+
+    def test_giant_component_and_fraction(self, two_component_graph):
+        assert len(giant_component(two_component_graph)) == 3
+        assert giant_component_fraction(two_component_graph) == 0.5
+
+    def test_is_connected(self, complete_graph, two_component_graph):
+        assert is_connected(complete_graph)
+        assert not is_connected(two_component_graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            is_connected(Graph())
+
+
+class TestPathStatistics:
+    def test_complete_graph(self, complete_graph):
+        stats = path_length_statistics(complete_graph)
+        assert stats.average == 1.0
+        assert stats.diameter == 1
+        assert stats.exact
+
+    def test_path_graph(self, path_graph):
+        stats = path_length_statistics(path_graph)
+        assert stats.diameter == 4
+        assert stats.average == pytest.approx(2.0)
+
+    def test_sampled_estimate_close_to_exact(self, pa_graph_small):
+        exact = path_length_statistics(pa_graph_small)
+        sampled = path_length_statistics(pa_graph_small, sample_size=80, rng=1)
+        assert not sampled.exact
+        assert sampled.average == pytest.approx(exact.average, rel=0.15)
+
+    def test_disconnected_graph_uses_giant_component(self, two_component_graph):
+        stats = path_length_statistics(two_component_graph)
+        assert stats.nodes_in_component == 3
+        assert stats.diameter == 1
+
+    def test_convenience_wrappers(self, path_graph):
+        assert diameter(path_graph) == 4
+        assert average_shortest_path_length(path_graph) == pytest.approx(2.0)
+
+    def test_single_node_graph(self):
+        graph = Graph(1)
+        stats = path_length_statistics(graph)
+        assert stats.average == 0.0
+        assert stats.diameter == 0
+
+    def test_invalid_sample_size(self, path_graph):
+        with pytest.raises(AnalysisError):
+            path_length_statistics(path_graph, sample_size=0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            path_length_statistics(Graph())
+
+
+class TestDiameterClasses:
+    def test_table1_rows(self):
+        assert expected_diameter_class(2.5, 1) == "lnlnN"
+        assert expected_diameter_class(3.0, 2) == "lnN/lnlnN"
+        assert expected_diameter_class(3.0, 1) == "lnN"
+        assert expected_diameter_class(3.7, 3) == "lnN"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            expected_diameter_class(0.5, 1)
+        with pytest.raises(AnalysisError):
+            expected_diameter_class(2.5, 0)

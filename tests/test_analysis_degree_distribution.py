@@ -1,0 +1,87 @@
+"""Unit tests for degree-distribution analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.degree_distribution import (
+    ccdf,
+    degree_distribution,
+    degree_fraction_at,
+    degree_histogram,
+    log_binned_distribution,
+)
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+
+
+class TestHistogramAndPMF:
+    def test_histogram_from_sequence(self):
+        assert degree_histogram([1, 1, 2, 3, 3, 3]) == {1: 2, 2: 1, 3: 3}
+
+    def test_histogram_from_graph(self, star_graph):
+        assert degree_histogram(star_graph) == {1: 5, 5: 1}
+
+    def test_distribution_sums_to_one(self, pa_graph_cutoff):
+        distribution = degree_distribution(pa_graph_cutoff)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_distribution_of_known_sequence(self):
+        assert degree_distribution([1, 1, 2, 2]) == {1: 0.5, 2: 0.5}
+
+    def test_distribution_keys_sorted(self):
+        keys = list(degree_distribution([5, 1, 3, 1]).keys())
+        assert keys == sorted(keys)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            degree_distribution([])
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(AnalysisError):
+            degree_histogram([1, -2])
+
+    def test_fraction_at(self):
+        assert degree_fraction_at([1, 1, 2, 10], 10) == 0.25
+        assert degree_fraction_at([1, 1], 7) == 0.0
+
+
+class TestCCDF:
+    def test_simple_sequence(self):
+        assert ccdf([1, 2, 2, 4]) == [(1, 1.0), (2, 0.75), (4, 0.25)]
+
+    def test_first_point_is_one(self, pa_graph_small):
+        points = ccdf(pa_graph_small)
+        assert points[0][1] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self, pa_graph_small):
+        values = [p for _, p in ccdf(pa_graph_small)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+class TestLogBinning:
+    def test_bin_centers_increase(self, pa_graph_small):
+        points = log_binned_distribution(pa_graph_small, bins_per_decade=5)
+        centers = [center for center, _ in points]
+        assert centers == sorted(centers)
+
+    def test_single_degree_value(self):
+        points = log_binned_distribution([3, 3, 3])
+        assert points == [(3.0, 1.0)]
+
+    def test_densities_positive(self, cm_graph_small):
+        points = log_binned_distribution(cm_graph_small)
+        assert all(density > 0 for _, density in points)
+
+    def test_invalid_bins(self):
+        with pytest.raises(AnalysisError):
+            log_binned_distribution([1, 2, 3], bins_per_decade=0)
+
+    def test_all_zero_degrees_rejected(self):
+        with pytest.raises(AnalysisError):
+            log_binned_distribution([0, 0, 0])
+
+    def test_graph_input(self):
+        graph = Graph.complete(4)
+        points = log_binned_distribution(graph)
+        assert len(points) == 1

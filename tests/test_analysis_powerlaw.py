@@ -1,0 +1,97 @@
+"""Unit tests for power-law exponent estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    fit_power_law_mle,
+    fit_power_law_regression,
+)
+from repro.core.errors import AnalysisError
+from repro.generators.degree_sequence import power_law_degree_sequence
+from repro.generators.pa import generate_pa
+
+
+def synthetic_power_law(exponent: float, size: int = 20_000, seed: int = 0):
+    """Sample a discrete power-law degree sequence with a known exponent."""
+    return power_law_degree_sequence(
+        size, exponent, min_degree=1, max_degree=1000, rng=seed
+    )
+
+
+class TestMLE:
+    def test_recovers_known_exponent(self):
+        for true_gamma in (2.2, 2.8):
+            sample = synthetic_power_law(true_gamma)
+            fit = fit_power_law_mle(sample, k_min=1)
+            assert fit.exponent == pytest.approx(true_gamma, abs=0.15)
+
+    def test_fit_range_recorded(self):
+        sample = synthetic_power_law(2.5, size=5000)
+        fit = fit_power_law_mle(sample, k_min=2, k_max=100)
+        assert fit.k_min == 2
+        assert fit.k_max == 100
+        assert fit.method == "mle"
+
+    def test_goodness_is_small_for_true_power_law(self):
+        fit = fit_power_law_mle(synthetic_power_law(2.5), k_min=1)
+        assert fit.goodness < 0.1
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law_mle([5], k_min=1)
+
+    def test_pa_graph_exponent_in_plausible_range(self, pa_graph_small):
+        fit = fit_power_law_mle(pa_graph_small, k_min=2)
+        assert 1.8 < fit.exponent < 3.6
+
+
+class TestRegression:
+    def test_recovers_known_exponent(self):
+        sample = synthetic_power_law(2.5)
+        fit = fit_power_law_regression(sample, k_min=1, k_max=50)
+        assert fit.exponent == pytest.approx(2.5, abs=0.4)
+
+    def test_r_squared_high_for_power_law(self):
+        fit = fit_power_law_regression(synthetic_power_law(2.3), k_min=1, k_max=50)
+        assert fit.goodness > 0.9
+
+    def test_needs_two_distinct_degrees(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law_regression([4, 4, 4, 4])
+
+    def test_as_dict(self):
+        fit = PowerLawFit(2.5, 1, 100, "mle", 0.02, 500)
+        payload = fit.as_dict()
+        assert payload["exponent"] == 2.5
+        assert payload["method"] == "mle"
+
+
+class TestCutoffSpikeHandling:
+    def test_spike_exclusion_shrinks_fit_range(self):
+        degrees = [1] * 500 + [2] * 120 + [3] * 55 + [4] * 30 + [10] * 80
+        trimmed = fit_power_law(degrees, method="regression", exclude_cutoff_spike=True)
+        full = fit_power_law(degrees, method="regression", exclude_cutoff_spike=False)
+        assert trimmed.k_max < full.k_max
+
+    def test_no_spike_leaves_range_untouched(self):
+        sample = synthetic_power_law(2.5, size=5000)
+        trimmed = fit_power_law(sample, exclude_cutoff_spike=True)
+        full = fit_power_law(sample, exclude_cutoff_spike=False)
+        assert trimmed.k_max == full.k_max
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_power_law([1, 2, 3], method="bayes")
+
+    def test_paper_trend_gamma_decreases_with_cutoff(self):
+        """Fig. 1(c): the fitted exponent is lower for harder cutoffs."""
+        hard = generate_pa(3000, stubs=2, hard_cutoff=8, seed=3)
+        soft = generate_pa(3000, stubs=2, hard_cutoff=60, seed=3)
+        fit_hard = fit_power_law(hard, k_min=2, exclude_cutoff_spike=True)
+        fit_soft = fit_power_law(soft, k_min=2, exclude_cutoff_spike=True)
+        assert fit_hard.exponent < fit_soft.exponent + 0.1

@@ -1,0 +1,74 @@
+"""Unit tests for failure/attack robustness analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.robustness import attack_robustness, failure_robustness
+from repro.core.errors import AnalysisError
+from repro.core.graph import Graph
+from repro.generators.pa import generate_pa
+
+
+class TestRemovalCurves:
+    def test_curves_start_at_full_graph(self, pa_graph_small):
+        failure = failure_robustness(pa_graph_small, max_removed_fraction=0.2, steps=4, rng=1)
+        attack = attack_robustness(pa_graph_small, max_removed_fraction=0.2, steps=4)
+        assert failure.removed_fractions[0] == 0.0
+        assert failure.giant_component_fractions[0] == pytest.approx(1.0)
+        assert attack.giant_component_fractions[0] == pytest.approx(1.0)
+
+    def test_giant_component_never_grows(self, pa_graph_small):
+        curve = failure_robustness(pa_graph_small, max_removed_fraction=0.4, steps=5, rng=2)
+        values = curve.giant_component_fractions
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_original_graph_untouched(self, pa_graph_small):
+        nodes_before = pa_graph_small.number_of_nodes
+        failure_robustness(pa_graph_small, max_removed_fraction=0.3, steps=3, rng=3)
+        assert pa_graph_small.number_of_nodes == nodes_before
+
+    def test_attack_hits_harder_than_failure_on_scale_free(self):
+        """The 'robust yet fragile' property (paper §III)."""
+        graph = generate_pa(800, stubs=1, hard_cutoff=None, seed=5)
+        failure = failure_robustness(graph, max_removed_fraction=0.25, steps=5, rng=6)
+        attack = attack_robustness(graph, max_removed_fraction=0.25, steps=5)
+        assert attack.giant_component_fractions[-1] < failure.giant_component_fractions[-1]
+
+    def test_cutoff_narrows_attack_failure_gap(self):
+        bounded = generate_pa(800, stubs=2, hard_cutoff=8, seed=7)
+        unbounded = generate_pa(800, stubs=2, hard_cutoff=None, seed=7)
+
+        def gap(graph):
+            failure = failure_robustness(graph, max_removed_fraction=0.25, steps=4, rng=8)
+            attack = attack_robustness(graph, max_removed_fraction=0.25, steps=4)
+            return failure.giant_component_fractions[-1] - attack.giant_component_fractions[-1]
+
+        assert gap(bounded) <= gap(unbounded) + 0.05
+
+    def test_non_adaptive_attack_supported(self, pa_graph_small):
+        curve = attack_robustness(
+            pa_graph_small, max_removed_fraction=0.2, steps=3, adaptive=False
+        )
+        assert curve.metadata["adaptive"] is False
+
+    def test_strategies_recorded(self, pa_graph_small):
+        assert failure_robustness(pa_graph_small, steps=2, rng=1).strategy == "failure"
+        assert attack_robustness(pa_graph_small, steps=2).strategy == "attack"
+
+
+class TestRemovalResultAPI:
+    def test_fraction_at_and_critical_fraction(self, pa_graph_small):
+        curve = attack_robustness(pa_graph_small, max_removed_fraction=0.5, steps=5)
+        assert 0.0 <= curve.fraction_at(0.0) <= 1.0
+        assert 0.0 < curve.critical_fraction(threshold=0.0001) <= 1.0
+
+    def test_invalid_fraction_rejected(self, pa_graph_small):
+        with pytest.raises(AnalysisError):
+            failure_robustness(pa_graph_small, max_removed_fraction=0.0)
+        with pytest.raises(AnalysisError):
+            attack_robustness(pa_graph_small, max_removed_fraction=1.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            failure_robustness(Graph(), rng=1)

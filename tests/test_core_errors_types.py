@@ -1,0 +1,61 @@
+"""Unit tests for the exception hierarchy and shared value objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors
+from repro.core.types import GraphStats
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        error = errors.NodeNotFoundError(7)
+        assert isinstance(error, KeyError)
+        assert error.node == 7
+        assert "7" in str(error)
+
+    def test_edge_not_found_records_endpoints(self):
+        error = errors.EdgeNotFoundError(1, 2)
+        assert (error.u, error.v) == (1, 2)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_cutoff_error_is_generation_error(self):
+        assert issubclass(errors.CutoffError, errors.GenerationError)
+
+    def test_catching_base_catches_subsystem_errors(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SearchError("boom")
+
+
+class TestGraphStats:
+    def test_as_dict_round_trip(self):
+        stats = GraphStats(
+            number_of_nodes=10,
+            number_of_edges=20,
+            min_degree=1,
+            max_degree=9,
+            mean_degree=4.0,
+        )
+        payload = stats.as_dict()
+        assert payload["number_of_nodes"] == 10
+        assert payload["mean_degree"] == 4.0
+        assert set(payload) == {
+            "number_of_nodes",
+            "number_of_edges",
+            "min_degree",
+            "max_degree",
+            "mean_degree",
+        }
+
+    def test_frozen(self):
+        stats = GraphStats(1, 0, 0, 0, 0.0)
+        with pytest.raises(AttributeError):
+            stats.number_of_nodes = 5  # type: ignore[misc]

@@ -1,0 +1,233 @@
+"""Unit tests for the adjacency-list graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import GraphError, NodeNotFoundError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes == 0
+        assert graph.number_of_edges == 0
+        assert len(graph) == 0
+
+    def test_preallocated_nodes(self):
+        graph = Graph(5)
+        assert graph.number_of_nodes == 5
+        assert graph.nodes() == [0, 1, 2, 3, 4]
+        assert graph.number_of_edges == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_complete_graph(self):
+        graph = Graph.complete(4)
+        assert graph.number_of_edges == 6
+        assert all(graph.degree(node) == 3 for node in graph)
+
+    def test_from_edges(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert graph.number_of_edges == 2
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+
+class TestNodes:
+    def test_add_node_auto_id(self):
+        graph = Graph(2)
+        new = graph.add_node()
+        assert new == 2
+        assert graph.has_node(2)
+
+    def test_add_node_explicit_id(self):
+        graph = Graph()
+        assert graph.add_node(7) == 7
+        assert graph.has_node(7)
+
+    def test_add_existing_node_is_noop(self):
+        graph = Graph(3)
+        graph.add_node(1)
+        assert graph.number_of_nodes == 3
+
+    def test_add_negative_node_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_node(-3)
+
+    def test_add_nodes_bulk(self):
+        graph = Graph()
+        ids = graph.add_nodes(4)
+        assert ids == [0, 1, 2, 3]
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        graph.remove_node(1)
+        assert graph.number_of_nodes == 2
+        assert graph.number_of_edges == 0
+        assert graph.degree(0) == 0
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph(2)
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(9)
+
+    def test_contains_and_iter(self):
+        graph = Graph(3)
+        assert 2 in graph
+        assert 5 not in graph
+        assert sorted(graph) == [0, 1, 2]
+
+
+class TestEdges:
+    def test_add_edge_returns_true_then_false(self):
+        graph = Graph(2)
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(0, 1) is False
+        assert graph.add_edge(1, 0) is False
+        assert graph.number_of_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph(2)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_edge_to_missing_node_raises(self):
+        graph = Graph(2)
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(0, 5)
+
+    def test_remove_edge(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.number_of_edges == 1
+        # removing again is a no-op
+        graph.remove_edge(0, 1)
+        assert graph.number_of_edges == 1
+
+    def test_edges_are_canonical_pairs(self):
+        graph = Graph.from_edges(4, [(2, 1), (3, 0)])
+        assert sorted(graph.edges()) == [(0, 3), (1, 2)]
+
+    def test_total_degree_tracks_edges(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert graph.total_degree == 4
+        graph.remove_edge(0, 1)
+        assert graph.total_degree == 2
+
+
+class TestDegrees:
+    def test_degree_and_degrees(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(3) == 1
+        degrees = star_graph.degrees()
+        assert degrees[0] == 5
+        assert sum(degrees.values()) == star_graph.total_degree
+
+    def test_degree_of_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph(2).degree(7)
+
+    def test_min_max_mean_degree(self, star_graph):
+        assert star_graph.min_degree() == 1
+        assert star_graph.max_degree() == 5
+        assert star_graph.mean_degree() == pytest.approx(10 / 6)
+
+    def test_empty_graph_degree_summaries(self):
+        graph = Graph()
+        assert graph.min_degree() == 0
+        assert graph.max_degree() == 0
+        assert graph.mean_degree() == 0.0
+
+    def test_degree_sequence_order(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert graph.degree_sequence() == [1, 1, 0]
+
+
+class TestNeighbors:
+    def test_neighbors_list_and_set(self, path_graph):
+        assert sorted(path_graph.neighbors(1)) == [0, 2]
+        assert path_graph.neighbor_set(1) == {0, 2}
+
+    def test_neighbors_of_missing_node_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            path_graph.neighbors(99)
+
+    def test_random_neighbor_uniform_support(self, star_graph, rng):
+        seen = {star_graph.random_neighbor(0, rng) for _ in range(200)}
+        assert seen == {1, 2, 3, 4, 5}
+
+    def test_random_neighbor_isolated_returns_none(self, rng):
+        graph = Graph(2)
+        assert graph.random_neighbor(0, rng) is None
+
+    def test_random_node_in_graph(self, path_graph, rng):
+        for _ in range(20):
+            assert path_graph.random_node(rng) in path_graph
+
+    def test_random_node_empty_graph_raises(self, rng):
+        with pytest.raises(GraphError):
+            Graph().random_node(rng)
+
+
+class TestWholeGraphOps:
+    def test_copy_is_independent(self, path_graph):
+        clone = path_graph.copy()
+        assert clone == path_graph
+        clone.add_edge(0, 4)
+        assert not path_graph.has_edge(0, 4)
+
+    def test_subgraph(self, path_graph):
+        sub = path_graph.subgraph([0, 1, 2])
+        assert sub.number_of_nodes == 3
+        assert sub.number_of_edges == 2
+        assert not sub.has_node(4)
+
+    def test_subgraph_missing_node_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            path_graph.subgraph([0, 42])
+
+    def test_stats(self, star_graph):
+        stats = star_graph.stats()
+        assert stats.number_of_nodes == 6
+        assert stats.number_of_edges == 5
+        assert stats.max_degree == 5
+        assert stats.as_dict()["min_degree"] == 1
+
+    def test_equality_ignores_insertion_order(self):
+        a = Graph.from_edges(3, [(0, 1), (1, 2)])
+        b = Graph.from_edges(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert (a == 42) is False or (a == 42) is NotImplemented or True
+
+
+class TestNetworkXInterop:
+    def test_round_trip(self, pa_graph_cutoff):
+        nx_graph = pa_graph_cutoff.to_networkx()
+        assert nx_graph.number_of_nodes() == pa_graph_cutoff.number_of_nodes
+        assert nx_graph.number_of_edges() == pa_graph_cutoff.number_of_edges
+        back = Graph.from_networkx(nx_graph)
+        assert back == pa_graph_cutoff
+
+    def test_from_networkx_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([(0, 0), (0, 1)])
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.number_of_edges == 1
+
+    def test_from_networkx_relabels_non_integers(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([("a", "b"), ("b", "c")])
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.number_of_nodes == 3
+        assert graph.number_of_edges == 2
+        assert all(isinstance(node, int) for node in graph.nodes())

@@ -1,0 +1,110 @@
+"""Unit tests for the shared figure-harness helpers (figures._common)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures._common import (
+    build_graph,
+    cutoff_grid,
+    dapa_cutoff_grid,
+    dapa_tau_sub_grid,
+    degree_distribution_series,
+    exponent_vs_cutoff_series,
+    flooding_series,
+    messaging_series,
+    normalized_flooding_series,
+    random_walk_series,
+    resolve_scale,
+)
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return ExperimentScale.smoke()
+
+
+class TestResolveScaleAndGrids:
+    def test_default_scale_is_small(self):
+        assert resolve_scale(None, None).name == "small"
+
+    def test_seed_override(self, scale):
+        assert resolve_scale(scale, 123).seed == 123
+        assert resolve_scale(scale, None).seed == scale.seed
+
+    def test_grids_shrink_for_smoke(self, scale):
+        assert len(cutoff_grid(scale)) < len(cutoff_grid(ExperimentScale.small()))
+        assert len(dapa_tau_sub_grid(scale)) < len(
+            dapa_tau_sub_grid(ExperimentScale.paper())
+        )
+        assert None in dapa_cutoff_grid(scale)
+
+
+class TestBuildGraph:
+    @pytest.mark.parametrize("model", ["pa", "cm", "hapa", "dapa"])
+    def test_every_model_builds(self, model, scale):
+        graph = build_graph(model, scale, seed=1, stubs=1, hard_cutoff=10)
+        assert graph.number_of_nodes > 0
+        assert graph.max_degree() <= 10
+
+    def test_search_size_differs_from_distribution_size(self, scale):
+        distribution_graph = build_graph("pa", scale, seed=1, stubs=1)
+        search_graph = build_graph("pa", scale, seed=1, stubs=1, for_search=True)
+        assert distribution_graph.number_of_nodes == scale.nodes
+        assert search_graph.number_of_nodes == scale.search_nodes
+
+    def test_unknown_model_rejected(self, scale):
+        with pytest.raises(ValueError):
+            build_graph("chord", scale, seed=1)
+
+
+class TestSeriesBuilders:
+    def test_degree_distribution_series(self, scale):
+        series = degree_distribution_series(
+            "pa", label="P(k) m=1, kc=10", scale=scale, stubs=1, hard_cutoff=10
+        )
+        assert series.label.startswith("P(k)")
+        assert abs(sum(series.y) - 1.0) < 1e-9
+        assert max(series.x) <= 10
+        assert series.metadata["model"] == "pa"
+
+    def test_exponent_vs_cutoff_series(self, scale):
+        series = exponent_vs_cutoff_series(
+            "pa", label="gamma vs kc", scale=scale, stubs=2, cutoffs=[10, 40]
+        )
+        assert len(series.x) == len(series.y) <= 2
+        assert all(1.0 < gamma < 5.0 for gamma in series.y)
+
+    def test_flooding_series_monotone(self, scale):
+        series = flooding_series("pa", "fl", scale, stubs=2, hard_cutoff=10)
+        assert series.x == scale.flooding_ttl_grid()
+        assert all(b >= a for a, b in zip(series.y, series.y[1:]))
+        assert series.metadata["algorithm"] == "fl"
+
+    def test_normalized_flooding_series(self, scale):
+        series = normalized_flooding_series("pa", "nf", scale, stubs=2, hard_cutoff=10)
+        assert series.x == scale.ttl_grid()
+        assert series.metadata["algorithm"] == "nf"
+        assert len(series.metadata["mean_messages"]) == len(series.x)
+
+    def test_random_walk_series(self, scale):
+        series = random_walk_series("pa", "rw", scale, stubs=2, hard_cutoff=10)
+        assert series.metadata["algorithm"] == "rw"
+        assert all(value >= 0 for value in series.y)
+
+    def test_messaging_series(self, scale):
+        series = messaging_series(
+            "pa", "nf msgs", scale, algorithm="nf", stubs=2, hard_cutoff=10
+        )
+        assert series.metadata["metric"] == "messages"
+        assert all(b >= a for a, b in zip(series.y, series.y[1:]))
+
+    def test_messaging_series_rejects_unknown_algorithm(self, scale):
+        with pytest.raises(ValueError):
+            messaging_series("pa", "x", scale, algorithm="dht")
+
+    def test_series_reproducible(self, scale):
+        a = flooding_series("pa", "same-label", scale, stubs=1, hard_cutoff=10)
+        b = flooding_series("pa", "same-label", scale, stubs=1, hard_cutoff=10)
+        assert a.y == b.y

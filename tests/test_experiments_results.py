@@ -1,0 +1,90 @@
+"""Unit tests for experiment result containers and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.results import ExperimentResult, Series
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("bad", x=[1, 2], y=[1.0])
+
+    def test_accessors(self):
+        series = Series("s", x=[1, 2, 4], y=[10.0, 20.0, 40.0])
+        assert len(series) == 3
+        assert series.y_at(2) == 20.0
+        assert series.final() == 40.0
+
+    def test_y_at_missing_point(self):
+        series = Series("s", x=[1], y=[1.0])
+        with pytest.raises(ExperimentError):
+            series.y_at(3)
+
+    def test_empty_series_final_rejected(self):
+        series = Series("empty", x=[], y=[])
+        with pytest.raises(ExperimentError):
+            series.final()
+
+    def test_dict_round_trip(self):
+        series = Series("s", x=[1, 2], y=[3.0, 4.0], metadata={"m": 2})
+        clone = Series.from_dict(series.as_dict())
+        assert clone.label == "s"
+        assert clone.x == [1, 2]
+        assert clone.metadata == {"m": 2}
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("figX", "Example", parameters={"nodes": 10}, notes="n")
+        result.add(Series("a", x=[1, 2], y=[1.0, 2.0]))
+        result.add(Series("b", x=[1, 2], y=[3.0, 4.0]))
+        return result
+
+    def test_labels_get_and_contains(self):
+        result = self.make_result()
+        assert result.labels() == ["a", "b"]
+        assert result.get("b").final() == 4.0
+        assert "a" in result
+        assert "missing" not in result
+
+    def test_get_missing_label(self):
+        with pytest.raises(ExperimentError):
+            self.make_result().get("zzz")
+
+    def test_json_round_trip(self, tmp_path):
+        result = self.make_result()
+        path = result.save_json(tmp_path / "figX.json")
+        loaded = ExperimentResult.load_json(path)
+        assert loaded.experiment_id == "figX"
+        assert loaded.get("a").y == [1.0, 2.0]
+        assert loaded.parameters == {"nodes": 10}
+
+    def test_csv_export(self, tmp_path):
+        result = self.make_result()
+        path = result.save_csv(tmp_path / "figX.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "label,x,y"
+        assert len(lines) == 1 + 4  # header + two points per series
+
+    def test_to_table_renders_all_series(self):
+        table = self.make_result().to_table()
+        assert "figX" in table
+        assert "a" in table and "b" in table
+        assert "notes:" in table
+
+    def test_to_table_subsamples_long_series(self):
+        result = ExperimentResult("long", "Long series")
+        result.add(Series("big", x=list(range(100)), y=[float(i) for i in range(100)]))
+        table = result.to_table(max_points=5)
+        # Far fewer than 100 points rendered.
+        assert table.count("(") < 20
+
+    def test_dict_round_trip(self):
+        result = self.make_result()
+        clone = ExperimentResult.from_dict(result.as_dict())
+        assert clone.labels() == result.labels()
+        assert clone.notes == result.notes

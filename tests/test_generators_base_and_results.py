@@ -1,0 +1,84 @@
+"""Unit tests for the generator base class, GenerationResult, and QueryResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.base import GenerationResult, TopologyGenerator
+from repro.generators.pa import PreferentialAttachmentGenerator
+from repro.search.base import QueryResult
+from repro.core.errors import SearchError
+from repro.core.graph import Graph
+
+
+class TestGenerationResult:
+    def test_summary_filters_non_scalar_metadata(self):
+        graph = Graph.complete(3)
+        result = GenerationResult(
+            graph=graph,
+            model="demo",
+            parameters={"n": 3},
+            metadata={"count": 2, "graph_object": graph, "note": "ok"},
+            elapsed_seconds=0.5,
+        )
+        summary = result.summary()
+        assert summary["model"] == "demo"
+        assert summary["metadata"] == {"count": 2, "note": "ok"}
+        assert summary["stats"]["number_of_nodes"] == 3
+
+    def test_elapsed_time_recorded(self):
+        result = PreferentialAttachmentGenerator(200, stubs=1, seed=1).generate()
+        assert result.elapsed_seconds > 0
+
+
+class TestTopologyGeneratorBase:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            TopologyGenerator()  # type: ignore[abstract]
+
+    def test_repr_includes_parameters(self):
+        generator = PreferentialAttachmentGenerator(100, stubs=2, hard_cutoff=9, seed=4)
+        text = repr(generator)
+        assert "number_of_nodes" in text
+        assert "9" in text
+
+    def test_seed_used_when_no_rng_given(self):
+        generator = PreferentialAttachmentGenerator(100, stubs=1, seed=42)
+        assert generator.generate_graph() == generator.generate_graph()
+
+
+class TestQueryResult:
+    def make_result(self) -> QueryResult:
+        return QueryResult(
+            algorithm="fl",
+            source=0,
+            ttl=3,
+            hits_per_ttl=[0, 2, 5, 7],
+            messages_per_ttl=[0, 3, 9, 15],
+            visited={0, 1, 2},
+            target=9,
+            found_at=None,
+        )
+
+    def test_summary_properties(self):
+        result = self.make_result()
+        assert result.hits == 7
+        assert result.messages == 15
+        assert result.success is False
+
+    def test_success_requires_target_and_found(self):
+        result = self.make_result()
+        result.found_at = 2
+        assert result.success is True
+        result.target = None
+        assert result.success is False
+
+    def test_accessors_clamp_and_validate(self):
+        result = self.make_result()
+        assert result.hits_at(1) == 2
+        assert result.hits_at(99) == 7
+        assert result.messages_at(2) == 9
+        with pytest.raises(SearchError):
+            result.hits_at(-1)
+        with pytest.raises(SearchError):
+            result.messages_at(-5)

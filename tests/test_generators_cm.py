@@ -1,0 +1,113 @@
+"""Unit tests for the configuration-model generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import is_connected
+from repro.core.errors import ConfigurationError
+from repro.generators.cm import ConfigurationModelGenerator, generate_cm
+
+
+class TestBasicProperties:
+    def test_node_count(self):
+        graph = generate_cm(300, exponent=2.5, min_degree=2, hard_cutoff=20, seed=1)
+        assert graph.number_of_nodes == 300
+
+    def test_cutoff_respected(self):
+        graph = generate_cm(500, exponent=2.2, min_degree=1, hard_cutoff=15, seed=2)
+        assert graph.max_degree() <= 15
+
+    def test_reproducible(self):
+        a = generate_cm(200, exponent=2.5, min_degree=2, hard_cutoff=20, seed=5)
+        b = generate_cm(200, exponent=2.5, min_degree=2, hard_cutoff=20, seed=5)
+        assert a == b
+
+    def test_no_self_loops_or_multi_edges_by_construction(self):
+        graph = generate_cm(300, exponent=2.2, min_degree=2, hard_cutoff=50, seed=3)
+        edges = graph.edges()
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_mean_degree_tracks_prescription(self):
+        """Realised mean degree should be close to the truncated power-law mean."""
+        from repro.generators.degree_sequence import expected_mean_degree
+
+        graph = generate_cm(2000, exponent=2.5, min_degree=2, hard_cutoff=30, seed=7)
+        expected = expected_mean_degree(2.5, 2, 30)
+        assert graph.mean_degree() == pytest.approx(expected, rel=0.15)
+
+
+class TestDeletionSideEffects:
+    def test_metadata_counts_removals(self):
+        generator = ConfigurationModelGenerator(
+            400, exponent=2.2, min_degree=2, hard_cutoff=None, seed=11
+        )
+        result = generator.generate()
+        metadata = result.metadata
+        assert metadata["removed_self_loops"] >= 0
+        assert metadata["removed_multi_edges"] >= 0
+        assert metadata["prescribed_total_degree"] % 2 == 0
+
+    def test_nodes_below_min_degree_possible_but_rare(self):
+        generator = ConfigurationModelGenerator(
+            1000, exponent=2.5, min_degree=2, hard_cutoff=40, seed=13
+        )
+        result = generator.generate()
+        below = result.metadata["nodes_below_min_degree"]
+        assert below <= 0.05 * 1000
+
+    def test_m1_typically_disconnected(self):
+        """The paper: 'the network is not a connected network when m=1'."""
+        disconnected = 0
+        for seed in range(4):
+            graph = generate_cm(400, exponent=2.5, min_degree=1, hard_cutoff=20, seed=seed)
+            if not is_connected(graph):
+                disconnected += 1
+        assert disconnected >= 3
+
+
+class TestExplicitDegreeSequence:
+    def test_explicit_sequence_used(self):
+        sequence = [2] * 100
+        graph = generate_cm(100, degree_sequence=sequence, seed=1)
+        assert graph.number_of_nodes == 100
+        assert graph.max_degree() <= 2
+
+    def test_explicit_sequence_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_cm(10, degree_sequence=[1] * 9)  # wrong length
+        with pytest.raises(ConfigurationError):
+            generate_cm(3, degree_sequence=[1, 1, 1])  # odd sum
+        with pytest.raises(ConfigurationError):
+            generate_cm(2, degree_sequence=[-1, 1])  # negative
+
+
+class TestUniformPartnerMode:
+    def test_paper_literal_algorithm_runs(self):
+        graph = generate_cm(
+            200, exponent=2.5, min_degree=1, hard_cutoff=20, seed=3,
+            partner_selection="uniform",
+        )
+        assert graph.number_of_nodes == 200
+        edges = graph.edges()
+        assert all(u != v for u, v in edges)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationModelGenerator(100, partner_selection="bogus")
+
+
+class TestGeneratorInterface:
+    def test_parameters_and_flags(self):
+        generator = ConfigurationModelGenerator(
+            100, exponent=2.6, min_degree=2, hard_cutoff=10, seed=4
+        )
+        params = generator.parameters()
+        assert params["exponent"] == 2.6
+        assert params["hard_cutoff"] == 10
+        assert ConfigurationModelGenerator.uses_global_information == "yes"
+
+    def test_invalid_configuration_surface(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationModelGenerator(100, exponent=0.5)

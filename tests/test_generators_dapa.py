@@ -1,0 +1,110 @@
+"""Unit tests for the discover-and-attempt (DAPA) generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GRNConfig, MeshConfig
+from repro.core.errors import ConfigurationError
+from repro.generators.dapa import DAPAGenerator, generate_dapa
+from repro.substrate.mesh import generate_mesh
+
+
+class TestBasicProperties:
+    def test_overlay_size_reached_on_dense_substrate(self):
+        generator = DAPAGenerator(
+            overlay_size=150, stubs=2, hard_cutoff=10, local_ttl=4, seed=1
+        )
+        result = generator.generate()
+        assert result.metadata["reached_target"] is True
+        assert result.graph.number_of_nodes == 150
+
+    def test_cutoff_respected(self):
+        graph = generate_dapa(200, stubs=2, hard_cutoff=6, local_ttl=4, seed=2)
+        assert graph.max_degree() <= 6
+
+    def test_reproducible(self):
+        a = generate_dapa(100, stubs=1, hard_cutoff=10, local_ttl=3, seed=3)
+        b = generate_dapa(100, stubs=1, hard_cutoff=10, local_ttl=3, seed=3)
+        assert a == b
+
+    def test_overlay_nodes_are_substrate_nodes(self):
+        substrate = generate_mesh(20, 20)
+        graph = generate_dapa(
+            100, stubs=1, local_ttl=3, substrate_graph=substrate, seed=4
+        )
+        assert set(graph.nodes()).issubset(set(substrate.nodes()))
+
+    def test_metadata_reports_substrate(self):
+        generator = DAPAGenerator(overlay_size=80, stubs=1, local_ttl=2, seed=5)
+        result = generator.generate()
+        assert result.metadata["substrate_nodes"] == 160
+        assert result.metadata["discovery_messages"] >= result.graph.number_of_nodes - 2
+
+
+class TestLocalityEffect:
+    def test_larger_horizon_heavier_tail(self):
+        """Large tau_sub recovers a power-law-like heavy tail (paper Fig. 4)."""
+        shortsighted = generate_dapa(400, stubs=1, local_ttl=2, seed=6)
+        farsighted = generate_dapa(400, stubs=1, local_ttl=20, seed=6)
+        assert farsighted.max_degree() >= shortsighted.max_degree()
+
+    def test_short_horizon_can_leave_stubs_unfilled(self):
+        """With m>1 and a tiny horizon some peers cannot fill all stubs."""
+        graph = generate_dapa(300, stubs=3, local_ttl=1, seed=7)
+        assert graph.min_degree() < 3
+
+    def test_mesh_substrate_supported(self):
+        config = MeshConfig(rows=25, columns=25)
+        graph = generate_dapa(
+            150, stubs=2, hard_cutoff=8, local_ttl=4, substrate_config=config, seed=8
+        )
+        assert graph.number_of_nodes <= 150
+        assert graph.max_degree() <= 8
+
+
+class TestConfiguration:
+    def test_fully_local_flag(self):
+        assert DAPAGenerator.uses_global_information == "no"
+
+    def test_substrate_graph_and_config_mutually_exclusive(self):
+        substrate = generate_mesh(10, 10)
+        with pytest.raises(ConfigurationError):
+            DAPAGenerator(
+                overlay_size=50,
+                substrate_graph=substrate,
+                substrate_config=GRNConfig(number_of_nodes=100, radius=0.2),
+            )
+
+    def test_substrate_too_small_rejected(self):
+        substrate = generate_mesh(5, 5)
+        with pytest.raises(ConfigurationError):
+            DAPAGenerator(overlay_size=100, substrate_graph=substrate)
+
+    def test_parameters_dict(self):
+        generator = DAPAGenerator(
+            overlay_size=60, stubs=2, hard_cutoff=10, local_ttl=5, seed=9
+        )
+        params = generator.parameters()
+        assert params["model"] == "dapa"
+        assert params["local_ttl"] == 5
+        assert params["substrate"] == "default_grn"
+
+    def test_disconnected_substrate_stops_early(self):
+        """If no substrate node can see a peer, generation stops gracefully."""
+        # Two disjoint mesh islands; seeds will fall in one or the other.
+        from repro.core.graph import Graph
+
+        island_a = generate_mesh(6, 6)
+        substrate = Graph(72)
+        for u, v in island_a.edges():
+            substrate.add_edge(u, v)
+        for u, v in generate_mesh(6, 6).edges():
+            substrate.add_edge(u + 36, v + 36)
+        generator = DAPAGenerator(
+            overlay_size=70, stubs=1, local_ttl=2, substrate_graph=substrate, seed=10
+        )
+        result = generator.generate()
+        assert result.graph.number_of_nodes <= 70
+        # Either the target was reached (both islands seeded) or it stopped early.
+        assert isinstance(result.metadata["reached_target"], bool)

@@ -1,0 +1,100 @@
+"""Unit tests for power-law degree-sequence sampling and natural cutoffs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators.degree_sequence import (
+    aiello_natural_cutoff,
+    expected_mean_degree,
+    natural_cutoff,
+    power_law_degree_sequence,
+    power_law_probabilities,
+)
+
+
+class TestProbabilities:
+    def test_normalised(self):
+        p = power_law_probabilities(2.5, 1, 100)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotonically_decreasing(self):
+        p = power_law_probabilities(2.2, 2, 50)
+        assert np.all(np.diff(p) < 0)
+
+    def test_ratio_matches_exponent(self):
+        p = power_law_probabilities(3.0, 1, 10)
+        # P(2)/P(1) should equal 2^-3
+        assert p[1] / p[0] == pytest.approx(2.0**-3)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ConfigurationError):
+            power_law_probabilities(2.5, 0, 10)
+        with pytest.raises(ConfigurationError):
+            power_law_probabilities(2.5, 5, 4)
+        with pytest.raises(ConfigurationError):
+            power_law_probabilities(1.0, 1, 10)
+
+    def test_expected_mean_degree_in_range(self):
+        mean = expected_mean_degree(2.5, 2, 40)
+        assert 2.0 < mean < 40.0
+
+
+class TestDegreeSequence:
+    def test_length_and_bounds(self):
+        sequence = power_law_degree_sequence(500, 2.5, min_degree=2, max_degree=25, rng=1)
+        assert len(sequence) == 500
+        assert min(sequence) >= 2
+        assert max(sequence) <= 25
+
+    def test_even_sum(self):
+        for seed in range(5):
+            sequence = power_law_degree_sequence(
+                101, 2.2, min_degree=1, max_degree=30, rng=seed
+            )
+            assert sum(sequence) % 2 == 0
+
+    def test_default_max_degree_is_n(self):
+        sequence = power_law_degree_sequence(50, 3.0, min_degree=1, rng=3)
+        assert max(sequence) <= 50
+
+    def test_reproducible(self):
+        a = power_law_degree_sequence(100, 2.5, min_degree=1, max_degree=20, rng=9)
+        b = power_law_degree_sequence(100, 2.5, min_degree=1, max_degree=20, rng=9)
+        assert a == b
+
+    def test_heavy_tail_direction(self):
+        sequence = power_law_degree_sequence(5000, 2.2, min_degree=1, max_degree=100, rng=2)
+        ones = sequence.count(1)
+        big = sum(1 for value in sequence if value >= 50)
+        assert ones > big
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            power_law_degree_sequence(0, 2.5)
+
+    def test_single_odd_value_unsatisfiable(self):
+        with pytest.raises(ConfigurationError):
+            power_law_degree_sequence(3, 2.5, min_degree=3, max_degree=3, rng=1)
+
+
+class TestNaturalCutoffs:
+    def test_dorogovtsev_pa_case(self):
+        assert natural_cutoff(10_000, 3.0, min_degree=1) == pytest.approx(100.0)
+        assert natural_cutoff(10_000, 3.0, min_degree=3) == pytest.approx(300.0)
+
+    def test_smaller_exponent_larger_cutoff(self):
+        assert natural_cutoff(10_000, 2.2) > natural_cutoff(10_000, 3.0)
+
+    def test_aiello_smaller_than_dorogovtsev(self):
+        assert aiello_natural_cutoff(10_000, 3.0) < natural_cutoff(10_000, 3.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            natural_cutoff(0, 3.0)
+        with pytest.raises(ConfigurationError):
+            natural_cutoff(10, 1.0)
+        with pytest.raises(ConfigurationError):
+            aiello_natural_cutoff(10, 0.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the hop-and-attempt preferential-attachment generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators.hapa import HAPAGenerator, generate_hapa
+
+
+class TestBasicProperties:
+    def test_node_count_and_min_degree(self):
+        graph = generate_hapa(200, stubs=2, hard_cutoff=15, seed=1)
+        assert graph.number_of_nodes == 200
+        assert graph.min_degree() >= 1
+
+    def test_every_new_node_fills_its_stubs(self):
+        graph = generate_hapa(150, stubs=2, hard_cutoff=20, seed=2)
+        assert graph.min_degree() >= 2
+
+    def test_reproducible(self):
+        a = generate_hapa(120, stubs=1, hard_cutoff=10, seed=9)
+        b = generate_hapa(120, stubs=1, hard_cutoff=10, seed=9)
+        assert a == b
+
+    def test_cutoff_respected(self):
+        graph = generate_hapa(400, stubs=1, hard_cutoff=8, seed=3)
+        assert graph.max_degree() <= 8
+
+
+class TestStarFormation:
+    def test_no_cutoff_creates_super_hubs(self):
+        """Without a cutoff HAPA produces a star-like topology (paper Fig. 3a)."""
+        graph = generate_hapa(500, stubs=1, hard_cutoff=None, seed=4)
+        assert graph.max_degree() > 0.5 * graph.number_of_nodes
+
+    def test_cutoff_destroys_the_star(self):
+        bounded = generate_hapa(500, stubs=1, hard_cutoff=10, seed=4)
+        assert bounded.max_degree() <= 10
+
+    def test_super_hub_concentration_versus_pa(self):
+        """HAPA's biggest hub should dwarf PA's at the same size (no cutoffs)."""
+        from repro.generators.pa import generate_pa
+
+        hapa = generate_hapa(400, stubs=1, hard_cutoff=None, seed=6)
+        pa = generate_pa(400, stubs=1, hard_cutoff=None, seed=6)
+        assert hapa.max_degree() > 2 * pa.max_degree()
+
+
+class TestConfiguration:
+    def test_cutoff_not_above_stubs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_hapa(100, stubs=3, hard_cutoff=3, seed=1)
+
+    def test_partial_global_information_flag(self):
+        assert HAPAGenerator.uses_global_information == "partial"
+
+    def test_metadata_reports_hops(self):
+        generator = HAPAGenerator(150, stubs=1, hard_cutoff=10, seed=5)
+        result = generator.generate()
+        assert result.metadata["total_hops"] > 0
+        assert result.metadata["unfilled_stubs"] == 0
+
+    def test_fallback_bound_small_budget_still_terminates(self):
+        graph = generate_hapa(100, stubs=2, hard_cutoff=6, seed=7, max_hops_per_stub=3)
+        assert graph.number_of_nodes == 100
+        assert graph.max_degree() <= 6
+
+    def test_parameters_dict(self):
+        generator = HAPAGenerator(100, stubs=2, hard_cutoff=12, seed=8)
+        params = generator.parameters()
+        assert params["model"] == "hapa"
+        assert params["hard_cutoff"] == 12

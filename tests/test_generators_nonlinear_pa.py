@@ -1,0 +1,82 @@
+"""Unit tests for the nonlinear preferential-attachment extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators.nonlinear_pa import (
+    NonlinearPreferentialAttachmentGenerator,
+    generate_nonlinear_pa,
+)
+from repro.generators.pa import generate_pa
+from repro.generators.registry import available_generators, create_generator
+
+
+class TestBasicProperties:
+    def test_node_count_and_min_degree(self):
+        graph = generate_nonlinear_pa(200, stubs=2, exponent_alpha=1.0, seed=1)
+        assert graph.number_of_nodes == 200
+        assert graph.min_degree() >= 2
+
+    def test_cutoff_respected(self):
+        graph = generate_nonlinear_pa(
+            300, stubs=2, exponent_alpha=1.5, hard_cutoff=8, seed=2
+        )
+        assert graph.max_degree() <= 8
+
+    def test_reproducible(self):
+        a = generate_nonlinear_pa(150, stubs=1, exponent_alpha=0.7, seed=5)
+        b = generate_nonlinear_pa(150, stubs=1, exponent_alpha=0.7, seed=5)
+        assert a == b
+
+    def test_registered_in_registry(self):
+        assert "nlpa" in available_generators()
+        generator = create_generator(
+            "nlpa", number_of_nodes=60, stubs=1, exponent_alpha=1.2, seed=1
+        )
+        assert generator.generate_graph().number_of_nodes == 60
+
+
+class TestAttachmentRegimes:
+    def test_sublinear_suppresses_hubs(self):
+        """alpha < 1 yields a much smaller maximum degree than linear PA."""
+        sublinear = generate_nonlinear_pa(800, stubs=1, exponent_alpha=0.3, seed=7)
+        linear = generate_pa(800, stubs=1, seed=7)
+        assert sublinear.max_degree() < linear.max_degree()
+
+    def test_superlinear_condenses_onto_a_hub(self):
+        """alpha > 1 concentrates a large fraction of all links on one node."""
+        superlinear = generate_nonlinear_pa(500, stubs=1, exponent_alpha=2.0, seed=9)
+        assert superlinear.max_degree() > 0.4 * 500
+
+    def test_alpha_one_similar_to_linear_pa(self):
+        nonlinear = generate_nonlinear_pa(600, stubs=2, exponent_alpha=1.0, seed=11)
+        linear = generate_pa(600, stubs=2, seed=11)
+        assert nonlinear.mean_degree() == pytest.approx(linear.mean_degree(), rel=0.05)
+        # Same order of magnitude of hub size.
+        assert 0.3 < nonlinear.max_degree() / linear.max_degree() < 3.0
+
+    def test_cutoff_tames_superlinear_condensation(self):
+        capped = generate_nonlinear_pa(
+            500, stubs=1, exponent_alpha=2.0, hard_cutoff=10, seed=9
+        )
+        assert capped.max_degree() <= 10
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NonlinearPreferentialAttachmentGenerator(100, exponent_alpha=-0.5)
+
+    def test_cutoff_not_above_stubs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NonlinearPreferentialAttachmentGenerator(100, stubs=3, hard_cutoff=3)
+
+    def test_parameters_dict(self):
+        generator = NonlinearPreferentialAttachmentGenerator(
+            100, stubs=2, exponent_alpha=0.8, hard_cutoff=12, seed=4
+        )
+        params = generator.parameters()
+        assert params["model"] == "nlpa"
+        assert params["exponent_alpha"] == 0.8

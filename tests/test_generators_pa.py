@@ -1,0 +1,111 @@
+"""Unit tests for the preferential-attachment generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators.pa import PreferentialAttachmentGenerator, generate_pa
+
+
+class TestBasicProperties:
+    def test_node_and_edge_counts_m1(self):
+        graph = generate_pa(200, stubs=1, seed=1)
+        assert graph.number_of_nodes == 200
+        # Seed clique of 2 nodes has 1 edge; each of the 198 added nodes adds 1.
+        assert graph.number_of_edges == 199
+
+    def test_node_and_edge_counts_m3(self):
+        graph = generate_pa(200, stubs=3, seed=1)
+        assert graph.number_of_nodes == 200
+        # Seed clique of 4 nodes has 6 edges; each of the 196 added nodes adds 3.
+        assert graph.number_of_edges == 6 + 196 * 3
+
+    def test_minimum_degree_is_m(self):
+        for stubs in (1, 2, 3):
+            graph = generate_pa(150, stubs=stubs, seed=2)
+            assert graph.min_degree() >= stubs
+
+    def test_m1_topology_is_a_tree(self):
+        graph = generate_pa(100, stubs=1, seed=5)
+        assert graph.number_of_edges == graph.number_of_nodes - 1
+
+    def test_reproducible_with_seed(self):
+        a = generate_pa(100, stubs=2, hard_cutoff=10, seed=42)
+        b = generate_pa(100, stubs=2, hard_cutoff=10, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_pa(100, stubs=2, seed=1)
+        b = generate_pa(100, stubs=2, seed=2)
+        assert a != b
+
+
+class TestHardCutoff:
+    def test_cutoff_is_respected(self):
+        for cutoff in (5, 10, 20):
+            graph = generate_pa(300, stubs=2, hard_cutoff=cutoff, seed=3)
+            assert graph.max_degree() <= cutoff
+
+    def test_no_cutoff_grows_hubs(self):
+        bounded = generate_pa(500, stubs=2, hard_cutoff=10, seed=4)
+        unbounded = generate_pa(500, stubs=2, hard_cutoff=None, seed=4)
+        assert unbounded.max_degree() > bounded.max_degree()
+
+    def test_cutoff_accumulation_spike(self):
+        """Many nodes pile up exactly at k = kc (the paper's Fig. 1b)."""
+        graph = generate_pa(1000, stubs=2, hard_cutoff=8, seed=5)
+        at_cutoff = sum(1 for k in graph.degree_sequence() if k == 8)
+        just_below = sum(1 for k in graph.degree_sequence() if k == 7)
+        assert at_cutoff > just_below
+
+    def test_cutoff_equal_to_stubs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_pa(100, stubs=3, hard_cutoff=3, seed=1)
+
+
+class TestStrategies:
+    def test_attempt_strategy_matches_invariants(self):
+        graph = generate_pa(80, stubs=2, hard_cutoff=10, seed=7, strategy="attempt")
+        assert graph.number_of_nodes == 80
+        assert graph.max_degree() <= 10
+        assert graph.min_degree() >= 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreferentialAttachmentGenerator(100, strategy="magic")
+
+    def test_strategies_produce_similar_mean_degree(self):
+        roulette = generate_pa(300, stubs=2, seed=11, strategy="roulette")
+        attempt = generate_pa(300, stubs=2, seed=11, strategy="attempt")
+        assert roulette.mean_degree() == pytest.approx(attempt.mean_degree(), rel=0.05)
+
+    def test_degree_proportional_attachment_prefers_hubs(self):
+        """Early (old) nodes should end with higher average degree than late ones."""
+        graph = generate_pa(600, stubs=1, seed=13)
+        early = [graph.degree(node) for node in range(20)]
+        late = [graph.degree(node) for node in range(580, 600)]
+        assert sum(early) / len(early) > sum(late) / len(late)
+
+
+class TestGeneratorInterface:
+    def test_generation_result_metadata(self):
+        generator = PreferentialAttachmentGenerator(100, stubs=2, hard_cutoff=10, seed=1)
+        result = generator.generate()
+        assert result.model == "pa"
+        assert result.parameters["hard_cutoff"] == 10
+        assert "rejected_attempts" in result.metadata
+        assert result.elapsed_seconds >= 0.0
+        summary = result.summary()
+        assert summary["stats"]["number_of_nodes"] == 100
+
+    def test_uses_global_information_flag(self):
+        assert PreferentialAttachmentGenerator.uses_global_information == "yes"
+
+    def test_explicit_rng_overrides_seed(self):
+        generator = PreferentialAttachmentGenerator(100, stubs=1, seed=1)
+        a = generator.generate_graph(rng=99)
+        b = generator.generate_graph(rng=99)
+        c = generator.generate_graph(rng=100)
+        assert a == b
+        assert a != c

@@ -1,0 +1,54 @@
+"""Unit tests for the generator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators.base import TopologyGenerator
+from repro.generators.registry import (
+    GENERATORS,
+    available_generators,
+    create_generator,
+    register_generator,
+)
+
+
+class TestRegistry:
+    def test_all_four_paper_models_registered(self):
+        assert set(available_generators()) >= {"pa", "cm", "hapa", "dapa"}
+
+    def test_create_generator_pa(self):
+        generator = create_generator("pa", number_of_nodes=50, stubs=2, seed=1)
+        assert generator.model_name == "pa"
+        assert generator.generate_graph().number_of_nodes == 50
+
+    def test_create_generator_case_insensitive(self):
+        generator = create_generator("CM", number_of_nodes=50, exponent=2.5, seed=1)
+        assert generator.model_name == "cm"
+
+    def test_unknown_generator(self):
+        with pytest.raises(ConfigurationError):
+            create_generator("chord", number_of_nodes=10)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_generator("pa", GENERATORS["pa"])
+
+    def test_register_non_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_generator("bogus-model", dict)  # type: ignore[arg-type]
+
+    def test_register_and_use_custom_generator(self):
+        class TinyGenerator(GENERATORS["pa"]):  # type: ignore[misc]
+            model_name = "tiny"
+
+        try:
+            register_generator("tiny", TinyGenerator)
+            generator = create_generator("tiny", number_of_nodes=20, stubs=1, seed=1)
+            assert generator.generate_graph().number_of_nodes == 20
+        finally:
+            GENERATORS.pop("tiny", None)
+
+    def test_registry_classes_are_topology_generators(self):
+        assert all(issubclass(cls, TopologyGenerator) for cls in GENERATORS.values())

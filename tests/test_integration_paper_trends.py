@@ -1,0 +1,185 @@
+"""Integration tests: the paper's qualitative findings, end to end.
+
+These tests build real (small but non-trivial) topologies and check the
+*direction* of every headline claim of the paper.  They are the library's
+regression net for "does the reproduction still reproduce".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import giant_component_fraction, is_connected
+from repro.analysis.cutoff import empirical_cutoff
+from repro.analysis.paths import path_length_statistics
+from repro.analysis.powerlaw import fit_power_law
+from repro.generators.cm import generate_cm
+from repro.generators.dapa import generate_dapa
+from repro.generators.hapa import generate_hapa
+from repro.generators.pa import generate_pa
+from repro.search.flooding import FloodingSearch
+from repro.search.metrics import normalized_walk_curve, search_curve
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+
+NODES = 2000
+QUERIES = 40
+SEED = 2007
+
+
+@pytest.fixture(scope="module")
+def pa_no_cutoff():
+    return generate_pa(NODES, stubs=2, hard_cutoff=None, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def pa_small_cutoff():
+    return generate_pa(NODES, stubs=2, hard_cutoff=10, seed=SEED)
+
+
+class TestDegreeDistributionFindings:
+    def test_fig1b_spike_at_hard_cutoff(self, pa_small_cutoff):
+        degrees = pa_small_cutoff.degree_sequence()
+        at_cutoff = sum(1 for k in degrees if k == 10)
+        near_cutoff = sum(1 for k in degrees if k == 9)
+        assert at_cutoff > 2 * near_cutoff
+
+    def test_fig1c_exponent_decreases_with_cutoff(self):
+        gammas = []
+        for cutoff in (8, 20, 60):
+            graph = generate_pa(NODES, stubs=2, hard_cutoff=cutoff, seed=SEED)
+            gammas.append(
+                fit_power_law(graph, k_min=2, exclude_cutoff_spike=True).exponent
+            )
+        assert gammas[0] < gammas[-1]
+
+    def test_fig2_cm_exponent_insensitive_to_cutoff(self):
+        tight = generate_cm(NODES, exponent=2.5, min_degree=2, hard_cutoff=10, seed=SEED)
+        loose = generate_cm(NODES, exponent=2.5, min_degree=2, hard_cutoff=60, seed=SEED)
+        fit_tight = fit_power_law(tight, k_min=2, exclude_cutoff_spike=True).exponent
+        fit_loose = fit_power_law(loose, k_min=2, exclude_cutoff_spike=True).exponent
+        assert abs(fit_tight - fit_loose) < 0.6
+
+    def test_fig3_hapa_star_versus_cutoff(self):
+        star = generate_hapa(1000, stubs=1, hard_cutoff=None, seed=SEED)
+        capped = generate_hapa(1000, stubs=1, hard_cutoff=10, seed=SEED)
+        assert empirical_cutoff(star) > 0.5 * 1000
+        assert empirical_cutoff(capped) <= 10
+
+    def test_fig4_dapa_locality_transition(self):
+        shortsighted = generate_dapa(600, stubs=1, local_ttl=2, seed=SEED)
+        farsighted = generate_dapa(600, stubs=1, local_ttl=15, seed=SEED)
+        assert empirical_cutoff(farsighted) > empirical_cutoff(shortsighted)
+
+    def test_natural_cutoff_scales_like_sqrt_n(self):
+        small = generate_pa(500, stubs=1, seed=SEED)
+        large = generate_pa(4500, stubs=1, seed=SEED)
+        ratio = empirical_cutoff(large) / empirical_cutoff(small)
+        assert 1.3 < ratio < 9.0  # sqrt(9) = 3 expected, wide tolerance for noise
+
+
+class TestDiameterFindings:
+    def test_table1_tree_has_longer_paths_than_m2(self):
+        tree = generate_pa(NODES, stubs=1, seed=SEED)
+        dense = generate_pa(NODES, stubs=2, seed=SEED)
+        tree_stats = path_length_statistics(tree, sample_size=60, rng=1)
+        dense_stats = path_length_statistics(dense, sample_size=60, rng=1)
+        assert tree_stats.average > dense_stats.average
+
+    def test_table1_ultra_small_shorter_than_gamma3(self):
+        ultra = generate_cm(NODES, exponent=2.2, min_degree=2, seed=SEED)
+        regular = generate_cm(NODES, exponent=3.5, min_degree=2, seed=SEED)
+        ultra_stats = path_length_statistics(ultra, sample_size=60, rng=1)
+        regular_stats = path_length_statistics(regular, sample_size=60, rng=1)
+        assert ultra_stats.average < regular_stats.average
+
+
+class TestSearchFindings:
+    def test_fig6_flooding_prefers_no_cutoff_at_low_m(self):
+        bounded = generate_pa(NODES, stubs=1, hard_cutoff=10, seed=SEED)
+        unbounded = generate_pa(NODES, stubs=1, hard_cutoff=None, seed=SEED)
+        ttl = [4]
+        hits_bounded = search_curve(
+            bounded, FloodingSearch(), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        hits_unbounded = search_curve(
+            unbounded, FloodingSearch(), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        assert hits_unbounded > hits_bounded
+
+    def test_fig6_m3_makes_cutoff_penalty_negligible(self):
+        """At m=3 both curves saturate by a moderate TTL (the paper's claim is
+        about the saturated regime, where the cutoff costs almost nothing)."""
+        bounded = generate_pa(NODES, stubs=3, hard_cutoff=10, seed=SEED)
+        unbounded = generate_pa(NODES, stubs=3, hard_cutoff=None, seed=SEED)
+        ttl = [6]
+        hits_bounded = search_curve(
+            bounded, FloodingSearch(), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        hits_unbounded = search_curve(
+            unbounded, FloodingSearch(), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        assert hits_bounded > 0.75 * hits_unbounded
+
+    def test_fig7_cm_m1_saturates_below_system_size(self):
+        graph = generate_cm(NODES, exponent=2.5, min_degree=1, hard_cutoff=40, seed=SEED)
+        assert not is_connected(graph)
+        curve = search_curve(
+            graph, FloodingSearch(), [20], queries=QUERIES, rng=SEED
+        )
+        assert curve.final_hits() < 0.95 * NODES
+
+    def test_fig9_headline_smaller_cutoff_helps_nf_on_pa(
+        self, pa_no_cutoff, pa_small_cutoff
+    ):
+        ttl = [8]
+        hits_cutoff = search_curve(
+            pa_small_cutoff, NormalizedFloodingSearch(k_min=2), ttl,
+            queries=QUERIES, rng=SEED,
+        ).final_hits()
+        hits_free = search_curve(
+            pa_no_cutoff, NormalizedFloodingSearch(k_min=2), ttl,
+            queries=QUERIES, rng=SEED,
+        ).final_hits()
+        assert hits_cutoff >= 0.95 * hits_free
+
+    def test_fig11_headline_smaller_cutoff_helps_rw_on_pa(
+        self, pa_no_cutoff, pa_small_cutoff
+    ):
+        ttl = [8]
+        hits_cutoff = normalized_walk_curve(
+            pa_small_cutoff, ttl, k_min=2, queries=QUERIES, rng=SEED
+        ).final_hits()
+        hits_free = normalized_walk_curve(
+            pa_no_cutoff, ttl, k_min=2, queries=QUERIES, rng=SEED
+        ).final_hits()
+        assert hits_cutoff >= 0.95 * hits_free
+
+    def test_fig9_connectedness_dominates_hits(self):
+        """m=3 topologies give order-of-magnitude more NF hits than m=1."""
+        sparse = generate_pa(NODES, stubs=1, hard_cutoff=40, seed=SEED)
+        dense = generate_pa(NODES, stubs=3, hard_cutoff=40, seed=SEED)
+        ttl = [8]
+        hits_sparse = search_curve(
+            sparse, NormalizedFloodingSearch(k_min=1), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        hits_dense = search_curve(
+            dense, NormalizedFloodingSearch(k_min=3), ttl, queries=QUERIES, rng=SEED
+        ).final_hits()
+        assert hits_dense > 10 * hits_sparse
+
+    def test_messaging_cutoff_cost_is_negligible(self, pa_no_cutoff, pa_small_cutoff):
+        ttl = [6]
+        messages_cutoff = search_curve(
+            pa_small_cutoff, NormalizedFloodingSearch(k_min=2), ttl,
+            queries=QUERIES, rng=SEED,
+        ).mean_messages[0]
+        messages_free = search_curve(
+            pa_no_cutoff, NormalizedFloodingSearch(k_min=2), ttl,
+            queries=QUERIES, rng=SEED,
+        ).mean_messages[0]
+        assert messages_cutoff < 1.5 * messages_free
+
+    def test_dapa_m1_cutoff_improves_connectivity(self):
+        bounded = generate_dapa(800, stubs=1, hard_cutoff=10, local_ttl=10, seed=SEED)
+        unbounded = generate_dapa(800, stubs=1, hard_cutoff=None, local_ttl=10, seed=SEED)
+        assert giant_component_fraction(bounded) >= giant_component_fraction(unbounded) - 0.05

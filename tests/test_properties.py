@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.components import connected_components
+from repro.analysis.degree_distribution import ccdf, degree_distribution, degree_histogram
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.generators.cm import generate_cm
+from repro.generators.degree_sequence import power_law_degree_sequence
+from repro.generators.pa import generate_pa
+from repro.search.flooding import flood
+from repro.search.normalized_flooding import normalized_flood
+from repro.search.random_walk import random_walk
+
+# Strategy: small random edge lists over a small node universe.
+_node_count = st.integers(min_value=2, max_value=25)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(_node_count)
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=min(60, len(possible_edges)))
+    )
+    return Graph.from_edges(n, edges)
+
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestGraphProperties:
+    @common_settings
+    @given(random_graphs())
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degree_sequence()) == 2 * graph.number_of_edges
+        assert graph.total_degree == 2 * graph.number_of_edges
+
+    @common_settings
+    @given(random_graphs())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @common_settings
+    @given(random_graphs())
+    def test_components_partition_nodes(self, graph):
+        components = connected_components(graph)
+        covered = set()
+        for component in components:
+            assert not (covered & component)
+            covered |= component
+        assert covered == set(graph.nodes())
+
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_edge_removal_inverse_of_addition(self, graph, seed):
+        rng = RandomSource(seed=seed)
+        nodes = graph.nodes()
+        u = nodes[rng.randint(0, len(nodes) - 1)]
+        v = nodes[rng.randint(0, len(nodes) - 1)]
+        if u == v:
+            return
+        existed = graph.has_edge(u, v)
+        if not existed:
+            graph.add_edge(u, v)
+            graph.remove_edge(u, v)
+            assert not graph.has_edge(u, v)
+        else:
+            graph.remove_edge(u, v)
+            graph.add_edge(u, v)
+            assert graph.has_edge(u, v)
+
+
+class TestDistributionProperties:
+    @common_settings
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_histogram_counts_every_node(self, degrees):
+        histogram = degree_histogram(degrees)
+        assert sum(histogram.values()) == len(degrees)
+
+    @common_settings
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_distribution_is_a_probability_mass_function(self, degrees):
+        distribution = degree_distribution(degrees)
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9
+        assert all(p > 0 for p in distribution.values())
+
+    @common_settings
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=200))
+    def test_ccdf_starts_at_one_and_decreases(self, degrees):
+        points = ccdf(degrees)
+        values = [p for _, p in points]
+        assert abs(values[0] - 1.0) < 1e-9
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    @common_settings
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.floats(min_value=1.8, max_value=3.5),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_degree_sequence_even_sum_and_bounds(self, n, gamma, m, seed):
+        kc = max(m + 1, 20)
+        sequence = power_law_degree_sequence(n, gamma, min_degree=m, max_degree=kc, rng=seed)
+        assert len(sequence) == n
+        assert sum(sequence) % 2 == 0
+        assert all(m <= k <= kc for k in sequence)
+
+
+class TestGeneratorProperties:
+    @common_settings
+    @given(
+        st.integers(min_value=20, max_value=150),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_pa_cutoff_and_minimum_degree(self, n, m, kc, seed):
+        if kc <= m:
+            kc = m + 1
+        graph = generate_pa(n, stubs=m, hard_cutoff=kc, seed=seed)
+        assert graph.number_of_nodes == n
+        assert graph.max_degree() <= kc
+        if kc >= 2 * m:
+            # Degree capacity N*kc >= 2mN: every joining node can fill all its
+            # stubs, so m is the minimum degree.  Tighter cutoffs (kc < 2m)
+            # are infeasible to saturate and legitimately leave stubs open.
+            assert graph.min_degree() >= min(m, n - 1)
+
+    @common_settings
+    @given(
+        st.integers(min_value=20, max_value=150),
+        st.floats(min_value=2.0, max_value=3.2),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_cm_respects_cutoff_and_simplicity(self, n, gamma, seed):
+        graph = generate_cm(n, exponent=gamma, min_degree=1, hard_cutoff=15, seed=seed)
+        assert graph.max_degree() <= 15
+        edges = graph.edges()
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+
+class TestSearchProperties:
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=0, max_value=8))
+    def test_flood_hits_bounded_by_component(self, graph, ttl):
+        source = graph.nodes()[0]
+        result = flood(graph, source, ttl)
+        assert result.hits <= graph.number_of_nodes - 1
+        assert all(
+            b >= a for a, b in zip(result.hits_per_ttl, result.hits_per_ttl[1:])
+        )
+        assert len(result.hits_per_ttl) == ttl + 1
+
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_nf_subset_of_flood(self, graph, ttl, seed):
+        source = graph.nodes()[0]
+        fl = flood(graph, source, ttl)
+        nf = normalized_flood(graph, source, ttl, k_min=2, rng=seed)
+        assert nf.visited <= fl.visited
+        assert nf.hits <= fl.hits
+
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_random_walk_hits_bounded_by_messages(self, graph, ttl, seed):
+        source = graph.nodes()[0]
+        result = random_walk(graph, source, ttl, rng=seed)
+        assert result.hits <= result.messages <= ttl

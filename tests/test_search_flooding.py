@@ -1,0 +1,105 @@
+"""Unit tests for the flooding search algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.core.graph import Graph
+from repro.search.flooding import FloodingSearch, flood
+
+
+class TestCoverage:
+    def test_path_graph_cumulative_hits(self, path_graph):
+        result = flood(path_graph, 0, ttl=4)
+        assert result.hits_per_ttl == [0, 1, 2, 3, 4]
+
+    def test_star_graph_one_hop_reaches_everything(self, star_graph):
+        result = flood(star_graph, 0, ttl=1)
+        assert result.hits == 5
+
+    def test_star_graph_leaf_two_hops(self, star_graph):
+        result = flood(star_graph, 1, ttl=2)
+        assert result.hits_per_ttl == [0, 1, 5]
+
+    def test_flood_covers_component_only(self, two_component_graph):
+        result = flood(two_component_graph, 0, ttl=10)
+        assert result.hits == 2
+        assert result.visited == {0, 1, 2}
+
+    def test_source_counted_when_requested(self, path_graph):
+        result = FloodingSearch(count_source_as_hit=True).run(path_graph, 0, 2)
+        assert result.hits_per_ttl[0] == 1
+
+    def test_hits_monotone_in_ttl(self, pa_graph_cutoff):
+        result = flood(pa_graph_cutoff, 0, ttl=8)
+        assert all(
+            later >= earlier
+            for earlier, later in zip(result.hits_per_ttl, result.hits_per_ttl[1:])
+        )
+
+    def test_full_coverage_on_connected_graph(self, pa_graph_small):
+        result = flood(pa_graph_small, 5, ttl=20)
+        assert result.hits == pa_graph_small.number_of_nodes - 1
+
+
+class TestMessages:
+    def test_message_count_on_star_from_center(self, star_graph):
+        result = flood(star_graph, 0, ttl=2)
+        # hop 1: 5 messages out; hop 2: each leaf has no neighbor besides the
+        # center (excluded as previous hop), so no further messages.
+        assert result.messages_per_ttl == [0, 5, 5]
+
+    def test_messages_count_duplicates(self, complete_graph):
+        result = flood(complete_graph, 0, ttl=2)
+        # hop 1: 5 messages; hop 2: each of the 5 nodes forwards to 4 others
+        # (everyone already visited, but the messages are still sent).
+        assert result.messages_per_ttl[1] == 5
+        assert result.messages_per_ttl[2] == 5 + 5 * 4
+
+    def test_messages_at_accessor(self, path_graph):
+        result = flood(path_graph, 0, ttl=4)
+        assert result.messages_at(2) == 2
+        assert result.messages_at(100) == result.messages
+
+
+class TestTargetsAndEdgeCases:
+    def test_target_found_at_distance(self, path_graph):
+        result = flood(path_graph, 0, ttl=4, target=3)
+        assert result.found_at == 3
+        assert result.success
+
+    def test_target_unreachable(self, two_component_graph):
+        result = flood(two_component_graph, 0, ttl=5, target=4)
+        assert result.found_at is None
+        assert not result.success
+
+    def test_ttl_zero(self, path_graph):
+        result = flood(path_graph, 0, ttl=0)
+        assert result.hits == 0
+        assert result.messages == 0
+
+    def test_negative_ttl_rejected(self, path_graph):
+        with pytest.raises(SearchError):
+            flood(path_graph, 0, ttl=-1)
+
+    def test_missing_source_rejected(self, path_graph):
+        with pytest.raises(SearchError):
+            flood(path_graph, 99, ttl=2)
+
+    def test_isolated_source(self):
+        graph = Graph(3)
+        result = flood(graph, 0, ttl=4)
+        assert result.hits == 0
+        assert result.messages == 0
+
+    def test_hits_at_out_of_range_clamps(self, path_graph):
+        result = flood(path_graph, 0, ttl=2)
+        assert result.hits_at(50) == result.hits
+        with pytest.raises(SearchError):
+            result.hits_at(-1)
+
+    def test_run_many(self, star_graph):
+        results = FloodingSearch().run_many(star_graph, [0, 1, 2], ttl=2)
+        assert len(results) == 3
+        assert results[0].source == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the normalized-flooding search algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.search.flooding import FloodingSearch
+from repro.search.normalized_flooding import NormalizedFloodingSearch, normalized_flood
+
+
+class TestBranching:
+    def test_source_sends_at_most_kmin_messages(self, complete_graph):
+        result = normalized_flood(complete_graph, 0, ttl=1, k_min=2, rng=1)
+        assert result.messages == 2
+        assert result.hits == 2
+
+    def test_kmin_one_behaves_like_single_path(self, complete_graph):
+        result = normalized_flood(complete_graph, 0, ttl=3, k_min=1, rng=2)
+        # One message per hop at most.
+        assert result.messages <= 3
+
+    def test_default_kmin_is_graph_min_degree(self, star_graph):
+        search = NormalizedFloodingSearch()  # min degree of a star is 1
+        result = search.run(star_graph, 0, ttl=1, rng=1)
+        assert result.messages == 1
+
+    def test_low_degree_node_forwards_to_all_but_previous(self):
+        # 0 - 1 - {2, 3}: node 1 has degree 3 > kmin=2 so it forwards to 2
+        # random neighbors except 0 -> exactly {2, 3}.
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        result = normalized_flood(graph, 0, ttl=2, k_min=2, rng=5)
+        assert result.hits == 3
+
+    def test_invalid_kmin(self):
+        with pytest.raises(ValueError):
+            NormalizedFloodingSearch(k_min=0)
+
+
+class TestComparisonWithFlooding:
+    def test_nf_never_exceeds_fl_hits(self, pa_graph_cutoff):
+        """NF explores a subset of what FL explores at the same TTL."""
+        fl = FloodingSearch().run(pa_graph_cutoff, 3, ttl=5)
+        nf = NormalizedFloodingSearch(k_min=2).run(pa_graph_cutoff, 3, ttl=5, rng=7)
+        assert nf.hits <= fl.hits
+
+    def test_nf_uses_fewer_messages_than_fl_on_hubby_graph(self, pa_graph_small):
+        fl = FloodingSearch().run(pa_graph_small, 0, ttl=4)
+        nf = NormalizedFloodingSearch(k_min=2).run(pa_graph_small, 0, ttl=4, rng=3)
+        assert nf.messages < fl.messages
+
+    def test_nf_equals_fl_on_regular_graph_of_degree_kmin(self):
+        """On a k_min-regular graph NF forwards to everyone, i.e. it IS flooding."""
+        cycle = Graph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        fl = FloodingSearch().run(cycle, 0, ttl=3)
+        nf = NormalizedFloodingSearch(k_min=2).run(cycle, 0, ttl=3, rng=1)
+        assert nf.hits == fl.hits
+
+
+class TestBehaviour:
+    def test_hits_monotone_in_ttl(self, pa_graph_cutoff):
+        result = normalized_flood(pa_graph_cutoff, 1, ttl=8, k_min=2, rng=11)
+        assert all(
+            later >= earlier
+            for earlier, later in zip(result.hits_per_ttl, result.hits_per_ttl[1:])
+        )
+
+    def test_reproducible_with_seed(self, pa_graph_cutoff):
+        a = normalized_flood(pa_graph_cutoff, 1, ttl=6, k_min=2, rng=42)
+        b = normalized_flood(pa_graph_cutoff, 1, ttl=6, k_min=2, rng=42)
+        assert a.hits_per_ttl == b.hits_per_ttl
+        assert a.messages_per_ttl == b.messages_per_ttl
+
+    def test_ttl_zero(self, path_graph):
+        result = normalized_flood(path_graph, 0, ttl=0, k_min=1, rng=1)
+        assert result.hits == 0
+        assert result.messages == 0
+        assert len(result.hits_per_ttl) == 1
+
+    def test_target_detection(self, path_graph):
+        result = normalized_flood(path_graph, 0, ttl=4, k_min=1, rng=1, target=2)
+        if result.found_at is not None:
+            assert result.found_at <= 4
+
+    def test_dead_end_terminates_early(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        result = normalized_flood(graph, 0, ttl=10, k_min=1, rng=1)
+        assert result.hits == 2
+        assert len(result.hits_per_ttl) == 11
+
+    def test_source_counted_when_requested(self, star_graph):
+        result = NormalizedFloodingSearch(k_min=1, count_source_as_hit=True).run(
+            star_graph, 0, ttl=1, rng=1
+        )
+        assert result.hits_per_ttl[0] == 1

@@ -1,0 +1,63 @@
+"""Unit tests for the probabilistic-flooding extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.search.flooding import FloodingSearch
+from repro.search.probabilistic_flooding import (
+    ProbabilisticFloodingSearch,
+    probabilistic_flood,
+)
+from repro.search.registry import available_search_algorithms, create_search_algorithm
+
+
+class TestProbabilisticFlooding:
+    def test_probability_one_equals_flooding(self, pa_graph_cutoff):
+        fl = FloodingSearch().run(pa_graph_cutoff, 0, ttl=4)
+        pf = ProbabilisticFloodingSearch(1.0).run(pa_graph_cutoff, 0, ttl=4, rng=1)
+        assert pf.hits == fl.hits
+        assert pf.messages == fl.messages
+
+    def test_lower_probability_fewer_messages(self, pa_graph_small):
+        full = ProbabilisticFloodingSearch(1.0).run(pa_graph_small, 0, ttl=4, rng=2)
+        half = ProbabilisticFloodingSearch(0.5).run(pa_graph_small, 0, ttl=4, rng=2)
+        assert half.messages < full.messages
+        assert half.hits <= full.hits
+
+    def test_visited_subset_of_flooding(self, pa_graph_cutoff):
+        fl = FloodingSearch().run(pa_graph_cutoff, 3, ttl=5)
+        pf = ProbabilisticFloodingSearch(0.6).run(pa_graph_cutoff, 3, ttl=5, rng=3)
+        assert pf.visited <= fl.visited
+
+    def test_hits_monotone_in_ttl(self, pa_graph_cutoff):
+        result = probabilistic_flood(pa_graph_cutoff, 1, 6, forward_probability=0.7, rng=4)
+        assert all(b >= a for a, b in zip(result.hits_per_ttl, result.hits_per_ttl[1:]))
+
+    def test_reproducible(self, pa_graph_cutoff):
+        a = probabilistic_flood(pa_graph_cutoff, 1, 5, forward_probability=0.5, rng=9)
+        b = probabilistic_flood(pa_graph_cutoff, 1, 5, forward_probability=0.5, rng=9)
+        assert a.hits_per_ttl == b.hits_per_ttl
+
+    def test_target_detection(self, path_graph):
+        result = probabilistic_flood(path_graph, 0, 4, forward_probability=1.0, rng=1,
+                                     target=3)
+        assert result.found_at == 3
+
+    def test_invalid_probability(self):
+        with pytest.raises(SearchError):
+            ProbabilisticFloodingSearch(0.0)
+        with pytest.raises(SearchError):
+            ProbabilisticFloodingSearch(1.5)
+
+    def test_registered_in_registry(self):
+        assert "pf" in available_search_algorithms()
+        algorithm = create_search_algorithm("pf", forward_probability=0.3)
+        assert algorithm.algorithm_name == "pf"
+        assert algorithm.forward_probability == 0.3
+
+    def test_ttl_zero(self, path_graph):
+        result = probabilistic_flood(path_graph, 0, 0, rng=1)
+        assert result.hits == 0
+        assert result.messages == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the random-walk search algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.search.random_walk import RandomWalkSearch, random_walk
+
+
+class TestSingleWalker:
+    def test_walk_on_path_reaches_end(self, path_graph):
+        """A non-backtracking walk on a path has only one way to go."""
+        result = random_walk(path_graph, 0, ttl=4, rng=1)
+        assert result.hits == 4
+        assert result.visited == {0, 1, 2, 3, 4}
+
+    def test_messages_equal_steps_taken(self, complete_graph):
+        result = random_walk(complete_graph, 0, ttl=7, rng=2)
+        assert result.messages == 7
+
+    def test_hits_bounded_by_steps(self, pa_graph_small):
+        result = random_walk(pa_graph_small, 0, ttl=30, rng=3)
+        assert result.hits <= 30
+
+    def test_dead_end_stops_walk(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        result = random_walk(graph, 0, ttl=10, rng=1)
+        # After reaching node 1 the only neighbor is the previous hop.
+        assert result.hits == 1
+        assert result.messages == 1
+
+    def test_non_backtracking_on_triangle_cycles(self):
+        triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        result = random_walk(triangle, 0, ttl=9, rng=4)
+        assert result.hits == 2  # visits both other corners, never stalls
+        assert result.messages == 9
+
+    def test_backtracking_allowed_variant(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        result = random_walk(graph, 0, ttl=5, rng=1, allow_backtracking=True)
+        assert result.messages == 5  # bounces back and forth
+
+    def test_reproducible(self, pa_graph_cutoff):
+        a = random_walk(pa_graph_cutoff, 2, ttl=20, rng=9)
+        b = random_walk(pa_graph_cutoff, 2, ttl=20, rng=9)
+        assert a.hits_per_ttl == b.hits_per_ttl
+
+    def test_ttl_zero(self, path_graph):
+        result = random_walk(path_graph, 0, ttl=0, rng=1)
+        assert result.hits == 0
+        assert result.messages == 0
+
+
+class TestMultipleWalkers:
+    def test_walker_count_scales_messages(self, complete_graph):
+        result = random_walk(complete_graph, 0, ttl=5, walkers=4, rng=5)
+        assert result.messages == 20
+
+    def test_more_walkers_more_coverage(self, pa_graph_small):
+        single = random_walk(pa_graph_small, 0, ttl=15, walkers=1, rng=6)
+        multiple = random_walk(pa_graph_small, 0, ttl=15, walkers=8, rng=6)
+        assert multiple.hits >= single.hits
+
+    def test_invalid_walker_count(self):
+        with pytest.raises(ValueError):
+            RandomWalkSearch(walkers=0)
+
+
+class TestTargets:
+    def test_target_found_on_path(self, path_graph):
+        result = random_walk(path_graph, 0, ttl=10, rng=1, target=4)
+        assert result.found_at == 4
+
+    def test_target_in_other_component_never_found(self, two_component_graph):
+        result = random_walk(two_component_graph, 0, ttl=50, rng=2, target=5)
+        assert result.found_at is None
+
+    def test_isolated_source(self):
+        graph = Graph(2)
+        result = random_walk(graph, 0, ttl=5, rng=1)
+        assert result.hits == 0
+        assert result.messages == 0

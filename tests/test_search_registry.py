@@ -1,0 +1,58 @@
+"""Unit tests for the search-algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.search.base import SearchAlgorithm
+from repro.search.flooding import FloodingSearch
+from repro.search.registry import (
+    SEARCH_ALGORITHMS,
+    available_search_algorithms,
+    create_search_algorithm,
+    register_search_algorithm,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        names = available_search_algorithms()
+        assert {"fl", "nf", "rw"} <= set(names)
+
+    def test_aliases_resolve_to_same_class(self):
+        assert SEARCH_ALGORITHMS["fl"] is SEARCH_ALGORITHMS["flooding"]
+        assert SEARCH_ALGORITHMS["rw"] is SEARCH_ALGORITHMS["random_walk"]
+
+    def test_create_with_parameters(self):
+        nf = create_search_algorithm("nf", k_min=3)
+        assert nf.algorithm_name == "nf"
+        assert nf.k_min == 3
+
+    def test_create_case_insensitive(self):
+        assert create_search_algorithm("FL").algorithm_name == "fl"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            create_search_algorithm("dht-lookup")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_search_algorithm("fl", FloodingSearch)
+
+    def test_register_non_search_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_search_algorithm("thing", dict)  # type: ignore[arg-type]
+
+    def test_register_custom_algorithm(self):
+        class ProbeSearch(FloodingSearch):
+            algorithm_name = "probe"
+
+        try:
+            register_search_algorithm("probe", ProbeSearch)
+            assert create_search_algorithm("probe").algorithm_name == "probe"
+        finally:
+            SEARCH_ALGORITHMS.pop("probe", None)
+
+    def test_all_registered_are_search_algorithms(self):
+        assert all(issubclass(cls, SearchAlgorithm) for cls in SEARCH_ALGORITHMS.values())

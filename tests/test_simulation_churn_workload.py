@@ -1,0 +1,169 @@
+"""Unit tests for the churn process and the content/query workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.simulation.churn import ChurnConfig, ChurnProcess
+from repro.simulation.network import JoinStrategy
+from repro.simulation.workload import ContentCatalog, QueryWorkload, zipf_probabilities
+
+
+class TestChurn:
+    def make_config(self, **overrides) -> ChurnConfig:
+        defaults = dict(
+            initial_peers=25,
+            duration=30.0,
+            arrival_rate=2.0,
+            mean_session_length=40.0,
+            hard_cutoff=6,
+            stubs=2,
+            sample_interval=10.0,
+            seed=7,
+        )
+        defaults.update(overrides)
+        return ChurnConfig(**defaults)
+
+    def test_joins_and_leaves_happen(self):
+        report = ChurnProcess(self.make_config()).run()
+        assert report.joins > 0
+        assert report.leaves >= 0
+        assert report.final_peers > 2
+
+    def test_cutoff_never_violated_under_churn(self):
+        report = ChurnProcess(self.make_config()).run()
+        assert report.cutoff_violations == 0
+        assert all(sample.max_degree <= 6 for sample in report.samples)
+
+    def test_samples_taken_at_interval(self):
+        report = ChurnProcess(self.make_config(duration=30.0, sample_interval=10.0)).run()
+        times = [sample.time for sample in report.samples]
+        assert times[0] == pytest.approx(10.0)
+        assert times[-1] == pytest.approx(30.0)
+
+    def test_pure_growth_without_departures(self):
+        config = self.make_config(mean_session_length=None, duration=20.0)
+        report = ChurnProcess(config).run()
+        assert report.leaves == 0
+        assert report.final_peers >= config.initial_peers
+
+    def test_reproducible(self):
+        a = ChurnProcess(self.make_config()).run()
+        b = ChurnProcess(self.make_config()).run()
+        assert a.joins == b.joins
+        assert a.leaves == b.leaves
+        assert [s.peers for s in a.samples] == [s.peers for s in b.samples]
+
+    def test_report_serialisation(self):
+        report = ChurnProcess(self.make_config(duration=15.0)).run()
+        payload = report.as_dict()
+        assert payload["joins"] == report.joins
+        assert len(payload["samples"]) == len(report.samples)
+        assert report.max_degree_over_time() == [s.max_degree for s in report.samples]
+
+    def test_discover_strategy_supported(self):
+        config = self.make_config(join_strategy=JoinStrategy.DISCOVER, duration=15.0)
+        report = ChurnProcess(config).run()
+        assert report.cutoff_violations == 0
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConfigurationError):
+            self.make_config(initial_peers=1)
+        with pytest.raises(ConfigurationError):
+            self.make_config(duration=0)
+        with pytest.raises(ConfigurationError):
+            self.make_config(hard_cutoff=1, stubs=3)
+        with pytest.raises(ConfigurationError):
+            self.make_config(sample_interval=0)
+
+
+class TestZipf:
+    def test_probabilities_normalised_and_ordered(self):
+        p = zipf_probabilities(50, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > p[-1]
+
+    def test_zero_skew_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert p[0] == pytest.approx(p[-1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestContentCatalog:
+    def test_item_names_and_rank_validation(self):
+        catalog = ContentCatalog(number_of_items=5)
+        assert catalog.item_name(1) == "item-00001"
+        assert len(catalog.items()) == 5
+        with pytest.raises(ConfigurationError):
+            catalog.item_name(6)
+
+    def test_uniform_replication_counts(self):
+        catalog = ContentCatalog(number_of_items=10, replicas_per_item=3)
+        assert catalog.replica_counts() == [3] * 10
+
+    def test_proportional_replication_favours_popular_items(self):
+        catalog = ContentCatalog(
+            number_of_items=20, skew=1.2, replication="proportional", replicas_per_item=4
+        )
+        counts = catalog.replica_counts()
+        assert counts[0] > counts[-1]
+        assert min(counts) >= 1
+
+    def test_placement_no_duplicate_item_per_peer(self):
+        catalog = ContentCatalog(number_of_items=15, replicas_per_item=4)
+        placement = catalog.place(list(range(30)), rng=2)
+        for items in placement.values():
+            assert len(items) == len(set(items))
+
+    def test_placement_on_empty_peer_set_rejected(self):
+        with pytest.raises(SimulationError):
+            ContentCatalog(number_of_items=3).place([], rng=1)
+
+    def test_invalid_catalog_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(replication="broadcast")
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(replicas_per_item=0)
+
+
+class TestQueryWorkload:
+    def test_events_sorted_and_bounded(self):
+        catalog = ContentCatalog(number_of_items=10, skew=0.8)
+        workload = QueryWorkload(catalog, query_rate=3.0, duration=8.0, seed=5)
+        events = workload.generate(list(range(20)))
+        times = [time for time, _, _ in events]
+        assert times == sorted(times)
+        assert all(0 < time <= 8.0 for time in times)
+
+    def test_sources_and_keywords_valid(self):
+        catalog = ContentCatalog(number_of_items=6)
+        workload = QueryWorkload(catalog, query_rate=4.0, duration=5.0, seed=6)
+        peers = list(range(10))
+        for _, source, keyword in workload.generate(peers):
+            assert source in peers
+            assert keyword in catalog.items()
+
+    def test_reproducible(self):
+        catalog = ContentCatalog(number_of_items=6)
+        a = QueryWorkload(catalog, query_rate=2.0, duration=5.0, seed=9).generate([1, 2, 3])
+        b = QueryWorkload(catalog, query_rate=2.0, duration=5.0, seed=9).generate([1, 2, 3])
+        assert a == b
+
+    def test_empty_peer_set_rejected(self):
+        catalog = ContentCatalog(number_of_items=6)
+        workload = QueryWorkload(catalog, query_rate=2.0, duration=5.0, seed=1)
+        with pytest.raises(SimulationError):
+            workload.generate([])
+
+    def test_invalid_rate_and_duration(self):
+        catalog = ContentCatalog(number_of_items=3)
+        with pytest.raises(ConfigurationError):
+            QueryWorkload(catalog, query_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            QueryWorkload(catalog, duration=0.0)

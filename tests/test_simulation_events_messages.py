@@ -1,0 +1,123 @@
+"""Unit tests for the discrete-event queue and protocol messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.events import EventQueue
+from repro.simulation.messages import Message, Ping, Pong, Query, QueryHit, next_message_id
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        assert queue.run() == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("first"))
+        queue.schedule(1.0, lambda: fired.append("second"))
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        assert queue.now == 5.0
+
+    def test_schedule_in_uses_relative_delay(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(2.0, lambda: queue.schedule_in(3.0, lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [5.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule(4.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(10.0, lambda: fired.append(10))
+        executed = queue.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert queue.pending == 1
+        assert queue.now == 5.0
+
+    def test_max_events_limit(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.schedule(float(index), lambda: None)
+        assert queue.run(max_events=2) == 2
+        assert queue.pending == 3
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("cancelled"))
+        queue.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        queue.run()
+        assert fired == ["kept"]
+
+    def test_step_returns_none_when_empty(self):
+        assert EventQueue().step() is None
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        assert queue.processed == 1
+
+
+class TestMessages:
+    def test_unique_ids(self):
+        assert next_message_id() != next_message_id()
+
+    def test_forwarded_decrements_ttl_and_increments_hops(self):
+        query = Query(message_id=1, origin=0, ttl=3, keyword="x")
+        forwarded = query.forwarded()
+        assert forwarded.ttl == 2
+        assert forwarded.hops == 1
+        assert forwarded.keyword == "x"
+        assert query.ttl == 3  # original untouched (frozen dataclass)
+
+    def test_cannot_forward_expired(self):
+        message = Message(message_id=1, origin=0, ttl=0)
+        assert message.expired
+        with pytest.raises(SimulationError):
+            message.forwarded()
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(message_id=1, origin=0, ttl=-1)
+
+    def test_ping_pong_fields(self):
+        pong = Pong(message_id=2, origin=1, ttl=1, responder=5, responder_degree=7)
+        assert pong.responder == 5
+        assert pong.responder_degree == 7
+        assert isinstance(pong, Message)
+        assert isinstance(Ping(message_id=3, origin=0, ttl=2), Message)
+
+    def test_query_hit_fields(self):
+        hit = QueryHit(message_id=4, origin=2, ttl=3, responder=2, keyword="song", query_id=1)
+        assert hit.query_id == 1
+        assert hit.keyword == "song"

@@ -1,0 +1,83 @@
+"""Behavioural tests for the peer-join strategies of the live overlay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import giant_component_fraction
+from repro.simulation.network import JoinStrategy, P2PNetwork
+
+
+def build(strategy: JoinStrategy, peers: int = 120, cutoff: int = 6, seed: int = 5):
+    network = P2PNetwork(
+        hard_cutoff=cutoff, stubs=2, join_strategy=strategy, horizon=2, rng=seed
+    )
+    for _ in range(peers):
+        network.join()
+    return network
+
+
+class TestAllStrategies:
+    @pytest.mark.parametrize("strategy", list(JoinStrategy))
+    def test_overlay_is_mostly_connected(self, strategy):
+        network = build(strategy)
+        assert giant_component_fraction(network.overlay_graph()) > 0.9
+
+    @pytest.mark.parametrize("strategy", list(JoinStrategy))
+    def test_mean_degree_close_to_two_m(self, strategy):
+        network = build(strategy)
+        graph = network.overlay_graph()
+        # Each joiner adds about m = 2 links (cutoff saturation can shave a little).
+        assert 2.0 < graph.mean_degree() <= 4.2
+
+    @pytest.mark.parametrize("strategy", list(JoinStrategy))
+    def test_neighbor_tables_and_graph_stay_consistent(self, strategy):
+        network = build(strategy, peers=60)
+        graph = network.overlay_graph()
+        for peer_id in network.online_peers():
+            assert sorted(network.peer(peer_id).neighbors()) == sorted(
+                graph.neighbors(peer_id)
+            )
+
+    def test_strategy_enum_round_trip(self):
+        assert JoinStrategy("random") is JoinStrategy.RANDOM
+        assert JoinStrategy("discover") is JoinStrategy.DISCOVER
+        with pytest.raises(ValueError):
+            JoinStrategy("teleport")
+
+
+class TestDegreeAwareStrategies:
+    def test_preferential_creates_more_skewed_degrees_than_random(self):
+        preferential = build(JoinStrategy.PREFERENTIAL, peers=250, cutoff=30, seed=9)
+        random_join = build(JoinStrategy.RANDOM, peers=250, cutoff=30, seed=9)
+        assert (
+            preferential.overlay_graph().max_degree()
+            >= random_join.overlay_graph().max_degree()
+        )
+
+    def test_discover_join_only_links_within_horizon(self):
+        """The discover rule attaches to peers found within `horizon` hops of
+        one entry point, so any two of the new peer's neighbors lie within
+        `2 * horizon` hops of each other in the pre-join overlay."""
+        from repro.substrate.horizon import bfs_distances
+
+        horizon = 2
+        network = P2PNetwork(
+            hard_cutoff=10, stubs=2, join_strategy=JoinStrategy.DISCOVER,
+            horizon=horizon, rng=11,
+        )
+        for _ in range(80):
+            graph_before = network.overlay_graph()
+            new_peer = network.join()
+            targets = network.peer(new_peer).neighbors()
+            if len(targets) >= 2 and graph_before.number_of_nodes > 0:
+                anchor, *others = targets
+                distances = bfs_distances(graph_before, anchor, max_depth=2 * horizon)
+                for other in others:
+                    assert other in distances, "discover linked outside its horizon"
+
+    def test_hop_and_attempt_fills_stubs(self):
+        network = build(JoinStrategy.HOP_AND_ATTEMPT, peers=100, cutoff=10, seed=13)
+        graph = network.overlay_graph()
+        late = network.online_peers()[5:]
+        assert all(graph.degree(peer) >= 2 for peer in late)

@@ -1,0 +1,163 @@
+"""Unit tests for the live P2P overlay network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.generators.pa import generate_pa
+from repro.simulation.messages import Ping
+from repro.simulation.network import JoinStrategy, LatencyModel, P2PNetwork
+
+
+def grow(network: P2PNetwork, count: int):
+    return [network.join() for _ in range(count)]
+
+
+class TestJoin:
+    def test_first_peer_has_no_links(self):
+        network = P2PNetwork(rng=1)
+        first = network.join()
+        assert network.degree(first) == 0
+        assert network.peer_count == 1
+
+    def test_join_respects_stubs(self):
+        network = P2PNetwork(stubs=2, rng=2)
+        grow(network, 20)
+        # Every peer that joined after the first two has at least 2 links.
+        graph = network.overlay_graph()
+        late_joiners = network.online_peers()[3:]
+        assert all(graph.degree(peer) >= 2 for peer in late_joiners)
+
+    def test_hard_cutoff_never_exceeded(self):
+        for strategy in JoinStrategy:
+            network = P2PNetwork(hard_cutoff=4, stubs=2, join_strategy=strategy, rng=3)
+            grow(network, 60)
+            assert network.overlay_graph().max_degree() <= 4, strategy
+
+    def test_duplicate_peer_id_rejected(self):
+        network = P2PNetwork(rng=4)
+        network.join(peer_id=7)
+        with pytest.raises(SimulationError):
+            network.join(peer_id=7)
+
+    def test_join_with_shared_items(self):
+        network = P2PNetwork(rng=5)
+        peer_id = network.join(shared_items=["a", "b"])
+        assert network.peer(peer_id).has_item("a")
+
+    def test_per_peer_cutoff_override(self):
+        network = P2PNetwork(hard_cutoff=10, stubs=1, rng=6)
+        grow(network, 5)
+        special = network.join(hard_cutoff=2)
+        assert network.peer(special).neighbor_table.capacity == 2
+
+    def test_strategy_override_per_join(self):
+        network = P2PNetwork(stubs=1, join_strategy=JoinStrategy.RANDOM, rng=7)
+        grow(network, 10)
+        peer_id = network.join(strategy="preferential")
+        assert network.degree(peer_id) >= 1
+
+
+class TestLinksAndLeave:
+    def test_connect_and_disconnect(self):
+        network = P2PNetwork(rng=8)
+        a, b = network.join(), network.join()
+        assert network.graph.has_edge(a, b) or network.connect(a, b)
+        assert network.disconnect(a, b)
+        assert not network.graph.has_edge(a, b)
+        assert not network.disconnect(a, b)
+
+    def test_connect_refuses_when_table_full(self):
+        network = P2PNetwork(hard_cutoff=1, stubs=1, rng=9)
+        a, b, c = network.join(), network.join(), network.join()
+        # a-b consumed both tables (whichever join linked them); a third link
+        # onto a full table must fail.
+        full_pairs = [(a, c), (b, c)]
+        results = [network.connect(u, v) for u, v in full_pairs]
+        assert results.count(True) <= 1
+
+    def test_leave_removes_peer_and_links(self):
+        network = P2PNetwork(stubs=2, rng=10)
+        ids = grow(network, 10)
+        victim = ids[4]
+        network.leave(victim, rewire=False)
+        assert not network.has_peer(victim)
+        assert victim not in network.overlay_graph()
+        for peer_id in network.online_peers():
+            assert victim not in network.peer(peer_id).neighbors()
+
+    def test_leave_with_rewiring_creates_replacement_links(self):
+        network = P2PNetwork(stubs=3, rng=11)
+        grow(network, 30)
+        hub = max(network.online_peers(), key=network.degree)
+        created = network.leave(hub, rewire=True)
+        assert isinstance(created, list)
+        graph = network.overlay_graph()
+        for u, v in created:
+            assert graph.has_edge(u, v)
+
+    def test_leave_unknown_peer_raises(self):
+        network = P2PNetwork(rng=12)
+        network.join()
+        with pytest.raises(SimulationError):
+            network.leave(999)
+
+
+class TestMessaging:
+    def test_send_delivers_via_event_queue(self):
+        network = P2PNetwork(rng=13)
+        a, b = network.join(), network.join()
+        received = []
+        network.set_message_handler(
+            lambda net, sender, recipient, message: received.append((sender, recipient))
+        )
+        network.send(a, b, Ping(message_id=1, origin=a, ttl=1))
+        assert received == []  # not delivered until the event queue runs
+        network.run()
+        assert received == [(a, b)]
+        assert network.messages_delivered == 1
+
+    def test_send_to_departed_peer_is_dropped(self):
+        network = P2PNetwork(rng=14)
+        a, b = network.join(), network.join()
+        network.leave(b, rewire=False)
+        network.send(a, b, Ping(message_id=2, origin=a, ttl=1))
+        network.run()
+        assert network.messages_delivered == 0
+
+    def test_latency_model_bounds(self):
+        model = LatencyModel(minimum=0.01, maximum=0.02)
+        from repro.core.rng import RandomSource
+
+        rng = RandomSource(seed=1)
+        for _ in range(50):
+            assert 0.01 <= model.sample(rng) <= 0.02
+
+    def test_degenerate_latency_model(self):
+        from repro.core.rng import RandomSource
+
+        model = LatencyModel(minimum=0.05, maximum=0.05)
+        assert model.sample(RandomSource(seed=1)) == 0.05
+
+
+class TestFromGraph:
+    def test_wraps_generated_topology(self):
+        graph = generate_pa(100, stubs=2, hard_cutoff=10, seed=15)
+        network = P2PNetwork.from_graph(graph, hard_cutoff=10, rng=16)
+        assert network.peer_count == 100
+        assert network.overlay_graph() == graph
+
+    def test_neighbor_tables_match_graph(self):
+        graph = generate_pa(50, stubs=2, hard_cutoff=8, seed=17)
+        network = P2PNetwork.from_graph(graph, hard_cutoff=8, rng=18)
+        for node in graph.nodes():
+            assert sorted(network.peer(node).neighbors()) == sorted(graph.neighbors(node))
+
+    def test_validation_of_constructor_arguments(self):
+        with pytest.raises(SimulationError):
+            P2PNetwork(stubs=0)
+        with pytest.raises(SimulationError):
+            P2PNetwork(hard_cutoff=1, stubs=2)
+        with pytest.raises(SimulationError):
+            P2PNetwork(horizon=0)

@@ -1,0 +1,104 @@
+"""Unit tests for peers and bounded neighbor tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.rng import RandomSource
+from repro.simulation.peer import NeighborTable, Peer
+
+
+class TestNeighborTable:
+    def test_capacity_enforced(self):
+        table = NeighborTable(capacity=2)
+        assert table.add(1)
+        assert table.add(2)
+        assert not table.add(3)
+        assert table.is_full
+        assert len(table) == 2
+
+    def test_unbounded_table(self):
+        table = NeighborTable()
+        for peer in range(100):
+            assert table.add(peer)
+        assert not table.is_full
+        assert table.free_slots is None
+
+    def test_duplicate_add_returns_false(self):
+        table = NeighborTable(capacity=5)
+        assert table.add(1)
+        assert not table.add(1)
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = NeighborTable(capacity=2)
+        table.add(1)
+        assert table.remove(1)
+        assert not table.remove(1)
+        assert 1 not in table
+
+    def test_free_slots(self):
+        table = NeighborTable(capacity=3)
+        table.add(1)
+        assert table.free_slots == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            NeighborTable(capacity=0)
+
+    def test_iteration_sorted(self):
+        table = NeighborTable()
+        for peer in (5, 1, 3):
+            table.add(peer)
+        assert list(table) == [1, 3, 5]
+        assert table.as_list() == [1, 3, 5]
+
+    def test_random_neighbor(self):
+        table = NeighborTable()
+        rng = RandomSource(seed=1)
+        assert table.random_neighbor(rng) is None
+        table.add(9)
+        assert table.random_neighbor(rng) == 9
+
+
+class TestPeer:
+    def test_degree_and_cutoff(self):
+        peer = Peer(peer_id=1, neighbor_table=NeighborTable(capacity=4))
+        peer.neighbor_table.add(2)
+        assert peer.degree == 1
+        assert peer.hard_cutoff == 4
+        assert peer.neighbors() == [2]
+
+    def test_content_sharing(self):
+        peer = Peer(peer_id=1)
+        peer.share("song.mp3")
+        assert peer.has_item("song.mp3")
+        peer.unshare("song.mp3")
+        assert not peer.has_item("song.mp3")
+        peer.unshare("never-shared")  # no error
+
+    def test_mark_seen_duplicate_suppression(self):
+        peer = Peer(peer_id=1)
+        assert peer.mark_seen(100)
+        assert not peer.mark_seen(100)
+        assert peer.mark_seen(101)
+
+    def test_counters_and_reset(self):
+        peer = Peer(peer_id=1)
+        peer.messages_received = 5
+        peer.messages_forwarded = 3
+        peer.queries_answered = 1
+        peer.reset_counters()
+        assert peer.messages_received == 0
+        assert peer.messages_forwarded == 0
+        assert peer.queries_answered == 0
+
+    def test_snapshot(self):
+        peer = Peer(peer_id=7, neighbor_table=NeighborTable(capacity=3))
+        peer.share("a")
+        snapshot = peer.snapshot()
+        assert snapshot["peer_id"] == 7
+        assert snapshot["hard_cutoff"] == 3
+        assert snapshot["shared_items"] == 1
+        assert snapshot["online"] is True

@@ -1,0 +1,64 @@
+"""Unit tests for the 2-D mesh substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import is_connected
+from repro.core.errors import ConfigurationError
+from repro.substrate.mesh import MeshNetwork, generate_mesh
+
+
+class TestMesh:
+    def test_node_and_edge_count_open_boundary(self):
+        graph = generate_mesh(4, 5)
+        assert graph.number_of_nodes == 20
+        # rows*(cols-1) horizontal + (rows-1)*cols vertical
+        assert graph.number_of_edges == 4 * 4 + 3 * 5
+
+    def test_corner_edge_interior_degrees(self):
+        mesh = MeshNetwork(5, 5)
+        graph = mesh.generate_graph()
+        assert graph.degree(mesh.node_id(0, 0)) == 2  # corner
+        assert graph.degree(mesh.node_id(0, 2)) == 3  # edge
+        assert graph.degree(mesh.node_id(2, 2)) == 4  # interior
+
+    def test_torus_all_degrees_four(self):
+        graph = generate_mesh(5, 6, torus=True)
+        assert set(graph.degree_sequence()) == {4}
+
+    def test_torus_edge_count(self):
+        graph = generate_mesh(5, 6, torus=True)
+        assert graph.number_of_edges == 2 * 5 * 6
+
+    def test_connected(self):
+        assert is_connected(generate_mesh(7, 3))
+        assert is_connected(generate_mesh(4, 4, torus=True))
+
+    def test_node_id_and_position_round_trip(self):
+        mesh = MeshNetwork(6, 9)
+        for row in (0, 3, 5):
+            for column in (0, 4, 8):
+                node = mesh.node_id(row, column)
+                assert mesh.position(node) == (row, column)
+
+    def test_minimum_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(1, 10)
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(10, 1)
+
+    def test_parameters(self):
+        mesh = MeshNetwork(3, 4, torus=True)
+        params = mesh.parameters()
+        assert params == {"substrate": "mesh", "rows": 3, "columns": 4, "torus": True}
+
+    def test_deterministic_regardless_of_rng(self):
+        a = MeshNetwork(4, 4).generate_graph(rng=1)
+        b = MeshNetwork(4, 4).generate_graph(rng=999)
+        assert a == b
+
+    def test_two_column_torus_no_duplicate_edges(self):
+        graph = generate_mesh(4, 2, torus=True)
+        edges = graph.edges()
+        assert len(edges) == len(set(edges))

@@ -1,0 +1,53 @@
+"""Unit tests for the Erdős–Rényi substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.substrate.random_graph import ErdosRenyiNetwork, generate_erdos_renyi
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        graph = generate_erdos_renyi(200, target_mean_degree=5.0, seed=1)
+        assert graph.number_of_nodes == 200
+
+    def test_mean_degree_close_to_target(self):
+        graph = generate_erdos_renyi(2000, target_mean_degree=8.0, seed=2)
+        assert graph.mean_degree() == pytest.approx(8.0, rel=0.15)
+
+    def test_reproducible(self):
+        a = generate_erdos_renyi(300, edge_probability=0.02, seed=5)
+        b = generate_erdos_renyi(300, edge_probability=0.02, seed=5)
+        assert a == b
+
+    def test_zero_probability_gives_empty_graph(self):
+        graph = generate_erdos_renyi(100, edge_probability=0.0, seed=1)
+        assert graph.number_of_edges == 0
+
+    def test_probability_one_gives_complete_graph(self):
+        graph = generate_erdos_renyi(30, edge_probability=1.0, seed=1)
+        assert graph.number_of_edges == 30 * 29 // 2
+
+    def test_effective_probability_from_mean_degree(self):
+        builder = ErdosRenyiNetwork(101, target_mean_degree=10.0)
+        assert builder.effective_probability() == pytest.approx(0.1)
+
+    def test_requires_probability_or_mean_degree(self):
+        with pytest.raises(ConfigurationError):
+            ErdosRenyiNetwork(100)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            ErdosRenyiNetwork(100, edge_probability=1.5)
+
+    def test_poisson_like_degree_distribution_has_no_heavy_tail(self):
+        graph = generate_erdos_renyi(2000, target_mean_degree=6.0, seed=3)
+        assert graph.max_degree() < 6 * 5  # far below a scale-free hub
+
+    def test_parameters(self):
+        builder = ErdosRenyiNetwork(50, target_mean_degree=4.0, seed=9)
+        params = builder.parameters()
+        assert params["substrate"] == "erdos_renyi"
+        assert params["effective_probability"] == pytest.approx(4.0 / 49)
