@@ -12,7 +12,9 @@ Every benchmark module regenerates one paper artefact through
 * asserts the qualitative trend the paper reports for that artefact.
 
 The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
-(``smoke``, ``small`` — default, or ``paper``).
+(``smoke``, ``small`` — default, or ``paper``), and the worker-process count
+for realization tasks with ``REPRO_JOBS`` (default 1 = serial; parallel runs
+produce numerically identical results, see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine.executor import Executor, executor_from_jobs
 from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import ExperimentScale
@@ -33,6 +36,33 @@ def bench_scale() -> ExperimentScale:
     """Return the experiment scale selected via REPRO_BENCH_SCALE."""
     name = os.environ.get("REPRO_BENCH_SCALE", "small")
     return ExperimentScale.from_name(name)
+
+
+def bench_jobs() -> int:
+    """Return the worker-process count selected via REPRO_JOBS."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+_SHARED_EXECUTOR: "Executor | None" = None
+
+
+def shared_executor() -> Executor:
+    """One executor for the whole benchmark session (honours REPRO_JOBS)."""
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is None:
+        _SHARED_EXECUTOR = executor_from_jobs(bench_jobs())
+    return _SHARED_EXECUTOR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_executor():
+    """Release the shared worker pool when the benchmark session ends."""
+    yield
+    if _SHARED_EXECUTOR is not None:
+        _SHARED_EXECUTOR.close()
 
 
 @pytest.fixture(scope="session")
@@ -55,9 +85,12 @@ def keeps_up(candidate: float, reference: float, rel: float = 0.85, abs_tol: flo
 def run_figure_benchmark(benchmark, experiment_id: str, scale: ExperimentScale) -> ExperimentResult:
     """Run one experiment under pytest-benchmark and persist its result."""
     result_holder = {}
+    executor = shared_executor()
 
     def _run():
-        result_holder["result"] = run_experiment(experiment_id, scale=scale)
+        result_holder["result"] = run_experiment(
+            experiment_id, scale=scale, executor=executor
+        )
         return result_holder["result"]
 
     benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
@@ -69,6 +102,7 @@ def run_figure_benchmark(benchmark, experiment_id: str, scale: ExperimentScale) 
 
     benchmark.extra_info["experiment"] = experiment_id
     benchmark.extra_info["scale"] = scale.name
+    benchmark.extra_info["jobs"] = executor.jobs
     benchmark.extra_info["series"] = {
         series.label: round(float(series.final()), 4) for series in result.series
     }

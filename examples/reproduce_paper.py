@@ -6,18 +6,28 @@ messaging study, and the two ablations) at the chosen scale and writes one
 JSON + CSV pair per experiment into an output directory, plus a combined
 text report.  At ``--scale small`` (default) the whole run takes on the
 order of tens of minutes; ``--scale smoke`` finishes in a couple of minutes;
-``--scale paper`` uses the paper's network sizes and is an overnight job.
+``--scale paper`` uses the paper's network sizes and is an overnight job —
+which is where the engine options matter:
 
-Run with:  python examples/reproduce_paper.py --scale smoke --out results/
+* ``--jobs N`` fans every experiment's topology realizations out over N
+  worker processes (numerically identical to a serial run, because each
+  realization carries its own deterministic seed);
+* ``--cache DIR`` persists every completed experiment in a
+  content-addressed result store, so an interrupted reproduction resumes
+  from where it stopped instead of recomputing finished figures.
+
+Run with:  python examples/reproduce_paper.py --scale smoke --out results/ \
+               --jobs 4 --cache .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
-import time
+import sys
 from pathlib import Path
 
-from repro.experiments import ExperimentScale, available_experiments, run_experiment
+from repro.engine import ProgressReporter, ResultStore, executor_from_jobs, run_suite
+from repro.experiments import ExperimentScale, available_experiments
 
 
 def main() -> None:
@@ -29,27 +39,52 @@ def main() -> None:
         "--only", nargs="*", default=None,
         help="run only these experiment ids (default: all)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for realization tasks (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None,
+        help="result-store directory; completed experiments are reused on "
+             "re-runs, making a full paper reproduction resumable",
+    )
     args = parser.parse_args()
 
     scale = ExperimentScale.from_name(args.scale)
     experiments = args.only if args.only else available_experiments()
     args.out.mkdir(parents=True, exist_ok=True)
+    store = ResultStore(args.cache) if args.cache is not None else None
+    progress = ProgressReporter(stream=sys.stderr)
 
     report_lines = []
-    for experiment_id in experiments:
-        started = time.perf_counter()
-        result = run_experiment(experiment_id, scale=scale, seed=args.seed)
-        elapsed = time.perf_counter() - started
-        result.save_json(args.out / f"{experiment_id}.json")
-        result.save_csv(args.out / f"{experiment_id}.csv")
-        table = result.to_table()
-        report_lines.append(table)
-        report_lines.append(f"  [{elapsed:.1f}s]\n")
-        print(table)
-        print(f"  [{elapsed:.1f}s]\n")
 
+    def save_entry(entry) -> None:
+        # Persist and report each experiment as soon as it finishes, so an
+        # interrupted run keeps every completed artefact on disk.
+        entry.result.save_json(args.out / f"{entry.experiment_id}.json")
+        entry.result.save_csv(args.out / f"{entry.experiment_id}.csv")
+        table = entry.result.to_table()
+        origin = "cache" if entry.from_cache else "computed"
+        report_lines.append(table)
+        report_lines.append(f"  [{entry.seconds:.1f}s, {origin}]\n")
+        print(table)
+        print(f"  [{entry.seconds:.1f}s, {origin}]\n")
+
+    with executor_from_jobs(args.jobs) as executor:
+        report = run_suite(
+            experiments,
+            scale=scale,
+            seed=args.seed,
+            executor=executor,
+            store=store,
+            progress=progress,
+            on_result=save_entry,
+        )
+
+    report_lines.append(report.summary())
     report_path = args.out / "report.txt"
     report_path.write_text("\n".join(report_lines))
+    print(report.summary())
     print(f"wrote per-experiment JSON/CSV and {report_path}")
 
 

@@ -21,7 +21,10 @@ The library is organised in layers:
 * :mod:`repro.simulation` — a discrete-event Gnutella-like P2P simulator
   (peers, neighbor tables with cutoffs, query protocol, churn);
 * :mod:`repro.experiments` — the figure/table reproduction harness behind
-  ``benchmarks/`` and the ``repro`` CLI.
+  ``benchmarks/`` and the ``repro`` CLI;
+* :mod:`repro.engine` — the parallel execution engine: serial/process-pool
+  executors for realization tasks, a content-addressed on-disk result store,
+  a suite scheduler, and progress reporting.
 
 Quickstart
 ----------

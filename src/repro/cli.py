@@ -4,8 +4,14 @@ Subcommands
 -----------
 ``repro list``
     List the reproducible experiments (figures, tables, ablations).
-``repro figure fig9 --scale small --out results/``
-    Run one experiment and print its series (optionally saving JSON/CSV).
+``repro figure fig9 --scale small --jobs 4 --cache .repro-cache --out results/``
+    Run one experiment — optionally across worker processes and against a
+    persistent result cache — and print its series (optionally saving
+    JSON/CSV).
+``repro suite --scale small --jobs 8 --cache .repro-cache --out results/``
+    Run every registered experiment through one shared worker pool; cached
+    experiments are skipped, so an interrupted suite resumes where it left
+    off.
 ``repro generate pa --nodes 10000 --stubs 2 --cutoff 40 --out topo.json``
     Generate a topology and print (or save) its summary statistics.
 ``repro search nf --model pa --nodes 5000 --stubs 2 --cutoff 10 --ttl 8``
@@ -26,6 +32,10 @@ from repro._version import __version__
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
 from repro.core.errors import AnalysisError, ReproError
+from repro.engine.executor import executor_from_jobs
+from repro.engine.progress import ProgressReporter
+from repro.engine.store import ResultStore
+from repro.engine.tasks import run_suite
 from repro.experiments.registry import (
     available_experiments,
     experiment_titles,
@@ -69,6 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=None, help="base RNG seed")
     figure.add_argument("--out", type=Path, default=None,
                         help="directory to write <experiment>.json and .csv into")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for realization tasks (default: 1)")
+    figure.add_argument("--cache", type=Path, default=None,
+                        help="result-store directory; identical re-runs are "
+                             "served from cache")
+    figure.add_argument("--progress", action="store_true",
+                        help="stream per-task progress to stderr")
+
+    # suite
+    suite = subparsers.add_parser(
+        "suite", help="run many experiments through one shared worker pool"
+    )
+    suite.add_argument(
+        "--scale", default="small", choices=["smoke", "small", "paper"],
+        help="experiment scale preset (default: small)",
+    )
+    suite.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    suite.add_argument("--jobs", type=int, default=1,
+                       help="worker processes shared by all experiments")
+    suite.add_argument("--cache", type=Path, default=None,
+                       help="result-store directory; completed experiments are "
+                            "skipped on re-runs, making the suite resumable")
+    suite.add_argument("--out", type=Path, default=None,
+                       help="directory to write per-experiment JSON/CSV into")
+    suite.add_argument("--only", nargs="*", default=None,
+                       help="run only these experiment ids (default: all)")
+    suite.add_argument("--progress", action="store_true",
+                       help="stream per-task progress to stderr")
 
     # generate
     generate = subparsers.add_parser("generate", help="generate one overlay topology")
@@ -126,12 +164,52 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
-    result = run_experiment(args.experiment, scale=scale, seed=args.seed)
+    store = ResultStore(args.cache) if args.cache is not None else None
+    progress = ProgressReporter(stream=sys.stderr if args.progress else None)
+    with executor_from_jobs(args.jobs) as executor:
+        result = run_experiment(
+            args.experiment,
+            scale=scale,
+            seed=args.seed,
+            executor=executor,
+            store=store,
+            progress=progress,
+        )
     print(result.to_table())
+    if store is not None and progress.timings and progress.timings[-1].from_cache:
+        print(f"served from cache ({store.root})", file=sys.stderr)
     if args.out is not None:
         json_path = result.save_json(args.out / f"{result.experiment_id}.json")
         csv_path = result.save_csv(args.out / f"{result.experiment_id}.csv")
         print(f"wrote {json_path} and {csv_path}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    scale = ExperimentScale.from_name(args.scale)
+    store = ResultStore(args.cache) if args.cache is not None else None
+    progress = ProgressReporter(stream=sys.stderr if args.progress else None)
+
+    def save_entry(entry) -> None:
+        # Persist as soon as each experiment finishes so an interrupted
+        # suite keeps everything completed so far.
+        if args.out is not None:
+            entry.result.save_json(args.out / f"{entry.experiment_id}.json")
+            entry.result.save_csv(args.out / f"{entry.experiment_id}.csv")
+
+    with executor_from_jobs(args.jobs) as executor:
+        report = run_suite(
+            args.only,
+            scale=scale,
+            seed=args.seed,
+            executor=executor,
+            store=store,
+            progress=progress,
+            on_result=save_entry,
+        )
+    if args.out is not None:
+        print(f"wrote {2 * len(report.entries)} files under {args.out}", file=sys.stderr)
+    print(report.summary())
     return 0
 
 
@@ -224,6 +302,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "figure": _cmd_figure,
+    "suite": _cmd_suite,
     "generate": _cmd_generate,
     "search": _cmd_search,
     "churn": _cmd_churn,

@@ -1,0 +1,218 @@
+"""Pluggable executors: run realization tasks serially or across processes.
+
+Two implementations share one contract — results come back **in submission
+order**, and every task carries its own explicit seed — so swapping
+:class:`SerialExecutor` for :class:`ParallelExecutor` changes wall-clock
+time but never changes a single output number:
+
+* :class:`SerialExecutor` runs tasks in the calling process (the default
+  everywhere, and what existing callers get when they pass nothing);
+* :class:`ParallelExecutor` fans tasks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Tasks that cannot be
+  pickled (e.g. closures handed to
+  :func:`~repro.experiments.runner.run_realizations`) are detected up front
+  and the batch silently degrades to in-process execution rather than
+  crashing a worker.
+
+The *active executor* is an ambient context: experiment helpers deep inside
+the figure modules fetch it with :func:`active_executor` so the CLI can turn
+``--jobs 8`` into parallelism without threading an argument through every
+``run(scale=..., seed=...)`` signature.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.core.errors import ExperimentError
+from repro.engine.tasks import Task
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "active_executor",
+    "active_progress",
+    "use_executor",
+    "executor_from_jobs",
+]
+
+
+def _call_task(task: Task) -> "tuple[Any, float]":
+    """Run one task and measure it (module-level so workers can import it)."""
+    started = time.perf_counter()
+    value = task.run()
+    return value, time.perf_counter() - started
+
+
+class Executor:
+    """Contract shared by all executors: ordered, seed-deterministic runs."""
+
+    #: Number of workers the executor uses (1 for serial execution).
+    jobs: int = 1
+
+    def run(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
+        """Run ``tasks`` and return their results in submission order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run_serially(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
+        results: List[Any] = []
+        for task in tasks:
+            value, seconds = _call_task(task)
+            if progress is not None:
+                progress.task_finished(task.key, seconds)
+            results.append(value)
+        return results
+
+
+class SerialExecutor(Executor):
+    """Run every task in the calling process, one after another."""
+
+    def run(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
+        return self._run_serially(tasks, progress)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fan tasks out over a process pool, preserving submission order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count (default: the machine's CPU count).  The pool is
+        created lazily on the first parallel batch and reused across batches
+        and experiments, so one suite run shares one pool.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ExperimentError("ParallelExecutor needs at least one worker")
+        self.jobs = resolved
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError) as error:  # pragma: no cover
+                warnings.warn(
+                    f"cannot start worker processes ({error}); running serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return self._pool
+
+    def run(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return self._run_serially(tasks, progress)
+        # Probe one representative task (a batch shares its fn/arg shape);
+        # stragglers that still fail to pickle degrade individually below.
+        if not tasks[0].is_picklable():
+            warnings.warn(
+                "task batch contains non-picklable callables; "
+                "falling back to in-process execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_serially(tasks, progress)
+        pool = self._ensure_pool()
+        if pool is None:  # pragma: no cover - pool creation refused by the OS
+            return self._run_serially(tasks, progress)
+        futures: List[Future] = [pool.submit(_call_task, task) for task in tasks]
+        results: List[Any] = []
+        for task, future in zip(tasks, futures):
+            try:
+                value, seconds = future.result()
+            except (pickle.PicklingError, TypeError, AttributeError):
+                # This task could not cross the process boundary (or failed
+                # with the same error class); rerun it locally so a genuine
+                # task error still surfaces from an in-process call.
+                value, seconds = _call_task(task)
+            if progress is not None:
+                progress.task_finished(task.key, seconds)
+            results.append(value)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+# --------------------------------------------------------------------------- #
+# Ambient executor / progress context
+# --------------------------------------------------------------------------- #
+_DEFAULT_EXECUTOR = SerialExecutor()
+_ACTIVE_STACK: List[Executor] = []
+_PROGRESS_STACK: List[Any] = []
+
+
+def active_executor() -> Executor:
+    """Return the executor installed by the innermost :func:`use_executor`.
+
+    Defaults to a shared :class:`SerialExecutor`, so library code can always
+    route realization work through ``active_executor().run(...)`` without
+    caring whether a CLI/worker-pool context is present.
+    """
+    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else _DEFAULT_EXECUTOR
+
+
+def active_progress() -> Any:
+    """Return the ambient progress reporter, or ``None`` when none is set.
+
+    Experiment helpers pass this to :meth:`Executor.run` so per-task timing
+    events reach whatever reporter the CLI or suite installed.
+    """
+    return _PROGRESS_STACK[-1] if _PROGRESS_STACK else None
+
+
+@contextmanager
+def use_executor(
+    executor: Optional[Executor], progress: Any = None
+) -> Iterator[Executor]:
+    """Install ``executor`` (and optionally ``progress``) for the ``with`` body.
+
+    ``None`` for either argument leaves the corresponding ambient value in
+    place, which lets call sites write ``with use_executor(maybe_executor,
+    maybe_progress):`` unconditionally.
+    """
+    if executor is not None:
+        _ACTIVE_STACK.append(executor)
+    if progress is not None:
+        _PROGRESS_STACK.append(progress)
+    try:
+        yield active_executor()
+    finally:
+        if progress is not None:
+            _PROGRESS_STACK.pop()
+        if executor is not None:
+            _ACTIVE_STACK.pop()
+
+
+def executor_from_jobs(jobs: Optional[int]) -> Executor:
+    """Map a ``--jobs``/``REPRO_JOBS`` count onto the right executor."""
+    if jobs is not None and jobs > 1:
+        return ParallelExecutor(jobs)
+    return SerialExecutor()

@@ -1,0 +1,91 @@
+"""Progress and timing reports for engine runs.
+
+The executors call :meth:`ProgressReporter.task_finished` once per completed
+realization task and the registry/suite layer brackets every experiment with
+:meth:`experiment_started` / :meth:`experiment_finished`.  The reporter
+aggregates task counts and wall-clock timings per experiment and can stream
+one line per event to a file object (the CLI points it at stderr so progress
+never pollutes machine-readable stdout).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["ExperimentTiming", "ProgressReporter"]
+
+
+@dataclass
+class ExperimentTiming:
+    """Aggregated telemetry for one experiment run."""
+
+    experiment_id: str
+    seconds: float = 0.0
+    tasks: int = 0
+    task_seconds: float = 0.0
+    from_cache: bool = False
+
+
+class ProgressReporter:
+    """Collect per-experiment task counts and timings; optionally stream them.
+
+    Parameters
+    ----------
+    stream:
+        File object progress lines are written to (``None`` keeps the
+        reporter silent; aggregation still happens).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+        self.timings: List[ExperimentTiming] = []
+        self._open: Dict[str, ExperimentTiming] = {}
+        self._started_at: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event sinks (called by executors / registry / suite scheduler)
+    # ------------------------------------------------------------------ #
+    def experiment_started(self, experiment_id: str) -> None:
+        timing = ExperimentTiming(experiment_id=experiment_id)
+        self._open[experiment_id] = timing
+        self._started_at[experiment_id] = time.perf_counter()
+        self._emit(f"[{experiment_id}] started")
+
+    def experiment_finished(self, experiment_id: str, from_cache: bool = False) -> None:
+        timing = self._open.pop(experiment_id, None)
+        if timing is None:  # finished without a matching start; still record it
+            timing = ExperimentTiming(experiment_id=experiment_id)
+        started = self._started_at.pop(experiment_id, None)
+        timing.seconds = time.perf_counter() - started if started is not None else 0.0
+        timing.from_cache = from_cache
+        self.timings.append(timing)
+        origin = "cache hit" if from_cache else f"{timing.tasks} tasks"
+        self._emit(f"[{experiment_id}] finished in {timing.seconds:.2f}s ({origin})")
+
+    def task_finished(self, key: str, seconds: float) -> None:
+        # Attribute the task to the innermost open experiment, if any.
+        if self._open:
+            timing = next(reversed(self._open.values()))
+            timing.tasks += 1
+            timing.task_seconds += seconds
+        self._emit(f"  task {key or '<anonymous>'} done in {seconds:.2f}s")
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_tasks(self) -> int:
+        return sum(timing.tasks for timing in self.timings) + sum(
+            timing.tasks for timing in self._open.values()
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream, flush=True)

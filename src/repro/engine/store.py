@@ -1,0 +1,195 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Every :class:`~repro.experiments.results.ExperimentResult` is keyed by a
+SHA-256 hash of the inputs that determine its numbers — the experiment id,
+the full scale preset (sizes, realization count, TTL grids, *and* base
+seed), any extra code-relevant parameters, and a store schema version.  A
+re-run with identical inputs is served from disk; changing any input (a
+different seed, a bigger scale, a bumped schema version) produces a new key
+and a fresh computation, so stale hits are impossible by construction.
+
+Layout under the cache root::
+
+    <root>/<key[:2]>/<key>/result.json   # ExperimentResult.as_dict()
+    <root>/<key[:2]>/<key>/result.csv    # long-format label,x,y rows
+    <root>/<key[:2]>/<key>/meta.json     # the hashed inputs + timestamps
+
+``result.json`` is byte-compatible with
+:meth:`~repro.experiments.results.ExperimentResult.save_json`, so cached
+artifacts can be consumed by the same tooling as directly-saved ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ExperimentError
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["ResultStore"]
+
+#: Bump when the result schema or the experiment semantics change in a way
+#: that should invalidate previously cached artifacts.
+STORE_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Persistent experiment-result cache under a root directory.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.experiments.results import ExperimentResult
+    >>> from repro.experiments.runner import ExperimentScale
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> scale = ExperimentScale.smoke()
+    >>> store.get("fig9", scale) is None
+    True
+    >>> _ = store.put("fig9", scale, ExperimentResult("fig9", "t"))
+    >>> store.get("fig9", scale).experiment_id
+    'fig9'
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as error:
+            raise ExperimentError(
+                f"result-store path {self.root} is not a directory: {error}"
+            ) from error
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(
+        experiment_id: str,
+        scale: Any,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Return the content-address of one (experiment, scale) cell.
+
+        ``scale`` is anything with an ``as_dict()`` method (normally an
+        :class:`~repro.experiments.runner.ExperimentScale`); the dict — which
+        includes the base seed — is hashed canonically, so logically equal
+        scales map to the same key across processes and machines.
+        """
+        payload = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "experiment_id": experiment_id,
+            "scale": scale.as_dict(),
+            "extra": extra or {},
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Directory holding the artifacts of ``key`` (two-level fan-out)."""
+        if len(key) < 8:
+            raise ExperimentError(f"malformed store key {key!r}")
+        return self.root / key[:2] / key
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def contains(
+        self,
+        experiment_id: str,
+        scale: Any,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """True when a completed result for these inputs is on disk."""
+        return (self.path_for(self.key_for(experiment_id, scale, extra)) / "result.json").exists()
+
+    def get(
+        self,
+        experiment_id: str,
+        scale: Any,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Optional[ExperimentResult]:
+        """Return the cached result, or ``None`` on a miss (counted)."""
+        path = self.path_for(self.key_for(experiment_id, scale, extra)) / "result.json"
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = ExperimentResult.load_json(path)
+        except (OSError, ValueError, KeyError):
+            # A truncated write (e.g. an interrupted run) must not poison
+            # future runs; treat it as a miss and recompute.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        experiment_id: str,
+        scale: Any,
+        result: ExperimentResult,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist ``result`` (JSON + CSV + meta) and return its directory."""
+        key = self.key_for(experiment_id, scale, extra)
+        directory = self.path_for(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        result.save_csv(directory / "result.csv")
+        meta = {
+            "key": key,
+            "store_schema": STORE_SCHEMA_VERSION,
+            "experiment_id": experiment_id,
+            "scale": scale.as_dict(),
+            "extra": extra or {},
+            "created_at": time.time(),
+        }
+        (directory / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
+        # result.json lands last: its presence marks the entry as complete.
+        result.save_json(directory / "result.json")
+        return directory
+
+    def fetch_or_run(
+        self,
+        experiment_id: str,
+        scale: Any,
+        runner: Callable[[], ExperimentResult],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[ExperimentResult, bool]:
+        """Serve from cache, or run ``runner`` and cache its output.
+
+        Returns ``(result, from_cache)``.
+        """
+        cached = self.get(experiment_id, scale, extra)
+        if cached is not None:
+            return cached, True
+        result = runner()
+        self.put(experiment_id, scale, result, extra)
+        return result, False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Dict[str, Any]]:
+        """Return the meta records of every completed entry in the store."""
+        records: List[Dict[str, Any]] = []
+        for meta_path in sorted(self.root.glob("*/*/meta.json")):
+            if not (meta_path.parent / "result.json").exists():
+                continue
+            try:
+                records.append(json.loads(meta_path.read_text()))
+            except ValueError:  # pragma: no cover - corrupted meta is skipped
+                continue
+        return records
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters for this store instance plus the disk entry count."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self.entries())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r})"

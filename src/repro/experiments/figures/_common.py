@@ -8,7 +8,8 @@ live here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
@@ -16,6 +17,8 @@ from repro.core.config import GRNConfig
 from repro.core.errors import AnalysisError
 from repro.core.graph import Graph
 from repro.core.rng import DEFAULT_SEED
+from repro.engine.executor import active_executor, active_progress
+from repro.engine.tasks import Task
 from repro.experiments.results import Series
 from repro.experiments.runner import ExperimentScale, realization_seeds
 from repro.generators.cm import generate_cm
@@ -131,6 +134,95 @@ def build_graph(
 
 
 # --------------------------------------------------------------------------- #
+# Realization tasks (picklable units the engine's executors can distribute)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RealizationSpec:
+    """Everything needed to rebuild one topology realization in any process."""
+
+    model: str
+    scale: ExperimentScale
+    seed: int
+    stubs: int = 1
+    hard_cutoff: Optional[int] = None
+    exponent: float = 3.0
+    tau_sub: int = 4
+    for_search: bool = False
+
+    def build(self) -> Graph:
+        return build_graph(
+            self.model,
+            self.scale,
+            self.seed,
+            stubs=self.stubs,
+            hard_cutoff=self.hard_cutoff,
+            exponent=self.exponent,
+            tau_sub=self.tau_sub,
+            for_search=self.for_search,
+        )
+
+
+def _realize_degree_sequence(spec: RealizationSpec) -> List[int]:
+    """Task body: one realization's degree sequence (Figs. 1–4 and sweeps)."""
+    return list(spec.build().degree_sequence())
+
+
+def _realize_search_curve(
+    spec: RealizationSpec, algorithm: str, ttl_values: Tuple[int, ...]
+) -> SearchCurve:
+    """Task body: one realization's search curve (Figs. 6–12, messaging)."""
+    graph = spec.build()
+    queries = spec.scale.queries
+    query_rng = spec.seed + 977
+    if algorithm == "fl":
+        return search_curve(graph, FloodingSearch(), ttl_values, queries=queries, rng=query_rng)
+    if algorithm == "nf":
+        return search_curve(
+            graph,
+            NormalizedFloodingSearch(k_min=spec.stubs),
+            ttl_values,
+            queries=queries,
+            rng=query_rng,
+        )
+    if algorithm == "rw":
+        return normalized_walk_curve(
+            graph, ttl_values, k_min=spec.stubs, queries=queries, rng=query_rng
+        )
+    raise ValueError(f"unknown search algorithm {algorithm!r}")
+
+
+def _degree_sequence_rows(
+    model: str,
+    label: str,
+    scale: ExperimentScale,
+    stubs: int,
+    hard_cutoff: Optional[int],
+    exponent: float,
+    tau_sub: int,
+) -> List[List[int]]:
+    """One degree sequence per realization, fanned through the active executor."""
+    tasks = [
+        Task(
+            fn=_realize_degree_sequence,
+            args=(
+                RealizationSpec(
+                    model=model,
+                    scale=scale,
+                    seed=seed,
+                    stubs=stubs,
+                    hard_cutoff=hard_cutoff,
+                    exponent=exponent,
+                    tau_sub=tau_sub,
+                ),
+            ),
+            key=f"degrees:{label}[{index}]",
+        )
+        for index, seed in enumerate(realization_seeds(scale, label))
+    ]
+    return active_executor().run(tasks, active_progress())
+
+
+# --------------------------------------------------------------------------- #
 # Degree-distribution figures (Figs. 1–4)
 # --------------------------------------------------------------------------- #
 def degree_distribution_series(
@@ -144,17 +236,10 @@ def degree_distribution_series(
 ) -> Series:
     """P(k) for one parameter combination, pooled over all realizations."""
     pooled_degrees: List[int] = []
-    for seed in realization_seeds(scale, label):
-        graph = build_graph(
-            model,
-            scale,
-            seed,
-            stubs=stubs,
-            hard_cutoff=hard_cutoff,
-            exponent=exponent,
-            tau_sub=tau_sub,
-        )
-        pooled_degrees.extend(graph.degree_sequence())
+    for row in _degree_sequence_rows(
+        model, label, scale, stubs, hard_cutoff, exponent, tau_sub
+    ):
+        pooled_degrees.extend(row)
     distribution = degree_distribution(pooled_degrees)
     return Series(
         label=label,
@@ -185,16 +270,10 @@ def exponent_vs_cutoff_series(
     used_cutoffs: List[int] = []
     for cutoff in cutoffs:
         pooled: List[int] = []
-        for seed in realization_seeds(scale, f"{label}-kc{cutoff}"):
-            graph = build_graph(
-                model,
-                scale,
-                seed,
-                stubs=stubs,
-                hard_cutoff=cutoff,
-                tau_sub=tau_sub,
-            )
-            pooled.extend(graph.degree_sequence())
+        for row in _degree_sequence_rows(
+            model, f"{label}-kc{cutoff}", scale, stubs, cutoff, 3.0, tau_sub
+        ):
+            pooled.extend(row)
         try:
             fit = fit_power_law(
                 pooled, k_min=max(1, stubs), exclude_cutoff_spike=True
@@ -225,45 +304,30 @@ def _averaged_curve(
     exponent: float,
     tau_sub: int,
 ) -> SearchCurve:
-    curves: List[SearchCurve] = []
-    for seed in realization_seeds(scale, f"{algorithm}:{label}"):
-        graph = build_graph(
-            model,
-            scale,
-            seed,
-            stubs=stubs,
-            hard_cutoff=hard_cutoff,
-            exponent=exponent,
-            tau_sub=tau_sub,
-            for_search=True,
+    if algorithm not in ("fl", "nf", "rw"):
+        raise ValueError(f"unknown search algorithm {algorithm!r}")
+    tasks = [
+        Task(
+            fn=_realize_search_curve,
+            args=(
+                RealizationSpec(
+                    model=model,
+                    scale=scale,
+                    seed=seed,
+                    stubs=stubs,
+                    hard_cutoff=hard_cutoff,
+                    exponent=exponent,
+                    tau_sub=tau_sub,
+                    for_search=True,
+                ),
+                algorithm,
+                tuple(int(value) for value in ttl_values),
+            ),
+            key=f"{algorithm}:{label}[{index}]",
         )
-        if algorithm == "fl":
-            curve = search_curve(
-                graph,
-                FloodingSearch(),
-                ttl_values,
-                queries=scale.queries,
-                rng=seed + 977,
-            )
-        elif algorithm == "nf":
-            curve = search_curve(
-                graph,
-                NormalizedFloodingSearch(k_min=stubs),
-                ttl_values,
-                queries=scale.queries,
-                rng=seed + 977,
-            )
-        elif algorithm == "rw":
-            curve = normalized_walk_curve(
-                graph,
-                ttl_values,
-                k_min=stubs,
-                queries=scale.queries,
-                rng=seed + 977,
-            )
-        else:
-            raise ValueError(f"unknown search algorithm {algorithm!r}")
-        curves.append(curve)
+        for index, seed in enumerate(realization_seeds(scale, f"{algorithm}:{label}"))
+    ]
+    curves: List[SearchCurve] = active_executor().run(tasks, active_progress())
     return average_search_curve(curves)
 
 

@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.core.errors import ExperimentError
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import ExperimentScale
 
-__all__ = ["available_experiments", "get_experiment", "run_experiment", "experiment_titles"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.engine.executor import Executor
+    from repro.engine.progress import ProgressReporter
+    from repro.engine.store import ResultStore
+
+__all__ = [
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "run_experiment_cached",
+    "experiment_titles",
+]
 
 ExperimentRunner = Callable[..., ExperimentResult]
 
@@ -54,8 +65,29 @@ def run_experiment(
     experiment_id: str,
     scale: Optional[ExperimentScale] = None,
     seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
 ) -> ExperimentResult:
     """Run one experiment by id and return its result.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registered experiment id ("fig9", "table1", ...).
+    scale, seed:
+        Scale preset (default: ``small``) and optional base-seed override.
+    executor:
+        Optional :class:`~repro.engine.executor.Executor`; when given, the
+        experiment's realization tasks are fanned out through it (results
+        are numerically identical to a serial run).
+    store:
+        Optional :class:`~repro.engine.store.ResultStore`; a cached result
+        for these exact inputs is returned without recomputing, and fresh
+        results are persisted for future runs.
+    progress:
+        Optional :class:`~repro.engine.progress.ProgressReporter` receiving
+        experiment/task timing events.
 
     Examples
     --------
@@ -63,5 +95,52 @@ def run_experiment(
     >>> result.experiment_id
     'table2'
     """
+    if executor is None and store is None and progress is None:
+        return get_experiment(experiment_id)(scale=scale, seed=seed)
+    result, _ = run_experiment_cached(
+        experiment_id,
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        store=store,
+        progress=progress,
+    )
+    return result
+
+
+def run_experiment_cached(
+    experiment_id: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
+) -> "tuple[ExperimentResult, bool]":
+    """Engine-aware variant of :func:`run_experiment`.
+
+    Returns ``(result, from_cache)`` so schedulers (e.g.
+    :func:`repro.engine.tasks.run_suite`) can report cache hits without
+    probing store counters.
+    """
     runner = get_experiment(experiment_id)
-    return runner(scale=scale, seed=seed)
+    # Imported lazily: repro.engine (and the figures package) pull in this
+    # module during their own initialisation.
+    from repro.engine.executor import use_executor
+    from repro.experiments.figures._common import resolve_scale
+
+    resolved = resolve_scale(scale, seed)
+
+    if progress is not None:
+        progress.experiment_started(experiment_id)
+
+    def compute() -> ExperimentResult:
+        with use_executor(executor, progress):
+            return runner(scale=resolved, seed=None)
+
+    if store is not None:
+        result, from_cache = store.fetch_or_run(experiment_id, resolved, compute)
+    else:
+        result, from_cache = compute(), False
+    if progress is not None:
+        progress.experiment_finished(experiment_id, from_cache=from_cache)
+    return result, from_cache

@@ -16,14 +16,17 @@ experiment shares.
 
 from __future__ import annotations
 
-import zlib
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.core.errors import ExperimentError
 from repro.core.rng import DEFAULT_SEED, RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.engine.executor import Executor
 
 __all__ = ["ExperimentScale", "run_realizations", "realization_seeds", "average_curves"]
 
@@ -158,16 +161,42 @@ class ExperimentScale:
         }
 
 
+def _labelled_seed(base_seed: int, label: str, index: int) -> int:
+    """Derive the seed for realization ``index`` of the curve ``label``.
+
+    The (label, index) pair is hashed as a unit, so every realization of
+    every curve draws from its own 63-bit stream.  The earlier scheme added
+    ``crc32(label) % 10_000`` to ``base_seed + index``, which made two labels
+    whose offsets differ by less than ``realizations`` share seeds —
+    silently correlating curves that the paper averages as independent.
+    SHA-256 is used (rather than :func:`hash`) so seeds are stable across
+    interpreter runs and worker processes.
+    """
+    digest = hashlib.sha256(f"{label}\x1f{index}".encode("utf-8")).digest()
+    return (base_seed + int.from_bytes(digest[:8], "big")) % 2**63
+
+
 def realization_seeds(scale: ExperimentScale, label: str = "") -> List[int]:
     """Return one deterministic seed per realization for this scale.
 
     A label (typically the curve label) is mixed in so different curves of
-    the same experiment do not share topology realizations.  The mixing uses
-    CRC32 rather than :func:`hash` so seeds are stable across interpreter
-    runs (``hash`` of strings is salted per process).
+    the same experiment do not share topology realizations.  Unlabelled
+    callers keep the simple ``seed + index`` ladder; labelled callers get
+    collision-free per-(label, realization) streams via :func:`_labelled_seed`.
     """
-    offset = (zlib.crc32(label.encode("utf-8")) % 10_000) if label else 0
-    return [scale.seed + offset + index for index in range(scale.realizations)]
+    if not label:
+        return [scale.seed + index for index in range(scale.realizations)]
+    return [_labelled_seed(scale.seed, label, index) for index in range(scale.realizations)]
+
+
+def _realize_one(
+    build: Callable[[int], T],
+    measure: Callable[[T, int], Sequence[float]],
+    seed: int,
+) -> List[float]:
+    """Build and measure a single realization (one engine task)."""
+    subject = build(seed)
+    return [float(value) for value in measure(subject, seed)]
 
 
 def run_realizations(
@@ -175,6 +204,7 @@ def run_realizations(
     build: Callable[[int], T],
     measure: Callable[[T, int], Sequence[float]],
     label: str = "",
+    executor: "Optional[Executor]" = None,
 ) -> List[float]:
     """Run ``build``/``measure`` once per realization and average the outputs.
 
@@ -190,22 +220,33 @@ def run_realizations(
         must share a length.
     label:
         Mixed into the seeds so distinct curves are independent.
+    executor:
+        Optional :class:`~repro.engine.executor.Executor` the realization
+        tasks are fanned out through.  The default is the ambient executor
+        (serial unless a ``--jobs`` context is active), so existing callers
+        see unchanged behaviour.  Because each task carries its own explicit
+        seed and results come back in submission order, parallel runs are
+        numerically identical to serial ones — note that distributing to
+        worker processes requires ``build``/``measure`` to be picklable
+        (module-level functions); closures degrade gracefully to in-process
+        execution.
 
     Returns
     -------
     list of float
         The element-wise mean across realizations.
     """
-    rows: List[Sequence[float]] = []
-    for seed in realization_seeds(scale, label):
-        subject = build(seed)
-        rows.append(list(measure(subject, seed)))
-    lengths = {len(row) for row in rows}
-    if len(lengths) != 1:
-        raise ExperimentError(
-            f"measure() returned vectors of different lengths across realizations: {lengths}"
-        )
-    return [float(value) for value in np.mean(np.array(rows, dtype=float), axis=0)]
+    # Imported lazily to avoid a cycle: repro.engine.store imports this module.
+    from repro.engine.executor import active_executor, active_progress
+    from repro.engine.tasks import Task
+
+    tasks = [
+        Task(fn=_realize_one, args=(build, measure, seed), key=f"{label or 'realization'}[{index}]")
+        for index, seed in enumerate(realization_seeds(scale, label))
+    ]
+    runner = executor if executor is not None else active_executor()
+    rows = runner.run(tasks, active_progress())
+    return average_curves(rows)
 
 
 def average_curves(rows: Sequence[Sequence[float]]) -> List[float]:

@@ -22,6 +22,7 @@ MODULE_NAMES = [
     "repro.simulation.peer",
     "repro.simulation.workload",
     "repro.experiments.sweeps",
+    "repro.engine.store",
 ]
 
 

@@ -1,0 +1,298 @@
+"""Tests for the parallel experiment engine (executors, store, suite, CLI).
+
+The load-bearing guarantees:
+
+* ``ParallelExecutor`` output is **numerically identical** to
+  ``SerialExecutor`` output (explicit per-task seeds + submission-order
+  results), verified end to end on a real figure experiment;
+* the on-disk :class:`~repro.engine.store.ResultStore` round-trips results
+  and serves cache hits without recomputing;
+* the suite scheduler resumes from the store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ExperimentError
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    active_executor,
+    executor_from_jobs,
+    use_executor,
+)
+from repro.engine.progress import ProgressReporter
+from repro.engine.store import ResultStore
+from repro.engine.tasks import Task, run_suite
+from repro.experiments.registry import run_experiment
+from repro.experiments.results import ExperimentResult, Series
+from repro.experiments.runner import ExperimentScale, run_realizations
+
+
+# Module-level task bodies: picklable, so they can cross process boundaries.
+def _square(value: int) -> int:
+    return value * value
+
+
+def _seed_identity(seed: int) -> int:
+    return seed
+
+
+def _seed_vector(subject: int, seed: int):
+    return [float(seed % 101), float(seed % 7)]
+
+
+def _result_json(result: ExperimentResult) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+class TestTask:
+    def test_run_executes_callable(self):
+        task = Task(fn=_square, args=(7,), key="sq")
+        assert task.run() == 49
+
+    def test_module_level_function_is_picklable(self):
+        assert Task(fn=_square, args=(3,)).is_picklable()
+
+    def test_closure_is_not_picklable(self):
+        assert not Task(fn=lambda: 1).is_picklable()
+
+
+class TestSerialExecutor:
+    def test_results_in_submission_order(self):
+        tasks = [Task(fn=_square, args=(i,)) for i in range(5)]
+        assert SerialExecutor().run(tasks) == [0, 1, 4, 9, 16]
+
+    def test_progress_receives_every_task(self):
+        reporter = ProgressReporter()
+        reporter.experiment_started("x")
+        SerialExecutor().run([Task(fn=_square, args=(i,), key=f"t{i}") for i in range(3)], reporter)
+        reporter.experiment_finished("x")
+        assert reporter.timings[-1].tasks == 3
+
+
+class TestParallelExecutor:
+    def test_matches_serial_and_preserves_order(self):
+        tasks = [Task(fn=_square, args=(i,)) for i in range(8)]
+        with ParallelExecutor(jobs=2) as pool:
+            assert pool.run(tasks) == SerialExecutor().run(tasks)
+
+    def test_single_task_runs_in_process(self):
+        with ParallelExecutor(jobs=2) as pool:
+            assert pool.run([Task(fn=_square, args=(4,))]) == [16]
+
+    def test_unpicklable_tasks_fall_back_to_serial(self):
+        captured = []
+        tasks = [Task(fn=lambda i=i: captured.append(i) or i) for i in range(3)]
+        with ParallelExecutor(jobs=2) as pool:
+            with pytest.warns(RuntimeWarning, match="non-picklable"):
+                assert pool.run(tasks) == [0, 1, 2]
+        assert captured == [0, 1, 2]
+
+    def test_unpicklable_straggler_degrades_individually(self):
+        # First task picklable (the probe passes), a later one is not: that
+        # task alone reruns in-process, the batch still returns in order.
+        tasks = [Task(fn=_square, args=(3,)), Task(fn=lambda: 5), Task(fn=_square, args=(4,))]
+        with ParallelExecutor(jobs=2) as pool:
+            assert pool.run(tasks) == [9, 5, 16]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ExperimentError):
+            ParallelExecutor(jobs=0)
+
+    def test_executor_from_jobs(self):
+        assert isinstance(executor_from_jobs(None), SerialExecutor)
+        assert isinstance(executor_from_jobs(1), SerialExecutor)
+        parallel = executor_from_jobs(3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.jobs == 3
+        parallel.close()
+
+
+class TestExecutorContext:
+    def test_default_is_serial(self):
+        assert isinstance(active_executor(), SerialExecutor)
+
+    def test_use_executor_installs_and_restores(self):
+        pool = ParallelExecutor(jobs=2)
+        with use_executor(pool) as active:
+            assert active is pool
+            assert active_executor() is pool
+        assert active_executor() is not pool
+        pool.close()
+
+    def test_use_executor_none_keeps_current(self):
+        with use_executor(None) as active:
+            assert active is active_executor()
+
+
+class TestRunRealizationsThroughEngine:
+    def test_parallel_equals_serial(self):
+        scale = ExperimentScale(realizations=4)
+        serial = run_realizations(
+            scale, _seed_identity, _seed_vector, label="engine", executor=SerialExecutor()
+        )
+        with ParallelExecutor(jobs=2) as pool:
+            parallel = run_realizations(
+                scale, _seed_identity, _seed_vector, label="engine", executor=pool
+            )
+        assert parallel == serial
+
+    def test_uses_ambient_executor_by_default(self):
+        scale = ExperimentScale(realizations=2)
+        baseline = run_realizations(scale, _seed_identity, _seed_vector, label="ambient")
+        with ParallelExecutor(jobs=2) as pool:
+            with use_executor(pool):
+                ambient = run_realizations(scale, _seed_identity, _seed_vector, label="ambient")
+        assert ambient == baseline
+
+
+class TestResultStore:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="fake",
+            title="fake experiment",
+            series=[Series(label="a", x=[1, 2], y=[0.5, 1.5], metadata={"m": 1})],
+            parameters={"name": "smoke"},
+            notes="round-trip me",
+        )
+
+    def test_round_trip(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        assert not store.contains("fake", smoke_scale)
+        assert store.get("fake", smoke_scale) is None
+        store.put("fake", smoke_scale, self._result())
+        assert store.contains("fake", smoke_scale)
+        loaded = store.get("fake", smoke_scale)
+        assert loaded is not None
+        assert _result_json(loaded) == _result_json(self._result())
+        assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_key_depends_on_scale_seed_and_extra(self, smoke_scale):
+        base = ResultStore.key_for("fig9", smoke_scale)
+        assert ResultStore.key_for("fig9", smoke_scale) == base
+        assert ResultStore.key_for("fig10", smoke_scale) != base
+        assert ResultStore.key_for("fig9", smoke_scale.with_seed(1)) != base
+        assert ResultStore.key_for("fig9", ExperimentScale.small()) != base
+        assert ResultStore.key_for("fig9", smoke_scale, extra={"v": 2}) != base
+
+    def test_artifacts_on_disk(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        directory = store.put("fake", smoke_scale, self._result())
+        assert (directory / "result.json").exists()
+        assert (directory / "result.csv").exists()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["experiment_id"] == "fake"
+        assert meta["scale"]["name"] == "smoke"
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        directory = store.put("fake", smoke_scale, self._result())
+        (directory / "result.json").write_text("{ truncated")
+        assert store.get("fake", smoke_scale) is None
+
+    def test_fetch_or_run_runs_exactly_once(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return self._result()
+
+        first, from_cache_first = store.fetch_or_run("fake", smoke_scale, runner)
+        second, from_cache_second = store.fetch_or_run("fake", smoke_scale, runner)
+        assert (from_cache_first, from_cache_second) == (False, True)
+        assert len(calls) == 1
+        assert _result_json(first) == _result_json(second)
+
+
+class TestEngineDeterminism:
+    """The acceptance bar: parallel figure runs are byte-identical to serial."""
+
+    def test_fig9_parallel_identical_to_serial(self, smoke_scale):
+        # Two realizations per curve so the batches genuinely cross process
+        # boundaries (at realizations=1 a batch degenerates to in-process).
+        scale = replace(smoke_scale, realizations=2)
+        serial = run_experiment("fig9", scale=scale, executor=SerialExecutor())
+        with ParallelExecutor(jobs=2) as pool:
+            parallel = run_experiment("fig9", scale=scale, executor=pool)
+        assert _result_json(parallel) == _result_json(serial)
+
+    def test_progress_counts_realization_tasks(self, smoke_scale):
+        """Per-task events reach the reporter through the ambient context."""
+        reporter = ProgressReporter()
+        run_experiment("fig9", scale=smoke_scale, progress=reporter)
+        timing = reporter.timings[-1]
+        assert timing.experiment_id == "fig9"
+        # fig9 at smoke scale: 3 models x 2 stub values x 2 cutoffs, one
+        # realization each.
+        assert timing.tasks == 12
+        assert timing.task_seconds > 0
+
+    def test_cached_rerun_skips_recompute(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        first = run_experiment("fig9", scale=smoke_scale, store=store)
+        reporter = ProgressReporter()
+        second = run_experiment("fig9", scale=smoke_scale, store=store, progress=reporter)
+        assert store.hits == 1
+        assert reporter.timings[-1].from_cache is True
+        assert reporter.timings[-1].tasks == 0  # nothing was recomputed
+        assert _result_json(first) == _result_json(second)
+
+
+class TestSuiteScheduler:
+    def test_suite_runs_and_resumes_from_store(self, tmp_path, smoke_scale):
+        store = ResultStore(tmp_path)
+        first = run_suite(["table2", "natural_cutoff"], scale=smoke_scale, store=store)
+        assert [entry.experiment_id for entry in first.entries] == ["table2", "natural_cutoff"]
+        assert first.cache_hits == 0
+        second = run_suite(["table2", "natural_cutoff"], scale=smoke_scale, store=store)
+        assert second.cache_hits == 2
+        assert all(entry.from_cache for entry in second.entries)
+        assert _result_json(second.results()["table2"]) == _result_json(
+            first.results()["table2"]
+        )
+        assert "2/2 from cache" in second.summary()
+
+    def test_unknown_experiment_rejected(self, smoke_scale):
+        with pytest.raises(ExperimentError):
+            run_suite(["fig99"], scale=smoke_scale)
+
+
+class TestEngineCLI:
+    def test_figure_with_jobs_and_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        code = main(
+            ["figure", "table2", "--scale", "smoke", "--jobs", "2",
+             "--cache", str(cache)]
+        )
+        assert code == 0
+        assert "table2" in capsys.readouterr().out
+        # Re-run: served from the store.
+        assert main(["figure", "table2", "--scale", "smoke", "--cache", str(cache)]) == 0
+        captured = capsys.readouterr()
+        assert "table2" in captured.out
+        assert "served from cache" in captured.err
+
+    def test_suite_subcommand(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        code = main(
+            ["suite", "--scale", "smoke", "--only", "table2",
+             "--cache", str(tmp_path / "cache"), "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "table2.json").exists()
+        assert (out_dir / "table2.csv").exists()
+        output = capsys.readouterr().out
+        assert "table2" in output
+        assert "total" in output
+
+    def test_parser_knows_suite(self):
+        from repro.cli import build_parser
+
+        assert "suite" in build_parser().format_help()

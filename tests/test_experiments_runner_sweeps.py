@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import zlib
+
 import pytest
 
 from repro.core.errors import ExperimentError
@@ -64,6 +66,40 @@ class TestRealizationSeeds:
     def test_stable_across_calls(self):
         scale = ExperimentScale(realizations=3)
         assert realization_seeds(scale, "x") == realization_seeds(scale, "x")
+
+    def test_unlabelled_seeds_keep_simple_ladder(self):
+        scale = ExperimentScale(realizations=3).with_seed(50)
+        assert realization_seeds(scale) == [50, 51, 52]
+
+    def test_labelled_seeds_pinned(self):
+        """Labelled seed derivation is part of the on-disk cache contract:
+        these exact values must stay stable across interpreter runs, worker
+        processes, and releases (changing them invalidates every store)."""
+        scale = ExperimentScale(realizations=3).with_seed(123)
+        assert realization_seeds(scale, "m=2, kc=10") == [
+            6523444782494324316,
+            5191790838856947213,
+            546939511412477096,
+        ]
+
+    def test_nearby_crc32_offsets_do_not_collide(self):
+        """Regression: the old scheme derived labelled seeds as
+        ``seed + crc32(label) % 10_000 + index``, so two labels whose offsets
+        differed by less than ``realizations`` shared seeds and silently
+        correlated curves the paper averages as independent.  ``curve-22``
+        and ``curve-32`` are such a pair (offsets 8812 and 8810)."""
+        offsets = [zlib.crc32(label.encode()) % 10_000 for label in ("curve-22", "curve-32")]
+        assert abs(offsets[0] - offsets[1]) < 3  # the hazard the old scheme had
+        scale = ExperimentScale(realizations=3)
+        seeds_a = set(realization_seeds(scale, "curve-22"))
+        seeds_b = set(realization_seeds(scale, "curve-32"))
+        assert seeds_a.isdisjoint(seeds_b)
+
+    def test_every_labelled_realization_gets_a_distinct_seed(self):
+        scale = ExperimentScale(realizations=10)
+        labels = [f"m={m}, kc={kc}" for m in (1, 2, 3) for kc in (10, 20, 50, None)]
+        all_seeds = [seed for label in labels for seed in realization_seeds(scale, label)]
+        assert len(all_seeds) == len(set(all_seeds))
 
 
 class TestRunRealizations:
