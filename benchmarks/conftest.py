@@ -12,9 +12,15 @@ Every benchmark module regenerates one paper artefact through
 * asserts the qualitative trend the paper reports for that artefact.
 
 The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
-(``smoke``, ``small`` — default, or ``paper``), and the worker-process count
+(``smoke``, ``small`` — default, or ``paper``), the worker-process count
 for realization tasks with ``REPRO_JOBS`` (default 1 = serial; parallel runs
-produce numerically identical results, see :mod:`repro.engine`).
+produce numerically identical results, see :mod:`repro.engine`), and the
+graph backend with ``REPRO_BACKEND`` (``adj`` — default, or ``csr`` for the
+frozen vectorized backend; results are byte-identical either way, see
+``tests/test_backend_equivalence.py``).
+
+Every test collected from this directory is marked ``bench`` (registered in
+``pytest.ini``), so ``pytest -m "not bench"`` skips the benchmark tier.
 """
 
 from __future__ import annotations
@@ -24,12 +30,25 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.backend import normalize_backend
 from repro.engine.executor import Executor, executor_from_jobs
 from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import ExperimentScale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``."""
+    this_dir = Path(__file__).parent
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).is_relative_to(this_dir)
+        except ValueError:  # pragma: no cover - foreign path layout
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.bench)
 
 
 def bench_scale() -> ExperimentScale:
@@ -44,6 +63,11 @@ def bench_jobs() -> int:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def bench_backend() -> str:
+    """Return the graph backend selected via REPRO_BACKEND."""
+    return normalize_backend(os.environ.get("REPRO_BACKEND"))
 
 
 _SHARED_EXECUTOR: "Executor | None" = None
@@ -89,7 +113,7 @@ def run_figure_benchmark(benchmark, experiment_id: str, scale: ExperimentScale) 
 
     def _run():
         result_holder["result"] = run_experiment(
-            experiment_id, scale=scale, executor=executor
+            experiment_id, scale=scale, executor=executor, backend=bench_backend()
         )
         return result_holder["result"]
 
@@ -103,6 +127,7 @@ def run_figure_benchmark(benchmark, experiment_id: str, scale: ExperimentScale) 
     benchmark.extra_info["experiment"] = experiment_id
     benchmark.extra_info["scale"] = scale.name
     benchmark.extra_info["jobs"] = executor.jobs
+    benchmark.extra_info["backend"] = bench_backend()
     benchmark.extra_info["series"] = {
         series.label: round(float(series.final()), 4) for series in result.series
     }

@@ -7,21 +7,35 @@ exist so performance regressions in the substrate show up independently of
 the minutes-long figure experiments, and they double as the ablation of the
 PA implementation strategy called out in DESIGN.md (accept/reject vs
 roulette selection).
+
+``TestBackendBenchmarks`` compares the two graph backends head to head on a
+fig9-scale topology and *asserts* the flooding speedup the CSR backend
+exists to deliver, so backend performance drift fails the suite instead of
+passing silently.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
+from repro.core.csr import batch_random_walks
 from repro.generators.cm import generate_cm
 from repro.generators.dapa import generate_dapa
 from repro.generators.hapa import generate_hapa
 from repro.generators.pa import generate_pa
-from repro.search.flooding import flood
+from repro.search.flooding import FloodingSearch, flood
+from repro.search.metrics import search_curve
 from repro.search.normalized_flooding import normalized_flood
 from repro.search.random_walk import random_walk
 
 NODES = 2000
+
+# The fig9 search topology at the "small" preset: 1500-node PA overlay.
+FIG9_NODES = 1500
+FIG9_TTL = 15
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +83,87 @@ class TestSearchBenchmarks:
     def test_random_walk_query(self, benchmark, pa_topology):
         result = benchmark(random_walk, pa_topology, 0, 200, 1, 7)
         assert result.hits > 0
+
+
+@pytest.fixture(scope="module")
+def fig9_topology():
+    """One fig9-scale PA search overlay, shared by the backend comparisons."""
+    return generate_pa(FIG9_NODES, stubs=2, hard_cutoff=10, seed=9)
+
+
+@pytest.fixture(scope="module")
+def fig9_frozen(fig9_topology):
+    return fig9_topology.freeze()
+
+
+def _best_of(runs: int, fn) -> float:
+    """Minimum wall-clock of ``runs`` calls (robust against scheduler noise)."""
+    timings = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+class TestBackendBenchmarks:
+    """adj vs. csr on the fig9-scale topology (identical results, see
+    tests/test_backend_equivalence.py — these tests time them)."""
+
+    QUERIES = 60
+
+    def _flooding_curve(self, graph):
+        return search_curve(
+            graph,
+            FloodingSearch(),
+            list(range(1, FIG9_TTL + 1)),
+            queries=self.QUERIES,
+            rng=5,
+        )
+
+    def test_flooding_curve_adj(self, benchmark, fig9_topology):
+        curve = benchmark(self._flooding_curve, fig9_topology)
+        assert curve.final_hits() > 0
+
+    def test_flooding_curve_csr(self, benchmark, fig9_frozen):
+        curve = benchmark(self._flooding_curve, fig9_frozen)
+        assert curve.final_hits() > 0
+
+    def test_flooding_speedup_at_least_3x(self, fig9_topology, fig9_frozen):
+        """The acceptance bar of the CSR backend: >= 3x on flooding.
+
+        Measured as best-of-N batches of whole flooding curves (the unit of
+        work every FL figure runs per realization); best-of minimizes
+        scheduler noise, and the observed ratio (~8-10x with SciPy, ~2.5x
+        with the NumPy fallback) leaves a wide margin over the bar.
+        """
+        adj_curve = self._flooding_curve(fig9_topology)
+        csr_curve = self._flooding_curve(fig9_frozen)
+        assert adj_curve.as_dict() == csr_curve.as_dict()
+
+        adj_seconds = _best_of(5, lambda: self._flooding_curve(fig9_topology))
+        csr_seconds = _best_of(5, lambda: self._flooding_curve(fig9_frozen))
+        speedup = adj_seconds / csr_seconds
+        try:
+            import scipy  # noqa: F401
+
+            floor = 3.0
+        except ImportError:  # pragma: no cover - scipy-less installs
+            floor = 1.2  # the per-source NumPy kernel is a smaller win
+        assert speedup >= floor, (
+            f"CSR flooding speedup regressed: {speedup:.2f}x "
+            f"(adj {adj_seconds * 1e3:.1f} ms, csr {csr_seconds * 1e3:.1f} ms)"
+        )
+
+    def test_single_query_flood_csr(self, benchmark, fig9_frozen):
+        result = benchmark(flood, fig9_frozen, 0, FIG9_TTL)
+        assert result.hits > 0
+
+    def test_batch_random_walks_kernel(self, benchmark, fig9_frozen):
+        rng = np.random.default_rng(11)
+        sources = np.arange(self.QUERIES)
+
+        trajectory = benchmark(
+            batch_random_walks, fig9_frozen, sources, 200, rng
+        )
+        assert trajectory.shape == (201, self.QUERIES)

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
+from repro.core.backend import freeze_for_backend
 from repro.core.errors import AnalysisError, ReproError
 from repro.engine.executor import executor_from_jobs
 from repro.engine.progress import ProgressReporter
@@ -81,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory to write <experiment>.json and .csv into")
     figure.add_argument("--jobs", type=int, default=1,
                         help="worker processes for realization tasks (default: 1)")
+    figure.add_argument("--backend", default="adj", choices=["adj", "csr"],
+                        help="graph backend for the search phase: 'adj' "
+                             "(mutable reference) or 'csr' (frozen, "
+                             "vectorized kernels); results are identical")
     figure.add_argument("--cache", type=Path, default=None,
                         help="result-store directory; identical re-runs are "
                              "served from cache")
@@ -98,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=None, help="base RNG seed")
     suite.add_argument("--jobs", type=int, default=1,
                        help="worker processes shared by all experiments")
+    suite.add_argument("--backend", default="adj", choices=["adj", "csr"],
+                       help="graph backend for the search phase (identical "
+                            "results; 'csr' is faster)")
     suite.add_argument("--cache", type=Path, default=None,
                        help="result-store directory; completed experiments are "
                             "skipped on re-runs, making the suite resumable")
@@ -136,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--ttl", type=int, default=8, help="maximum TTL")
     search.add_argument("--queries", type=int, default=100)
     search.add_argument("--seed", type=int, default=None)
+    search.add_argument("--backend", default="adj", choices=["adj", "csr"],
+                        help="graph backend: freeze the generated topology "
+                             "('csr') or search the mutable graph ('adj')")
 
     # churn
     churn = subparsers.add_parser("churn", help="run a join/leave simulation")
@@ -174,6 +185,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             executor=executor,
             store=store,
             progress=progress,
+            backend=args.backend,
         )
     print(result.to_table())
     if store is not None and progress.timings and progress.timings[-1].from_cache:
@@ -206,6 +218,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             store=store,
             progress=progress,
             on_result=save_entry,
+            backend=args.backend,
         )
     if args.out is not None:
         print(f"wrote {2 * len(report.entries)} files under {args.out}", file=sys.stderr)
@@ -262,7 +275,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
-    graph = generator.generate_graph()
+    graph = freeze_for_backend(generator.generate_graph(), args.backend)
     ttl_values = list(range(1, args.ttl + 1))
     if args.algorithm == "fl":
         curve = search_curve(

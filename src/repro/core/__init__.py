@@ -10,6 +10,15 @@ simulation layer:
     the paper's algorithms: degree queries, random neighbor selection,
     edge-existence checks, and incremental growth.
 
+``csr``
+    A frozen compressed-sparse-row snapshot
+    (:class:`~repro.core.csr.CSRGraph`) of a finished graph, with
+    vectorized search kernels for the read-only search phase.
+
+``backend``
+    Ambient selection between the mutable ``adj`` backend and the frozen
+    ``csr`` backend (:func:`~repro.core.backend.use_backend`).
+
 ``rng``
     A seedable random-source façade (:class:`~repro.core.rng.RandomSource`)
     so every stochastic component of the library is reproducible.
@@ -24,6 +33,15 @@ simulation layer:
     Shared light-weight type aliases and small value objects.
 """
 
+from repro.core.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    active_backend,
+    freeze_for_backend,
+    normalize_backend,
+    use_backend,
+)
+from repro.core.csr import CSRGraph
 from repro.core.errors import (
     ConfigurationError,
     CutoffError,
@@ -38,8 +56,11 @@ from repro.core.rng import RandomSource
 from repro.core.types import DegreeSequence, EdgeList, NodeId
 
 __all__ = [
+    "BACKENDS",
+    "CSRGraph",
     "ConfigurationError",
     "CutoffError",
+    "DEFAULT_BACKEND",
     "DegreeSequence",
     "EdgeList",
     "GenerationError",
@@ -50,4 +71,8 @@ __all__ = [
     "ReproError",
     "SearchError",
     "SimulationError",
+    "active_backend",
+    "freeze_for_backend",
+    "normalize_backend",
+    "use_backend",
 ]

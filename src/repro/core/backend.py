@@ -1,0 +1,95 @@
+"""Ambient graph-backend selection (``adj`` vs ``csr``).
+
+The experiment harness supports two interchangeable graph backends for the
+read-only search phase:
+
+* ``adj`` — the mutable dict-of-sets :class:`~repro.core.graph.Graph`; the
+  reference implementation every algorithm is defined against;
+* ``csr`` — the frozen :class:`~repro.core.csr.CSRGraph` snapshot with
+  vectorized kernels; byte-identical results, measurably faster traversals.
+
+Like the engine's *active executor*, the backend is an ambient context:
+``repro figure fig9 --backend csr`` installs it with :func:`use_backend`
+at the top of the run, and the realization helpers deep inside the figure
+modules pick it up with :func:`active_backend` — no ``backend=`` argument
+needs to be threaded through every experiment signature.  The selection is
+baked into each picklable realization task at *task-creation* time, so it
+survives the hop into the engine's worker processes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from repro.core.csr import CSRGraph
+from repro.core.errors import ConfigurationError
+from repro.core.graph import Graph
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "GraphLike",
+    "active_backend",
+    "freeze_for_backend",
+    "normalize_backend",
+    "use_backend",
+]
+
+#: Either graph representation; search and analysis code that only reads the
+#: topology accepts both.
+GraphLike = Union[Graph, CSRGraph]
+
+#: Registered backend names, in preference order for documentation.
+BACKENDS = ("adj", "csr")
+
+#: The reference backend existing callers get when nothing is selected.
+DEFAULT_BACKEND = "adj"
+
+_ACTIVE_STACK: List[str] = []
+
+
+def normalize_backend(name: Optional[str]) -> str:
+    """Validate a backend name (``None`` means the default, ``adj``)."""
+    if name is None:
+        return DEFAULT_BACKEND
+    key = name.lower()
+    if key not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown graph backend {name!r}; available: {', '.join(BACKENDS)}"
+        )
+    return key
+
+
+def active_backend() -> str:
+    """Return the backend installed by the innermost :func:`use_backend`."""
+    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else DEFAULT_BACKEND
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Install backend ``name`` for the ``with`` body.
+
+    ``None`` leaves the ambient backend in place (mirroring
+    :func:`repro.engine.executor.use_executor`), so call sites can pass an
+    optional override unconditionally.
+    """
+    if name is not None:
+        _ACTIVE_STACK.append(normalize_backend(name))
+    try:
+        yield active_backend()
+    finally:
+        if name is not None:
+            _ACTIVE_STACK.pop()
+
+
+def freeze_for_backend(graph: GraphLike, backend: Optional[str] = None) -> GraphLike:
+    """Return ``graph`` in the representation ``backend`` asks for.
+
+    ``csr`` freezes a mutable graph (an already-frozen graph passes
+    through); ``adj`` returns the graph unchanged — a frozen graph is *not*
+    thawed, because freezing loses nothing the search phase needs.
+    """
+    if normalize_backend(backend) == "csr" and isinstance(graph, Graph):
+        return graph.freeze()
+    return graph

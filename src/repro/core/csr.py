@@ -1,0 +1,670 @@
+"""Frozen compressed-sparse-row (CSR) graph backend.
+
+The dict-of-sets :class:`~repro.core.graph.Graph` is tuned for *incremental
+growth* — the generators add one node and a handful of edges at a time.  The
+search phase of every experiment is the opposite workload: the topology is
+finished and read-only, and each of hundreds of queries traverses a large
+fraction of the edges.  :class:`CSRGraph` is an immutable snapshot of a
+finished :class:`Graph` in the standard compressed-sparse-row layout used by
+scientific graph stacks:
+
+* ``indptr`` — ``int64[N + 1]``; node ``i``'s neighbors live at
+  ``indices[indptr[i]:indptr[i + 1]]``;
+* ``indices`` — ``int64[2E]``; the concatenated adjacency lists, **in the
+  same per-node insertion order as the mutable graph's neighbor lists**.
+
+Preserving the neighbor order is what makes the backend *exactly*
+interchangeable: every seeded draw the search algorithms perform (random
+neighbor selection, ``rng.sample`` over a candidate list, per-neighbor
+forwarding coins) indexes into the same sequence on both backends, so a
+frozen graph produces byte-identical search results to its mutable source —
+a property pinned by ``tests/test_backend_equivalence.py``.
+
+On top of the arrays this module provides vectorized kernels:
+
+* :func:`flood_levels` / :func:`flood_curve` — frontier-based BFS that
+  computes the whole hits-vs-τ **and** messages-vs-τ curve of a flooding
+  query in a handful of NumPy operations (no Python-level per-edge loop);
+* :func:`batch_random_walks` — many simultaneous random walks advanced one
+  vectorized step at a time (a throughput-mode kernel with its own NumPy
+  RNG stream; it is *distribution*-equivalent, not stream-identical, to
+  :class:`~repro.search.random_walk.RandomWalkSearch`).
+
+A :class:`CSRGraph` implements the read-only subset of the :class:`Graph`
+API (degrees, neighbors, membership, stats, conversion), so analysis and
+search code that only reads the topology accepts either backend.  Mutation
+methods raise :class:`~repro.core.errors.GraphError`, and the underlying
+arrays are marked read-only.  Instances are picklable and compact, so they
+flow through the experiment engine's worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+try:  # SciPy accelerates the batched flood kernel but is not required.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _scipy_sparse = None
+
+from repro.core.errors import GraphError, NodeNotFoundError
+from repro.core.rng import RandomSource
+from repro.core.types import Edge, GraphStats, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports us lazily)
+    import networkx as nx
+
+    from repro.core.graph import Graph
+
+__all__ = [
+    "CSRGraph",
+    "flood_levels",
+    "flood_curve",
+    "batch_flood_curves",
+    "batch_random_walks",
+]
+
+_FROZEN_MESSAGE = (
+    "CSRGraph is a frozen snapshot; mutate the source Graph and freeze() again"
+)
+
+
+class CSRGraph:
+    """An immutable undirected graph in compressed-sparse-row form.
+
+    Build one with :meth:`Graph.freeze` (or :meth:`CSRGraph.from_graph`);
+    the constructor is an internal detail.
+
+    Examples
+    --------
+    >>> from repro.core.graph import Graph
+    >>> g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    >>> frozen = g.freeze()
+    >>> frozen.degree(1)
+    2
+    >>> frozen.neighbors(2)
+    [1, 3]
+    >>> frozen.add_edge(0, 3)
+    Traceback (most recent call last):
+        ...
+    repro.core.errors.GraphError: CSRGraph is a frozen snapshot; mutate the source Graph and freeze() again
+    """
+
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_degrees",
+        "_ids",
+        "_rows",
+        "_py_indices",
+        "_lists",
+        "_edge_sources",
+        "_sparse_matrix",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+    ) -> None:
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._degrees = np.diff(self._indptr)
+        # ``ids`` maps row -> node id for graphs whose ids are not the dense
+        # range 0..N-1 (e.g. after removals); ``None`` means row == id.
+        self._ids = None if ids is None else np.ascontiguousarray(ids, dtype=np.int64)
+        self._rows: Optional[Dict[int, int]] = (
+            None
+            if self._ids is None
+            else {int(node): row for row, node in enumerate(self._ids)}
+        )
+        for array in (self._indptr, self._indices, self._degrees, self._ids):
+            if array is not None:
+                array.setflags(write=False)
+        # Lazy per-node Python neighbor lists (node *ids*, insertion order),
+        # memoised because "freeze once, search many" touches each node's
+        # adjacency hundreds of times per experiment.
+        self._py_indices: Optional[List[int]] = None
+        self._lists: Optional[List[Optional[List[int]]]] = None
+        # Lazy ``int64[2E]`` array: the source row of every directed edge
+        # slot in ``indices`` (the BFS kernel's frontier-expansion index).
+        self._edge_sources: Optional[np.ndarray] = None
+        # Lazy scipy.sparse adjacency matrix for the batched flood kernel.
+        self._sparse_matrix = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "CSRGraph":
+        """Snapshot a mutable :class:`Graph` (neighbor order is preserved)."""
+        nodes = graph.nodes()
+        n = len(nodes)
+        dense = nodes == list(range(n))
+        row_of = None if dense else {node: row for row, node in enumerate(nodes)}
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(graph.total_degree, dtype=np.int64)
+        cursor = 0
+        for row, node in enumerate(nodes):
+            neighbor_list = graph.iter_neighbors(node)
+            end = cursor + len(neighbor_list)
+            if dense:
+                indices[cursor:end] = neighbor_list
+            else:
+                indices[cursor:end] = [row_of[v] for v in neighbor_list]
+            cursor = end
+            indptr[row + 1] = cursor
+        ids = None if dense else np.array(nodes, dtype=np.int64)
+        return cls(indptr, indices, ids=ids)
+
+    def thaw(self) -> "Graph":
+        """Return a new mutable :class:`Graph` with the same nodes and edges."""
+        from repro.core.graph import Graph
+
+        graph = Graph()
+        for node in self.nodes():
+            graph.add_node(node)
+        for u, v in self.edges():
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Row <-> id translation
+    # ------------------------------------------------------------------ #
+    def _row_of(self, node: NodeId) -> int:
+        if self._rows is None:
+            if isinstance(node, (int, np.integer)) and 0 <= node < len(self._degrees):
+                return int(node)
+            raise NodeNotFoundError(node)
+        try:
+            return self._rows[node]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(node) from None
+
+    def _id_of(self, row: int) -> int:
+        return int(row) if self._ids is None else int(self._ids[row])
+
+    # ------------------------------------------------------------------ #
+    # Node queries
+    # ------------------------------------------------------------------ #
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        if self._rows is None:
+            return isinstance(node, (int, np.integer)) and 0 <= node < len(self._degrees)
+        return node in self._rows
+
+    def nodes(self) -> List[NodeId]:
+        """Return all node ids, in the source graph's insertion order."""
+        if self._ids is None:
+            return list(range(len(self._degrees)))
+        return [int(node) for node in self._ids]
+
+    def __contains__(self, node: object) -> bool:
+        return self.has_node(node)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.nodes())
+
+    def __len__(self) -> int:
+        return len(self._degrees)
+
+    @property
+    def number_of_nodes(self) -> int:
+        """Total number of nodes ``N``."""
+        return len(self._degrees)
+
+    @property
+    def number_of_edges(self) -> int:
+        """Total number of undirected edges."""
+        return len(self._indices) // 2
+
+    # ------------------------------------------------------------------ #
+    # Degrees and neighborhoods
+    # ------------------------------------------------------------------ #
+    def degree(self, node: NodeId) -> int:
+        """Return the degree of ``node``."""
+        return int(self._degrees[self._row_of(node)])
+
+    def degrees(self) -> Dict[NodeId, int]:
+        """Return a mapping ``node -> degree`` for every node."""
+        return {node: int(self._degrees[row]) for row, node in enumerate(self.nodes())}
+
+    def degree_sequence(self) -> List[int]:
+        """Return the list of degrees in node order."""
+        return [int(value) for value in self._degrees]
+
+    def degree_array(self) -> np.ndarray:
+        """Return the (read-only) degree vector, one entry per node row."""
+        return self._degrees
+
+    @property
+    def total_degree(self) -> int:
+        """Sum of all degrees (``2E``, the paper's ``ktotal``)."""
+        return len(self._indices)
+
+    def min_degree(self) -> int:
+        """Return the smallest degree (0 for an empty graph)."""
+        if len(self._degrees) == 0:
+            return 0
+        return int(self._degrees.min())
+
+    def max_degree(self) -> int:
+        """Return the largest degree, i.e. the empirical cutoff of the network."""
+        if len(self._degrees) == 0:
+            return 0
+        return int(self._degrees.max())
+
+    def mean_degree(self) -> float:
+        """Return the average degree ``2E / N`` (0.0 for an empty graph)."""
+        if len(self._degrees) == 0:
+            return 0.0
+        return len(self._indices) / len(self._degrees)
+
+    def _ensure_lists(self) -> List[Optional[List[int]]]:
+        if self._lists is None:
+            if self._py_indices is None:
+                source = self._indices if self._ids is None else self._ids[self._indices]
+                self._py_indices = source.tolist()
+            self._lists = [None] * len(self._degrees)
+        return self._lists
+
+    def edge_source_rows(self) -> np.ndarray:
+        """Return the (read-only) source row of each directed-edge slot.
+
+        ``edge_source_rows()[k]`` is the row whose adjacency slice contains
+        ``indices[k]``; the vectorized BFS uses it to expand a whole
+        frontier with one boolean gather over the edge array.
+        """
+        if self._edge_sources is None:
+            sources = np.repeat(
+                np.arange(len(self._degrees), dtype=np.int64), self._degrees
+            )
+            sources.setflags(write=False)
+            self._edge_sources = sources
+        return self._edge_sources
+
+    def sparse_adjacency(self):
+        """Return the cached :mod:`scipy.sparse` adjacency, or ``None``.
+
+        The matrix shares this graph's ``indptr``/``indices`` buffers (no
+        copy beyond the unit data vector) and drives the batched flood
+        kernel; ``None`` when SciPy is not installed.
+        """
+        if _scipy_sparse is None:
+            return None
+        if self._sparse_matrix is None:
+            n = len(self._degrees)
+            self._sparse_matrix = _scipy_sparse.csr_matrix(
+                (np.ones(len(self._indices), dtype=np.int32), self._indices, self._indptr),
+                shape=(n, n),
+            )
+        return self._sparse_matrix
+
+    def iter_neighbors(self, node: NodeId) -> List[NodeId]:
+        """Return the cached neighbor list of ``node`` — do **not** mutate.
+
+        The list holds plain Python ints in the source graph's insertion
+        order and is shared across calls (freeze once, search many), which
+        is what makes repeated traversals allocation-free.
+        """
+        row = self._row_of(node)
+        lists = self._ensure_lists()
+        cached = lists[row]
+        if cached is None:
+            start, end = int(self._indptr[row]), int(self._indptr[row + 1])
+            cached = self._py_indices[start:end]  # type: ignore[index]
+            lists[row] = cached
+        return cached
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Return a fresh list of the neighbors of ``node``."""
+        return list(self.iter_neighbors(node))
+
+    def neighbor_set(self, node: NodeId) -> Set[NodeId]:
+        """Return the neighbor set of ``node``."""
+        return set(self.iter_neighbors(node))
+
+    def neighbor_array(self, node: NodeId) -> np.ndarray:
+        """Return the (read-only) row-index slice of ``node``'s neighbors."""
+        row = self._row_of(node)
+        return self._indices[self._indptr[row] : self._indptr[row + 1]]
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        if not self.has_node(u) or not self.has_node(v):
+            return False
+        row_u, row_v = self._row_of(u), self._row_of(v)
+        # Scan the smaller adjacency of the two endpoints.
+        if self._degrees[row_v] < self._degrees[row_u]:
+            row_u, row_v = row_v, row_u
+        slice_u = self._indices[self._indptr[row_u] : self._indptr[row_u + 1]]
+        return bool(np.any(slice_u == row_v))
+
+    def random_neighbor(self, node: NodeId, rng: RandomSource) -> Optional[NodeId]:
+        """Return a uniformly random neighbor of ``node`` or ``None`` if isolated.
+
+        Consumes exactly the draws :meth:`Graph.random_neighbor` does, so a
+        shared seed selects the same neighbor on both backends.
+        """
+        neighbors = self.iter_neighbors(node)
+        if not neighbors:
+            return None
+        return neighbors[rng.randint(0, len(neighbors) - 1)]
+
+    def random_node(self, rng: RandomSource) -> NodeId:
+        """Return a uniformly random node id (draw-compatible with :class:`Graph`)."""
+        n = len(self._degrees)
+        if n == 0:
+            raise GraphError("cannot pick a random node from an empty graph")
+        candidate = rng.randint(0, n - 1)
+        if self._ids is None:
+            return candidate
+        if candidate in self._rows:  # type: ignore[operator]
+            return candidate
+        return int(rng.choice(self.nodes()))
+
+    # ------------------------------------------------------------------ #
+    # Edges and whole-graph utilities
+    # ------------------------------------------------------------------ #
+    def edges(self) -> List[Edge]:
+        """Return all edges as ``(min(u, v), max(u, v))`` pairs."""
+        rows_u = self.edge_source_rows()
+        rows_v = self._indices
+        if self._ids is not None:
+            rows_u = self._ids[rows_u]
+            rows_v = self._ids[rows_v]
+        mask = rows_u < rows_v
+        return list(zip(rows_u[mask].tolist(), rows_v[mask].tolist()))
+
+    def stats(self) -> GraphStats:
+        """Return a :class:`~repro.core.types.GraphStats` summary."""
+        return GraphStats(
+            number_of_nodes=self.number_of_nodes,
+            number_of_edges=self.number_of_edges,
+            min_degree=self.min_degree(),
+            max_degree=self.max_degree(),
+            mean_degree=self.mean_degree(),
+        )
+
+    def to_networkx(self) -> "nx.Graph":
+        """Convert to a :class:`networkx.Graph` (nodes and edges only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self.edges())
+        return g
+
+    def copy(self) -> "CSRGraph":
+        """Return ``self``: frozen graphs are immutable, sharing is safe."""
+        return self
+
+    def freeze(self) -> "CSRGraph":
+        """Already frozen; return ``self`` (so ``freeze`` is idempotent)."""
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Mutation is rejected
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Optional[NodeId] = None) -> NodeId:
+        raise GraphError(_FROZEN_MESSAGE)
+
+    def add_nodes(self, count: int) -> List[NodeId]:
+        raise GraphError(_FROZEN_MESSAGE)
+
+    def add_edge(self, u: NodeId, v: NodeId) -> bool:
+        raise GraphError(_FROZEN_MESSAGE)
+
+    def remove_node(self, node: NodeId) -> None:
+        raise GraphError(_FROZEN_MESSAGE)
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        raise GraphError(_FROZEN_MESSAGE)
+
+    # ------------------------------------------------------------------ #
+    # Pickling (worker processes receive frozen graphs)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        return (self._indptr, self._indices, self._ids)
+
+    def __setstate__(
+        self, state: Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
+    ) -> None:
+        indptr, indices, ids = state
+        self.__init__(indptr, indices, ids=ids)  # type: ignore[misc]
+
+    # ------------------------------------------------------------------ #
+    # Comparison / debugging
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        from repro.core.graph import Graph
+
+        if isinstance(other, CSRGraph):
+            return set(self.nodes()) == set(other.nodes()) and set(self.edges()) == set(
+                other.edges()
+            )
+        if isinstance(other, Graph):
+            return set(self.nodes()) == set(other.nodes()) and set(self.edges()) == set(
+                other.edges()
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:  # mirror Graph: identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRGraph(nodes={self.number_of_nodes}, edges={self.number_of_edges}, "
+            f"max_degree={self.max_degree()})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized kernels
+# --------------------------------------------------------------------------- #
+def flood_levels(csr: CSRGraph, source_row: int, max_level: int) -> np.ndarray:
+    """BFS hop distances from ``source_row``, capped at ``max_level``.
+
+    Returns an ``int64[N]`` array of levels (``-1`` for nodes beyond
+    ``max_level`` or in another component).  This is the frontier machinery
+    the flooding-family kernels are built on: each hop expands the whole
+    frontier with a boolean gather over the directed-edge arrays — no
+    Python per-edge loop and no sort-based dedup.
+    """
+    indices = csr._indices
+    n = len(csr._degrees)
+    levels = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return levels
+    edge_sources = csr.edge_source_rows()
+    levels[source_row] = 0
+    unreached = n - 1
+    frontier_mask = np.zeros(n, dtype=bool)
+    frontier_mask[source_row] = True
+    for level in range(1, max_level + 1):
+        if unreached == 0:
+            break
+        # Every directed edge whose source row is in the frontier delivers
+        # the query; keep the targets not yet assigned a level.
+        candidates = indices[frontier_mask[edge_sources]]
+        fresh = candidates[levels[candidates] < 0]
+        if fresh.size == 0:
+            break
+        # Duplicate targets (reached from several frontier nodes) collapse
+        # in the fancy-index assignment — no explicit dedup needed.
+        levels[fresh] = level
+        frontier_mask[:] = False
+        frontier_mask[fresh] = True
+        unreached -= int(np.count_nonzero(frontier_mask))
+    return levels
+
+
+def flood_curve(
+    csr: CSRGraph, source_row: int, ttl: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whole flooding curve from one BFS: ``(levels, hits, messages)``.
+
+    ``hits[t]`` (``t = 0..ttl - 1``) is the number of *discovered* nodes
+    (source excluded) within ``t + 1`` hops; ``messages[t]`` is the
+    cumulative message count after hop ``t + 1``.  Both match the
+    reference :class:`~repro.search.flooding.FloodingSearch` exactly:
+    every node visited at hop ``h`` forwards at hop ``h + 1`` to all its
+    neighbors except the one the query arrived on, and duplicate
+    deliveries count as messages.
+    """
+    levels = flood_levels(csr, source_row, ttl)
+    reached = levels >= 0
+    reached_levels = levels[reached]
+    counts = np.bincount(reached_levels, minlength=ttl + 1).astype(np.int64)
+    degree_sums = np.bincount(
+        reached_levels, weights=csr._degrees[reached], minlength=ttl + 1
+    ).astype(np.int64)
+    hits = np.cumsum(counts[1:])
+    # Nodes at level h forward deg - 1 messages at hop h + 1 (the previous
+    # hop is excluded); the source (level 0, no previous hop) forwards deg.
+    per_hop = degree_sums[:ttl] - counts[:ttl]
+    if ttl > 0:
+        per_hop[0] += counts[0]  # counts[0] == 1: undo the source's exclusion
+    messages = np.cumsum(per_hop)
+    return levels, hits, messages
+
+
+def batch_flood_curves(
+    csr: CSRGraph, source_rows: "np.ndarray | List[int]", ttl: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flooding curves for many sources at once: ``(hits, messages)``.
+
+    Returns two ``int64[S, ttl + 1]`` arrays; row ``i`` is the cumulative
+    hits (source excluded) and messages curve of a flooding query from
+    ``source_rows[i]``, identical to what :func:`flood_curve` computes one
+    source at a time (pinned by ``tests/test_core_csr.py``).
+
+    With SciPy installed every hop advances *all* sources with one sparse
+    matrix–matrix product; otherwise the per-source kernel runs in a loop.
+    This is what makes ``search_curve`` — hundreds of flooding queries on
+    one frozen topology — scale: the per-query Python and NumPy call
+    overhead is amortised across the whole query batch.
+    """
+    if ttl < 0:
+        raise GraphError("ttl must be non-negative")
+    rows = np.asarray(source_rows, dtype=np.int64)
+    total = len(rows)
+    hits = np.zeros((total, ttl + 1), dtype=np.int64)
+    messages = np.zeros((total, ttl + 1), dtype=np.int64)
+    if total == 0 or len(csr._degrees) == 0:
+        return hits, messages
+
+    adjacency = csr.sparse_adjacency()
+    if adjacency is None:
+        for index, row in enumerate(rows):
+            _, row_hits, row_messages = flood_curve(csr, int(row), ttl)
+            hits[index, 1:] = row_hits
+            messages[index, 1:] = row_messages
+        return hits, messages
+
+    n = len(csr._degrees)
+    degrees = csr._degrees
+    degrees_minus_one = degrees - 1
+    # Column-per-source layout so each hop is one CSR @ dense product.
+    span = np.arange(total)
+    visited = np.zeros((n, total), dtype=bool)
+    visited[rows, span] = True
+    frontier = np.zeros((n, total), dtype=np.int32)
+    frontier[rows, span] = 1
+    hits_t = np.zeros((ttl + 1, total), dtype=np.int64)
+    messages_t = np.zeros((ttl + 1, total), dtype=np.int64)
+    for hop in range(1, ttl + 1):
+        # A node visited at the previous hop forwards to all neighbors but
+        # the one it was reached from (the source, hop 1, has no previous).
+        weights = degrees if hop == 1 else degrees_minus_one
+        hop_messages = weights @ frontier
+        delivered = adjacency @ frontier
+        fresh = delivered > 0
+        fresh &= ~visited
+        messages_t[hop] = messages_t[hop - 1] + hop_messages
+        if not fresh.any():
+            # Coverage complete: curves stay flat for the remaining TTLs.
+            hits_t[hop:] = hits_t[hop - 1]
+            messages_t[hop + 1 :] = messages_t[hop]
+            break
+        visited |= fresh
+        hits_t[hop] = hits_t[hop - 1] + fresh.sum(axis=0)
+        frontier = fresh.astype(np.int32)
+    return hits_t.T.copy(), messages_t.T.copy()
+
+
+def batch_random_walks(
+    csr: CSRGraph,
+    sources: "np.ndarray | List[int]",
+    ttl: int,
+    rng: np.random.Generator,
+    allow_backtracking: bool = False,
+) -> np.ndarray:
+    """Advance many random walks simultaneously; return their trajectories.
+
+    Returns an ``int64[ttl + 1, W]`` array of node *rows*; row ``t`` holds
+    every walker's position after ``t`` hops, with ``-1`` once a walker has
+    died at a dead end (its only neighbor is the node it arrived from).
+
+    This is the throughput-mode kernel: all ``W`` walkers advance per hop
+    with a constant number of NumPy operations.  It draws from a NumPy
+    :class:`~numpy.random.Generator`, so it is distribution-equivalent but
+    **not** stream-identical to
+    :class:`~repro.search.random_walk.RandomWalkSearch`; use the search
+    class when byte-identical curves across backends are required.
+    """
+    if ttl < 0:
+        raise GraphError("ttl must be non-negative")
+    positions = np.asarray(sources, dtype=np.int64).copy()
+    if positions.ndim != 1:
+        raise GraphError("sources must be a one-dimensional sequence of node rows")
+    walkers = len(positions)
+    degrees, indptr, indices = csr._degrees, csr._indptr, csr._indices
+    trajectory = np.full((ttl + 1, walkers), -1, dtype=np.int64)
+    trajectory[0] = positions
+    previous = np.full(walkers, -1, dtype=np.int64)
+    alive = degrees[positions] > 0 if walkers else np.zeros(0, dtype=bool)
+    for hop in range(1, ttl + 1):
+        if not alive.any():
+            break
+        active = np.nonzero(alive)[0]
+        current = positions[active]
+        # Dead-end detection: a degree-1 node whose only neighbor is the
+        # previous hop has no non-backtracking move.
+        if not allow_backtracking:
+            stuck = (degrees[current] == 1) & (
+                indices[indptr[current]] == previous[active]
+            )
+            if stuck.any():
+                alive[active[stuck]] = False
+                active = active[~stuck]
+                current = positions[active]
+        if active.size == 0:
+            continue
+        draws = rng.random(active.size)
+        chosen = indices[
+            indptr[current] + (draws * degrees[current]).astype(np.int64)
+        ]
+        if not allow_backtracking:
+            # Rejection-sample walkers that drew their previous hop; each
+            # round resolves the collisions uniformly over the remainder.
+            colliding = chosen == previous[active]
+            while colliding.any():
+                redo = active[colliding]
+                redraw = rng.random(redo.size)
+                chosen_redo = indices[
+                    indptr[positions[redo]]
+                    + (redraw * degrees[positions[redo]]).astype(np.int64)
+                ]
+                chosen[colliding] = chosen_redo
+                colliding_redo = chosen_redo == previous[redo]
+                new_colliding = np.zeros_like(colliding)
+                new_colliding[np.nonzero(colliding)[0]] = colliding_redo
+                colliding = new_colliding
+        previous[active] = current
+        positions[active] = chosen
+        trajectory[hop, active] = chosen
+    return trajectory

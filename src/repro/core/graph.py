@@ -23,13 +23,16 @@ create them in the first place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from repro.core.errors import GraphError, NodeNotFoundError
 from repro.core.rng import RandomSource
 from repro.core.types import Edge, GraphStats, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (csr imports us)
+    from repro.core.csr import CSRGraph
 
 __all__ = ["Graph"]
 
@@ -240,6 +243,20 @@ class Graph:
         except KeyError:
             raise NodeNotFoundError(node) from None
 
+    def iter_neighbors(self, node: NodeId) -> List[NodeId]:
+        """Return the internal neighbor list of ``node`` — do **not** mutate.
+
+        Unlike :meth:`neighbors` this does not copy.  The order is the edge
+        insertion order, which is the *defined* neighbor order of the
+        library: the frozen CSR backend preserves it, so every seeded draw
+        the search algorithms make over a neighbor list lands on the same
+        element regardless of backend (see ``tests/test_backend_equivalence``).
+        """
+        try:
+            return self._neighbor_lists[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
     def random_neighbor(self, node: NodeId, rng: RandomSource) -> Optional[NodeId]:
         """Return a uniformly random neighbor of ``node`` or ``None`` if isolated.
 
@@ -291,6 +308,19 @@ class Graph:
                 if v in keep and u < v:
                     sub.add_edge(u, v)
         return sub
+
+    def freeze(self) -> "CSRGraph":
+        """Return an immutable CSR snapshot of this graph.
+
+        The snapshot (:class:`~repro.core.csr.CSRGraph`) preserves the
+        per-node neighbor insertion order, implements the read-only part of
+        this class's API, and unlocks the vectorized search kernels; use it
+        for the generate-once / search-many phase of an experiment.  Later
+        mutations of this graph do not affect the snapshot.
+        """
+        from repro.core.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
 
     def stats(self) -> GraphStats:
         """Return a :class:`~repro.core.types.GraphStats` summary."""

@@ -115,6 +115,7 @@ def run_suite(
     store: Any = None,
     progress: Any = None,
     on_result: Optional[Callable[[SuiteEntry], None]] = None,
+    backend: Optional[str] = None,
 ) -> SuiteReport:
     """Run many experiments through one shared executor and result store.
 
@@ -140,6 +141,9 @@ def run_suite(
         Optional callback invoked with each :class:`SuiteEntry` as soon as
         its experiment finishes — the hook for incremental persistence, so
         an interrupted suite keeps everything completed so far.
+    backend:
+        Optional graph backend (``"adj"`` or ``"csr"``) applied to every
+        experiment in the suite; results are identical across backends.
     """
     # Imported lazily: the registry imports the runner layer, which must be
     # importable without the engine package being fully initialised.
@@ -163,6 +167,7 @@ def run_suite(
             executor=executor,
             store=store,
             progress=progress,
+            backend=backend,
         )
         entry = SuiteEntry(
             experiment_id=experiment_id,

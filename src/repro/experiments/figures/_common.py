@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
+from repro.core.backend import GraphLike, active_backend, freeze_for_backend
 from repro.core.config import GRNConfig
 from repro.core.errors import AnalysisError
 from repro.core.graph import Graph
@@ -138,7 +139,13 @@ def build_graph(
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class RealizationSpec:
-    """Everything needed to rebuild one topology realization in any process."""
+    """Everything needed to rebuild one topology realization in any process.
+
+    ``backend`` is captured at task-creation time (from the ambient
+    :func:`~repro.core.backend.active_backend`), so the generate-mutable /
+    freeze-once / search-many policy travels with the pickled spec into the
+    engine's worker processes.
+    """
 
     model: str
     scale: ExperimentScale
@@ -148,6 +155,7 @@ class RealizationSpec:
     exponent: float = 3.0
     tau_sub: int = 4
     for_search: bool = False
+    backend: str = "adj"
 
     def build(self) -> Graph:
         return build_graph(
@@ -161,6 +169,10 @@ class RealizationSpec:
             for_search=self.for_search,
         )
 
+    def build_for_measurement(self) -> GraphLike:
+        """Build the topology and freeze it when the ``csr`` backend is on."""
+        return freeze_for_backend(self.build(), self.backend)
+
 
 def _realize_degree_sequence(spec: RealizationSpec) -> List[int]:
     """Task body: one realization's degree sequence (Figs. 1–4 and sweeps)."""
@@ -171,7 +183,7 @@ def _realize_search_curve(
     spec: RealizationSpec, algorithm: str, ttl_values: Tuple[int, ...]
 ) -> SearchCurve:
     """Task body: one realization's search curve (Figs. 6–12, messaging)."""
-    graph = spec.build()
+    graph = spec.build_for_measurement()
     queries = spec.scale.queries
     query_rng = spec.seed + 977
     if algorithm == "fl":
@@ -306,6 +318,7 @@ def _averaged_curve(
 ) -> SearchCurve:
     if algorithm not in ("fl", "nf", "rw"):
         raise ValueError(f"unknown search algorithm {algorithm!r}")
+    backend = active_backend()
     tasks = [
         Task(
             fn=_realize_search_curve,
@@ -319,6 +332,7 @@ def _averaged_curve(
                     exponent=exponent,
                     tau_sub=tau_sub,
                     for_search=True,
+                    backend=backend,
                 ),
                 algorithm,
                 tuple(int(value) for value in ttl_values),

@@ -68,6 +68,7 @@ def run_experiment(
     executor: "Optional[Executor]" = None,
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id and return its result.
 
@@ -88,6 +89,11 @@ def run_experiment(
     progress:
         Optional :class:`~repro.engine.progress.ProgressReporter` receiving
         experiment/task timing events.
+    backend:
+        Optional graph backend (``"adj"`` or ``"csr"``) installed around
+        the run via :func:`repro.core.backend.use_backend`.  Results are
+        byte-identical across backends (so cached results are shared);
+        ``"csr"`` freezes each topology once and searches the snapshot.
 
     Examples
     --------
@@ -95,7 +101,7 @@ def run_experiment(
     >>> result.experiment_id
     'table2'
     """
-    if executor is None and store is None and progress is None:
+    if executor is None and store is None and progress is None and backend is None:
         return get_experiment(experiment_id)(scale=scale, seed=seed)
     result, _ = run_experiment_cached(
         experiment_id,
@@ -104,6 +110,7 @@ def run_experiment(
         executor=executor,
         store=store,
         progress=progress,
+        backend=backend,
     )
     return result
 
@@ -115,6 +122,7 @@ def run_experiment_cached(
     executor: "Optional[Executor]" = None,
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
 ) -> "tuple[ExperimentResult, bool]":
     """Engine-aware variant of :func:`run_experiment`.
 
@@ -125,6 +133,7 @@ def run_experiment_cached(
     runner = get_experiment(experiment_id)
     # Imported lazily: repro.engine (and the figures package) pull in this
     # module during their own initialisation.
+    from repro.core.backend import use_backend
     from repro.engine.executor import use_executor
     from repro.experiments.figures._common import resolve_scale
 
@@ -134,7 +143,7 @@ def run_experiment_cached(
         progress.experiment_started(experiment_id)
 
     def compute() -> ExperimentResult:
-        with use_executor(executor, progress):
+        with use_executor(executor, progress), use_backend(backend):
             return runner(scale=resolved, seed=None)
 
     if store is not None:

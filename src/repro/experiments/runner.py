@@ -193,9 +193,21 @@ def _realize_one(
     build: Callable[[int], T],
     measure: Callable[[T, int], Sequence[float]],
     seed: int,
+    backend: str = "adj",
 ) -> List[float]:
-    """Build and measure a single realization (one engine task)."""
+    """Build and measure a single realization (one engine task).
+
+    When the ``csr`` backend is selected and ``build`` produced a mutable
+    :class:`~repro.core.graph.Graph`, the graph is frozen once here —
+    before ``measure`` runs its many queries — so the whole measurement
+    phase uses the vectorized snapshot.
+    """
+    from repro.core.backend import freeze_for_backend
+    from repro.core.graph import Graph
+
     subject = build(seed)
+    if isinstance(subject, Graph):
+        subject = freeze_for_backend(subject, backend)  # type: ignore[assignment]
     return [float(value) for value in measure(subject, seed)]
 
 
@@ -205,6 +217,7 @@ def run_realizations(
     measure: Callable[[T, int], Sequence[float]],
     label: str = "",
     executor: "Optional[Executor]" = None,
+    backend: "Optional[str]" = None,
 ) -> List[float]:
     """Run ``build``/``measure`` once per realization and average the outputs.
 
@@ -230,6 +243,14 @@ def run_realizations(
         worker processes requires ``build``/``measure`` to be picklable
         (module-level functions); closures degrade gracefully to in-process
         execution.
+    backend:
+        Graph backend for the measurement phase (``"adj"`` or ``"csr"``);
+        the default is the ambient backend installed by
+        :func:`repro.core.backend.use_backend`.  With ``"csr"``, graphs
+        coming out of ``build`` are frozen once before ``measure`` runs —
+        generate mutable, freeze once, search many.  The choice is baked
+        into each task, so it survives the hop into worker processes, and
+        results are identical either way.
 
     Returns
     -------
@@ -237,11 +258,19 @@ def run_realizations(
         The element-wise mean across realizations.
     """
     # Imported lazily to avoid a cycle: repro.engine.store imports this module.
+    from repro.core.backend import active_backend, normalize_backend
     from repro.engine.executor import active_executor, active_progress
     from repro.engine.tasks import Task
 
+    resolved_backend = (
+        active_backend() if backend is None else normalize_backend(backend)
+    )
     tasks = [
-        Task(fn=_realize_one, args=(build, measure, seed), key=f"{label or 'realization'}[{index}]")
+        Task(
+            fn=_realize_one,
+            args=(build, measure, seed, resolved_backend),
+            key=f"{label or 'realization'}[{index}]",
+        )
         for index, seed in enumerate(realization_seeds(scale, label))
     ]
     runner = executor if executor is not None else active_executor()

@@ -15,8 +15,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.backend import GraphLike
 from repro.core.errors import SearchError
-from repro.core.graph import Graph
 from repro.core.rng import RandomSource, ensure_source
 from repro.core.types import NodeId
 
@@ -99,7 +99,7 @@ class SearchAlgorithm(abc.ABC):
     @abc.abstractmethod
     def run(
         self,
-        graph: Graph,
+        graph: GraphLike,
         source: NodeId,
         ttl: int,
         rng: "RandomSource | int | None" = None,
@@ -111,7 +111,7 @@ class SearchAlgorithm(abc.ABC):
     # Shared helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _validate(graph: Graph, source: NodeId, ttl: int) -> None:
+    def _validate(graph: GraphLike, source: NodeId, ttl: int) -> None:
         if ttl < 0:
             raise SearchError("ttl must be non-negative")
         if not graph.has_node(source):
@@ -123,7 +123,7 @@ class SearchAlgorithm(abc.ABC):
 
     def run_many(
         self,
-        graph: Graph,
+        graph: GraphLike,
         sources: Sequence[NodeId],
         ttl: int,
         rng: "RandomSource | int | None" = None,

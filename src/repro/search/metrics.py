@@ -22,11 +22,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import GraphLike
+from repro.core.csr import CSRGraph, batch_flood_curves
 from repro.core.errors import SearchError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource, ensure_source
 from repro.core.types import NodeId
 from repro.search.base import SearchAlgorithm
+from repro.search.flooding import FloodingSearch
 from repro.search.normalized_flooding import NormalizedFloodingSearch
 from repro.search.random_walk import RandomWalkSearch
 
@@ -118,7 +121,7 @@ class SearchCurve:
 
 
 def select_sources(
-    graph: Graph, queries: int, rng: "RandomSource | int | None" = None
+    graph: GraphLike, queries: int, rng: "RandomSource | int | None" = None
 ) -> List[NodeId]:
     """Pick ``queries`` random source peers (with replacement) from ``graph``."""
     source = ensure_source(rng)
@@ -129,7 +132,7 @@ def select_sources(
 
 
 def search_curve(
-    graph: Graph,
+    graph: GraphLike,
     algorithm: SearchAlgorithm,
     ttl_values: Sequence[int],
     queries: int = 100,
@@ -163,13 +166,33 @@ def search_curve(
         sources = select_sources(graph, queries, random_source.spawn("sources"))
     query_rng = random_source.spawn("queries")
 
-    hits_matrix = np.zeros((len(sources), len(ttl_list)))
-    messages_matrix = np.zeros((len(sources), len(ttl_list)))
-    for row, source_node in enumerate(sources):
-        result = algorithm.run(graph, source_node, max_ttl, rng=query_rng)
-        for column, ttl in enumerate(ttl_list):
-            hits_matrix[row, column] = result.hits_at(ttl)
-            messages_matrix[row, column] = result.messages_at(ttl)
+    if type(algorithm) is FloodingSearch and isinstance(graph, CSRGraph):
+        # Batched CSR fast path: one vectorized kernel call covers the whole
+        # query batch.  Flooding is deterministic (``query_rng`` is never
+        # drawn from), so the results — and the RNG stream position — are
+        # identical to the per-query loop below.
+        rows = []
+        for source_node in sources:
+            # Same validation (and the same SearchError) the generic path
+            # gets from algorithm.run() — backends must match on the error
+            # path too.
+            algorithm._validate(graph, source_node, max_ttl)
+            rows.append(graph._row_of(source_node))
+        batch_hits, batch_messages = batch_flood_curves(graph, rows, max_ttl)
+        base_hits = 1 if algorithm.count_source_as_hit else 0
+        columns = np.array(ttl_list)
+        # Force C order: the reduction order of mean/std must match the
+        # row-major matrices of the generic path bit-for-bit.
+        hits_matrix = (batch_hits[:, columns] + base_hits).astype(float, order="C")
+        messages_matrix = batch_messages[:, columns].astype(float, order="C")
+    else:
+        hits_matrix = np.zeros((len(sources), len(ttl_list)))
+        messages_matrix = np.zeros((len(sources), len(ttl_list)))
+        for row, source_node in enumerate(sources):
+            result = algorithm.run(graph, source_node, max_ttl, rng=query_rng)
+            for column, ttl in enumerate(ttl_list):
+                hits_matrix[row, column] = result.hits_at(ttl)
+                messages_matrix[row, column] = result.messages_at(ttl)
 
     return SearchCurve(
         algorithm=algorithm.algorithm_name,
@@ -183,7 +206,7 @@ def search_curve(
 
 
 def normalized_walk_curve(
-    graph: Graph,
+    graph: GraphLike,
     ttl_values: Sequence[int],
     k_min: Optional[int] = None,
     queries: int = 100,

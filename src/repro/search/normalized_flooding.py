@@ -167,10 +167,19 @@ class NormalizedFloodingSearch(SearchAlgorithm):
         candidates after excluding the previous hop) forward to every
         candidate; higher-degree nodes forward to ``branching`` random
         candidates.
+
+        The candidate order is the defined neighbor order shared by both
+        graph backends (:meth:`~repro.core.graph.Graph.iter_neighbors`), so
+        ``rng.sample`` draws identically on a mutable and a frozen graph.
+        The source (``previous is None``) forwards over the shared internal
+        list without copying; every other node must build the
+        previous-excluded candidate list anyway.
         """
-        candidates = [
-            neighbor for neighbor in graph.neighbors(node) if neighbor != previous
-        ]
+        neighbors = graph.iter_neighbors(node)
+        if previous is None:
+            candidates = neighbors
+        else:
+            candidates = [neighbor for neighbor in neighbors if neighbor != previous]
         if len(candidates) <= branching:
             return candidates
         return rng.sample(candidates, branching)

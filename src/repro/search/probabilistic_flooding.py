@@ -8,6 +8,11 @@ trades coverage for messages, sitting between FL and NF/RW on the paper's
 cost spectrum.  The implementation mirrors :class:`FloodingSearch`
 (duplicate suppression, per-TTL curves) and registers itself as ``"pf"`` so
 the harness and CLI can sweep it alongside the paper's three algorithms.
+
+Forwarding coins are drawn per neighbor in the *defined* neighbor order
+(edge insertion order, via :meth:`~repro.core.graph.Graph.iter_neighbors`)
+rather than set order, so a seeded query is byte-identical on the mutable
+``adj`` backend and the frozen ``csr`` backend.
 """
 
 from __future__ import annotations
@@ -78,7 +83,12 @@ class ProbabilisticFloodingSearch(SearchAlgorithm):
             next_frontier: deque = deque()
             while frontier:
                 node, previous = frontier.popleft()
-                for neighbor in graph.neighbor_set(node):
+                # Iterate in the defined neighbor order (edge insertion
+                # order), NOT set order: each neighbor consumes one
+                # forwarding coin, so the iteration order is part of the
+                # seeded behaviour and must be identical on the mutable and
+                # the frozen CSR backend.
+                for neighbor in graph.iter_neighbors(node):
                     if neighbor == previous:
                         continue
                     if probability < 1.0 and random_source.random() >= probability:

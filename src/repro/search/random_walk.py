@@ -15,6 +15,14 @@ The paper compares RW against NF at equal message cost: "we equated τ of RW
 searches to the number of messages incurred by the NF searches in the same
 scenario."  That normalization lives in
 :func:`repro.search.metrics.normalized_walk_curve`, which drives this module.
+
+Both graph backends are supported with identical seeded behaviour: every
+step draws one integer over the same candidate count and maps it onto the
+same (insertion-ordered) neighbor list, whether the graph is a mutable
+:class:`~repro.core.graph.Graph` or a frozen
+:class:`~repro.core.csr.CSRGraph`.  For throughput-mode simulations that do
+not need stream-identity, :func:`repro.core.csr.batch_random_walks` advances
+many walkers per vectorized step.
 """
 
 from __future__ import annotations
@@ -95,13 +103,26 @@ class RandomWalkSearch(SearchAlgorithm):
                     continue
                 current = walker_positions[index]
                 previous = walker_previous[index]
-                candidates = graph.neighbors(current)
+                # The candidate set is the neighbor list minus the previous
+                # hop.  Instead of materialising that filtered list every
+                # step, draw an index into it and map the index back onto
+                # the shared neighbor list (skipping the previous hop's
+                # position) — same draw, same neighbor, no allocation.
+                neighbors = graph.iter_neighbors(current)
+                exclude_position = -1
                 if not self.allow_backtracking and previous is not None:
-                    candidates = [node for node in candidates if node != previous]
-                if not candidates:
+                    try:
+                        exclude_position = neighbors.index(previous)
+                    except ValueError:  # pragma: no cover - previous is adjacent
+                        exclude_position = -1
+                candidate_count = len(neighbors) - (1 if exclude_position >= 0 else 0)
+                if candidate_count == 0:
                     walker_alive[index] = False
                     continue
-                next_node = candidates[random_source.randint(0, len(candidates) - 1)]
+                choice = random_source.randint(0, candidate_count - 1)
+                if 0 <= exclude_position <= choice:
+                    choice += 1
+                next_node = neighbors[choice]
                 cumulative_messages += 1
                 walker_previous[index] = current
                 walker_positions[index] = next_node

@@ -1,0 +1,317 @@
+"""Cross-backend equivalence suite: frozen CSR vs. the adjacency reference.
+
+The CSR backend's contract is *exact* interchangeability: for every search
+algorithm, on every topology model, a frozen graph must produce results that
+are identical to the mutable dict-of-sets graph — same hits-vs-τ curve, same
+message counts, same visited sets, and (for the stochastic algorithms) the
+same RNG stream consumption, so that freezing a graph can never silently
+shift the seeds of anything that runs afterwards.  These tests pin that
+contract at every layer: single queries, metric curves, the message-count
+normalization, the realization runner, the parallel engine, and a whole
+figure experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.backend import active_backend, freeze_for_backend, use_backend
+from repro.core.csr import CSRGraph
+from repro.core.errors import ConfigurationError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.engine.executor import ParallelExecutor
+from repro.experiments.registry import run_experiment
+from repro.generators.cm import generate_cm
+from repro.generators.dapa import generate_dapa
+from repro.generators.hapa import generate_hapa
+from repro.generators.pa import generate_pa
+from repro.search.flooding import FloodingSearch
+from repro.search.metrics import normalized_walk_curve, search_curve
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+from repro.search.probabilistic_flooding import ProbabilisticFloodingSearch
+from repro.search.random_walk import RandomWalkSearch
+
+
+# --------------------------------------------------------------------------- #
+# Topologies: one small realization of every registered generator family
+# --------------------------------------------------------------------------- #
+def _build_graphs():
+    return {
+        "pa": generate_pa(300, stubs=2, hard_cutoff=10, seed=101),
+        "cm": generate_cm(300, exponent=2.5, min_degree=2, hard_cutoff=20, seed=77),
+        "hapa": generate_hapa(200, stubs=1, hard_cutoff=8, seed=55),
+        "dapa": generate_dapa(150, stubs=2, hard_cutoff=10, local_ttl=4, seed=66),
+    }
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return _build_graphs()
+
+
+GENERATORS = ["pa", "cm", "hapa", "dapa"]
+
+# Every registered search algorithm (one representative configuration each,
+# plus variants that exercise backend-sensitive code paths).
+ALGORITHMS = {
+    "fl": lambda: FloodingSearch(),
+    "fl-source-hit": lambda: FloodingSearch(count_source_as_hit=True),
+    "nf": lambda: NormalizedFloodingSearch(k_min=2),
+    "nf-auto-kmin": lambda: NormalizedFloodingSearch(),  # uses graph.min_degree()
+    "pf": lambda: ProbabilisticFloodingSearch(forward_probability=0.5),
+    "rw": lambda: RandomWalkSearch(walkers=3),
+    "rw-backtracking": lambda: RandomWalkSearch(walkers=2, allow_backtracking=True),
+}
+
+
+def _assert_identical(result_adj, result_csr):
+    assert result_adj.hits_per_ttl == result_csr.hits_per_ttl
+    assert result_adj.messages_per_ttl == result_csr.messages_per_ttl
+    assert result_adj.visited == result_csr.visited
+    assert result_adj.found_at == result_csr.found_at
+    assert result_adj.source == result_csr.source
+    assert result_adj.algorithm == result_csr.algorithm
+
+
+class TestQueryEquivalence:
+    """algorithm × generator: single queries must match field by field."""
+
+    @pytest.mark.parametrize("model", GENERATORS)
+    @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+    def test_identical_results_and_rng_consumption(
+        self, graphs, model, algorithm_name
+    ):
+        graph = graphs[model]
+        frozen = graph.freeze()
+        algorithm = ALGORITHMS[algorithm_name]()
+        nodes = graph.nodes()
+        target = nodes[len(nodes) // 2]
+        for seed, source in [(7, nodes[0]), (19, nodes[3]), (23, nodes[-1])]:
+            rng_adj, rng_csr = RandomSource(seed), RandomSource(seed)
+            result_adj = algorithm.run(graph, source, 8, rng=rng_adj, target=target)
+            result_csr = algorithm.run(frozen, source, 8, rng=rng_csr, target=target)
+            _assert_identical(result_adj, result_csr)
+            # Both streams must sit at the same position afterwards: the
+            # next draw from each is equal, so backend choice can never
+            # shift the seeds of whatever runs next.
+            assert rng_adj.random() == rng_csr.random()
+
+    @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+    def test_ttl_zero_and_isolated_source(self, algorithm_name):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2)])  # node 3 is isolated
+        frozen = graph.freeze()
+        algorithm = ALGORITHMS[algorithm_name]()
+        for source, ttl in [(0, 0), (3, 5)]:
+            rng_adj, rng_csr = RandomSource(3), RandomSource(3)
+            _assert_identical(
+                algorithm.run(graph, source, ttl, rng=rng_adj),
+                algorithm.run(frozen, source, ttl, rng=rng_csr),
+            )
+            assert rng_adj.random() == rng_csr.random()
+
+
+class TestCurveEquivalence:
+    """Metric-level curves (what the figures actually average)."""
+
+    @pytest.mark.parametrize("model", GENERATORS)
+    @pytest.mark.parametrize(
+        "algorithm_name", ["fl", "nf", "pf", "rw"]
+    )
+    def test_search_curve_identical(self, graphs, model, algorithm_name):
+        graph = graphs[model]
+        frozen = graph.freeze()
+        ttl_values = [1, 2, 4, 6, 8]
+        curve_adj = search_curve(
+            graph, ALGORITHMS[algorithm_name](), ttl_values, queries=25, rng=5
+        )
+        curve_csr = search_curve(
+            frozen, ALGORITHMS[algorithm_name](), ttl_values, queries=25, rng=5
+        )
+        assert curve_adj.as_dict() == curve_csr.as_dict()
+
+    @pytest.mark.parametrize("model", GENERATORS)
+    def test_normalized_walk_curve_identical(self, graphs, model):
+        graph = graphs[model]
+        frozen = graph.freeze()
+        curve_adj = normalized_walk_curve(graph, [2, 4, 6], k_min=2, queries=20, rng=9)
+        curve_csr = normalized_walk_curve(frozen, [2, 4, 6], k_min=2, queries=20, rng=9)
+        assert curve_adj.as_dict() == curve_csr.as_dict()
+
+    def test_search_curve_error_parity(self, graphs):
+        """Both backends raise the same SearchError for a bad source."""
+        from repro.core.errors import SearchError
+
+        graph = graphs["pa"]
+        frozen = graph.freeze()
+        for subject in (graph, frozen):
+            with pytest.raises(SearchError):
+                search_curve(
+                    subject, FloodingSearch(), [1, 2], sources=[10**6], rng=1
+                )
+
+    def test_search_curve_stream_position(self, graphs):
+        """The whole pipeline leaves both RNGs at the same position."""
+        graph = graphs["pa"]
+        frozen = graph.freeze()
+        for factory in (FloodingSearch, NormalizedFloodingSearch):
+            rng_adj, rng_csr = RandomSource(11), RandomSource(11)
+            search_curve(graph, factory(), [1, 3, 5], queries=15, rng=rng_adj)
+            search_curve(frozen, factory(), [1, 3, 5], queries=15, rng=rng_csr)
+            assert rng_adj.random() == rng_csr.random()
+
+
+class _CountingSource(RandomSource):
+    """A RandomSource that tallies how many draws of each kind it serves."""
+
+    def __init__(self, seed=None):
+        super().__init__(seed)
+        self.calls = Counter()
+
+    def random(self):
+        self.calls["random"] += 1
+        return super().random()
+
+    def randint(self, low, high):
+        self.calls["randint"] += 1
+        return super().randint(low, high)
+
+    def sample(self, items, count):
+        self.calls["sample"] += 1
+        return super().sample(items, count)
+
+    def shuffled(self, items):
+        self.calls["shuffled"] += 1
+        return super().shuffled(items)
+
+
+class TestDrawCountRegression:
+    """Pin the exact number of draws so backends can never shift seeds.
+
+    The counts below were measured on the reference (adjacency) backend;
+    the test asserts the frozen backend draws *exactly* as often, and that
+    the totals never drift for either backend.  If an intentional algorithm
+    change alters them, update the pinned numbers in the same commit.
+    """
+
+    PINNED = {
+        "nf": {"sample": 47},
+        "pf": {"random": 784},
+        "rw": {"randint": 24},
+    }
+
+    @pytest.mark.parametrize("algorithm_name", sorted(PINNED))
+    def test_exact_draw_counts(self, graphs, algorithm_name):
+        graph = graphs["pa"]
+        frozen = graph.freeze()
+        algorithm = ALGORITHMS[algorithm_name]()
+        rng_adj, rng_csr = _CountingSource(7), _CountingSource(7)
+        algorithm.run(graph, 5, 8, rng=rng_adj)
+        algorithm.run(frozen, 5, 8, rng=rng_csr)
+        assert dict(rng_adj.calls) == self.PINNED[algorithm_name]
+        assert dict(rng_csr.calls) == self.PINNED[algorithm_name]
+
+    def test_flooding_consumes_no_draws(self, graphs):
+        graph = graphs["pa"]
+        frozen = graph.freeze()
+        for subject in (graph, frozen):
+            rng = _CountingSource(7)
+            FloodingSearch().run(subject, 5, 8, rng=rng)
+            assert not rng.calls
+
+
+class TestBackendContext:
+    def test_use_backend_scopes_selection(self):
+        assert active_backend() == "adj"
+        with use_backend("csr"):
+            assert active_backend() == "csr"
+            with use_backend(None):  # None leaves the ambient choice alone
+                assert active_backend() == "csr"
+        assert active_backend() == "adj"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with use_backend("gpu"):
+                pass  # pragma: no cover
+
+    def test_freeze_for_backend(self, graphs):
+        graph = graphs["pa"]
+        assert freeze_for_backend(graph, "adj") is graph
+        frozen = freeze_for_backend(graph, "csr")
+        assert isinstance(frozen, CSRGraph)
+        assert freeze_for_backend(frozen, "csr") is frozen
+        assert freeze_for_backend(frozen, "adj") is frozen
+
+
+class TestExperimentEquivalence:
+    """Whole experiments — the acceptance criterion for ``--backend csr``."""
+
+    def test_fig9_byte_identical(self, smoke_scale):
+        adj = run_experiment("fig9", scale=smoke_scale)
+        csr = run_experiment("fig9", scale=smoke_scale, backend="csr")
+        assert [series.as_dict() for series in adj.series] == [
+            series.as_dict() for series in csr.series
+        ]
+
+    def test_fig6_flooding_byte_identical(self, smoke_scale):
+        adj = run_experiment("fig6", scale=smoke_scale)
+        csr = run_experiment("fig6", scale=smoke_scale, backend="csr")
+        assert [series.as_dict() for series in adj.series] == [
+            series.as_dict() for series in csr.series
+        ]
+
+    def test_fig9_csr_parallel_byte_identical(self, smoke_scale):
+        """The csr backend must survive the hop into worker processes.
+
+        ``realizations=2`` matters: smoke's single-realization batches
+        degenerate to in-process execution, which would silently skip the
+        pickled-``RealizationSpec``-in-a-worker path under test here.
+        """
+        from dataclasses import replace
+
+        scale = replace(smoke_scale, realizations=2)
+        adj = run_experiment("fig9", scale=scale)
+        with ParallelExecutor(jobs=2) as executor:
+            csr = run_experiment(
+                "fig9", scale=scale, backend="csr", executor=executor
+            )
+        assert [series.as_dict() for series in adj.series] == [
+            series.as_dict() for series in csr.series
+        ]
+
+
+class TestRunRealizationsBackend:
+    def test_measure_receives_frozen_graph(self, smoke_scale):
+        from repro.experiments.runner import run_realizations
+
+        seen = []
+
+        def build(seed):
+            return generate_pa(60, stubs=1, seed=seed)
+
+        def measure(graph, seed):
+            seen.append(type(graph).__name__)
+            return [float(graph.number_of_edges)]
+
+        adj_result = run_realizations(smoke_scale, build, measure, backend="adj")
+        csr_result = run_realizations(smoke_scale, build, measure, backend="csr")
+        assert adj_result == csr_result
+        assert seen == ["Graph", "CSRGraph"]
+
+    def test_ambient_backend_is_captured(self, smoke_scale):
+        from repro.experiments.runner import run_realizations
+
+        seen = []
+
+        def build(seed):
+            return generate_pa(60, stubs=1, seed=seed)
+
+        def measure(graph, seed):
+            seen.append(type(graph).__name__)
+            return [0.0]
+
+        with use_backend("csr"):
+            run_realizations(smoke_scale, build, measure)
+        assert seen == ["CSRGraph"]

@@ -1,0 +1,352 @@
+"""Property tests for the frozen CSR graph backend (:mod:`repro.core.csr`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.csr import (
+    CSRGraph,
+    batch_flood_curves,
+    batch_random_walks,
+    flood_curve,
+    flood_levels,
+)
+from repro.core.errors import GraphError, NodeNotFoundError
+from repro.core.graph import Graph
+from repro.core.rng import RandomSource
+from repro.generators.cm import generate_cm
+from repro.generators.pa import generate_pa
+from repro.search.flooding import flood
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=min(60, len(possible_edges)))
+        if possible_edges
+        else st.just([])
+    )
+    return Graph.from_edges(n, edges)
+
+
+@pytest.fixture(scope="module")
+def pa_graph() -> Graph:
+    return generate_pa(300, stubs=2, hard_cutoff=12, seed=42)
+
+
+@pytest.fixture(scope="module")
+def cm_graph() -> Graph:
+    return generate_cm(300, exponent=2.5, min_degree=2, hard_cutoff=25, seed=43)
+
+
+class TestFreezeRoundTrip:
+    @common_settings
+    @given(random_graphs())
+    def test_edges_round_trip(self, graph):
+        frozen = graph.freeze()
+        rebuilt = Graph.from_edges(graph.number_of_nodes, frozen.edges())
+        assert rebuilt == graph
+        assert frozen == graph
+        assert graph == frozen
+
+    @common_settings
+    @given(random_graphs())
+    def test_degree_and_neighbor_agreement(self, graph):
+        frozen = graph.freeze()
+        assert frozen.number_of_nodes == graph.number_of_nodes
+        assert frozen.number_of_edges == graph.number_of_edges
+        assert frozen.total_degree == graph.total_degree
+        assert frozen.degree_sequence() == graph.degree_sequence()
+        for node in graph.nodes():
+            assert frozen.degree(node) == graph.degree(node)
+            # Exact order, not just the same set: the defined neighbor
+            # order is what keeps seeded draws identical across backends.
+            assert frozen.neighbors(node) == graph.neighbors(node)
+            assert frozen.neighbor_set(node) == graph.neighbor_set(node)
+
+    @common_settings
+    @given(random_graphs())
+    def test_thaw_round_trip(self, graph):
+        assert graph.freeze().thaw() == graph
+
+    def test_stats_and_degree_extremes(self, pa_graph):
+        frozen = pa_graph.freeze()
+        assert frozen.stats() == pa_graph.stats()
+        assert frozen.min_degree() == pa_graph.min_degree()
+        assert frozen.max_degree() == pa_graph.max_degree()
+        assert frozen.mean_degree() == pytest.approx(pa_graph.mean_degree())
+        assert frozen.degrees() == pa_graph.degrees()
+
+    def test_has_edge_agreement(self, cm_graph):
+        frozen = cm_graph.freeze()
+        for u, v in list(cm_graph.edges())[:50]:
+            assert frozen.has_edge(u, v) and frozen.has_edge(v, u)
+        assert not frozen.has_edge(0, 0)
+        missing = [
+            (u, v)
+            for u in range(20)
+            for v in range(u + 1, 20)
+            if not cm_graph.has_edge(u, v)
+        ]
+        for u, v in missing[:20]:
+            assert not frozen.has_edge(u, v)
+        assert not frozen.has_edge(0, 10**6)
+
+    def test_nodes_iteration_and_membership(self, pa_graph):
+        frozen = pa_graph.freeze()
+        assert frozen.nodes() == pa_graph.nodes()
+        assert list(frozen) == list(pa_graph)
+        assert len(frozen) == len(pa_graph)
+        assert 0 in frozen and pa_graph.number_of_nodes not in frozen
+        assert "nope" not in frozen
+
+    def test_to_networkx(self, pa_graph):
+        frozen = pa_graph.freeze()
+        nx_graph = frozen.to_networkx()
+        assert nx_graph.number_of_nodes() == pa_graph.number_of_nodes
+        assert nx_graph.number_of_edges() == pa_graph.number_of_edges
+
+
+class TestSparseIds:
+    """Graphs whose node ids are not the dense range (e.g. after removals)."""
+
+    @pytest.fixture()
+    def sparse_graph(self) -> Graph:
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        graph.remove_node(2)
+        return graph
+
+    def test_round_trip(self, sparse_graph):
+        frozen = sparse_graph.freeze()
+        assert frozen.nodes() == sparse_graph.nodes()
+        assert set(frozen.edges()) == set(sparse_graph.edges())
+        assert frozen == sparse_graph
+        for node in sparse_graph.nodes():
+            assert frozen.neighbors(node) == sparse_graph.neighbors(node)
+
+    def test_missing_nodes_raise(self, sparse_graph):
+        frozen = sparse_graph.freeze()
+        assert not frozen.has_node(2)
+        with pytest.raises(NodeNotFoundError):
+            frozen.degree(2)
+        with pytest.raises(NodeNotFoundError):
+            frozen.neighbors(2)
+
+    def test_random_node_draw_parity(self, sparse_graph):
+        frozen = sparse_graph.freeze()
+        for seed in range(20):
+            assert frozen.random_node(RandomSource(seed)) == sparse_graph.random_node(
+                RandomSource(seed)
+            )
+
+
+class TestImmutability:
+    def test_mutation_rejected(self, pa_graph):
+        frozen = pa_graph.freeze()
+        with pytest.raises(GraphError):
+            frozen.add_node()
+        with pytest.raises(GraphError):
+            frozen.add_nodes(3)
+        with pytest.raises(GraphError):
+            frozen.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            frozen.remove_node(0)
+        with pytest.raises(GraphError):
+            frozen.remove_edge(0, 1)
+
+    def test_arrays_read_only(self, pa_graph):
+        frozen = pa_graph.freeze()
+        with pytest.raises(ValueError):
+            frozen.degree_array()[0] = 99
+        with pytest.raises(ValueError):
+            frozen.neighbor_array(0)[0] = 99
+        with pytest.raises(ValueError):
+            frozen.edge_source_rows()[0] = 99
+
+    def test_freeze_and_copy_are_idempotent(self, pa_graph):
+        frozen = pa_graph.freeze()
+        assert frozen.freeze() is frozen
+        assert frozen.copy() is frozen
+
+    def test_snapshot_detached_from_source(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2)])
+        frozen = graph.freeze()
+        graph.add_edge(2, 3)
+        assert frozen.number_of_edges == 2
+        assert not frozen.has_edge(2, 3)
+        assert graph.number_of_edges == 3
+
+
+class TestPickling:
+    @common_settings
+    @given(random_graphs())
+    def test_pickle_round_trip(self, graph):
+        frozen = graph.freeze()
+        clone = pickle.loads(pickle.dumps(frozen))
+        assert clone == frozen
+        assert clone.degree_sequence() == frozen.degree_sequence()
+        for node in list(graph.nodes())[:10]:
+            assert clone.neighbors(node) == frozen.neighbors(node)
+
+    def test_unpickled_graph_still_immutable(self, pa_graph):
+        clone = pickle.loads(pickle.dumps(pa_graph.freeze()))
+        with pytest.raises(GraphError):
+            clone.add_edge(0, 1)
+        assert not clone.degree_array().flags.writeable
+
+    def test_caches_not_pickled(self, pa_graph):
+        frozen = pa_graph.freeze()
+        frozen.iter_neighbors(0)  # populate the lazy list cache
+        frozen.edge_source_rows()
+        payload = pickle.dumps(frozen)
+        # The pickle holds only the three defining arrays, so it stays
+        # compact no matter which caches the source instance materialised.
+        bare = pickle.dumps(CSRGraph(frozen._indptr, frozen._indices))
+        assert abs(len(payload) - len(bare)) < 128
+
+
+class TestRandomPrimitives:
+    def test_random_neighbor_draw_parity(self, pa_graph):
+        frozen = pa_graph.freeze()
+        for seed in range(10):
+            for node in (0, 3, 77):
+                assert frozen.random_neighbor(
+                    node, RandomSource(seed)
+                ) == pa_graph.random_neighbor(node, RandomSource(seed))
+
+    def test_random_neighbor_isolated(self):
+        graph = Graph(2)
+        frozen = graph.freeze()
+        assert frozen.random_neighbor(0, RandomSource(1)) is None
+
+    def test_random_node_dense_parity(self, pa_graph):
+        frozen = pa_graph.freeze()
+        for seed in range(10):
+            assert frozen.random_node(RandomSource(seed)) == pa_graph.random_node(
+                RandomSource(seed)
+            )
+
+
+class TestEmptyAndTiny:
+    def test_empty_graph(self):
+        frozen = Graph().freeze()
+        assert frozen.number_of_nodes == 0
+        assert frozen.number_of_edges == 0
+        assert frozen.min_degree() == 0
+        assert frozen.max_degree() == 0
+        assert frozen.mean_degree() == 0.0
+        assert frozen.edges() == []
+        with pytest.raises(GraphError):
+            frozen.random_node(RandomSource(1))
+
+    def test_isolated_nodes(self):
+        frozen = Graph(3).freeze()
+        assert frozen.degree_sequence() == [0, 0, 0]
+        assert frozen.neighbors(1) == []
+
+
+class TestFloodKernels:
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=0, max_value=6))
+    def test_flood_curve_matches_reference(self, graph, ttl):
+        frozen = graph.freeze()
+        source = 0
+        reference = flood(graph, source, ttl)
+        levels, hits, messages = flood_curve(frozen, frozen._row_of(source), ttl)
+        assert [0] + hits.tolist() == reference.hits_per_ttl
+        assert [0] + messages.tolist() == reference.messages_per_ttl
+        reached = {frozen._id_of(row) for row in np.nonzero(levels >= 0)[0]}
+        assert reached == reference.visited
+
+    def test_flood_levels_are_bfs_distances(self, pa_graph):
+        frozen = pa_graph.freeze()
+        levels = flood_levels(frozen, 0, 50)
+        nx_graph = pa_graph.to_networkx()
+        import networkx as nx
+
+        distances = nx.single_source_shortest_path_length(nx_graph, 0)
+        for node in pa_graph.nodes():
+            expected = distances.get(node, -1)
+            assert levels[node] == expected
+
+    def test_flood_levels_respect_cap(self, pa_graph):
+        frozen = pa_graph.freeze()
+        capped = flood_levels(frozen, 0, 2)
+        assert capped.max() <= 2
+
+    @common_settings
+    @given(random_graphs(), st.integers(min_value=0, max_value=6))
+    def test_batch_matches_single_source(self, graph, ttl):
+        frozen = graph.freeze()
+        rows = list(range(min(5, graph.number_of_nodes)))
+        batch_hits, batch_messages = batch_flood_curves(frozen, rows, ttl)
+        for index, row in enumerate(rows):
+            _, hits, messages = flood_curve(frozen, row, ttl)
+            assert batch_hits[index, 1:].tolist() == hits.tolist()
+            assert batch_messages[index, 1:].tolist() == messages.tolist()
+            assert batch_hits[index, 0] == 0 and batch_messages[index, 0] == 0
+
+    def test_batch_empty_sources(self, pa_graph):
+        hits, messages = batch_flood_curves(pa_graph.freeze(), [], 5)
+        assert hits.shape == (0, 6) and messages.shape == (0, 6)
+
+    def test_batch_rejects_negative_ttl(self, pa_graph):
+        with pytest.raises(GraphError):
+            batch_flood_curves(pa_graph.freeze(), [0], -1)
+
+
+class TestBatchRandomWalks:
+    def test_steps_follow_edges(self, pa_graph):
+        frozen = pa_graph.freeze()
+        trajectory = batch_random_walks(
+            frozen, [0, 1, 2, 3], 20, np.random.default_rng(7)
+        )
+        assert trajectory.shape == (21, 4)
+        for walker in range(4):
+            for hop in range(1, 21):
+                here, prev = trajectory[hop, walker], trajectory[hop - 1, walker]
+                if here < 0:
+                    continue
+                assert frozen.has_edge(int(prev), int(here))
+                if hop >= 2 and trajectory[hop - 2, walker] >= 0:
+                    # Non-backtracking: never return to the hop-2 position.
+                    assert here != trajectory[hop - 2, walker]
+
+    def test_deterministic_given_seed(self, pa_graph):
+        frozen = pa_graph.freeze()
+        first = batch_random_walks(frozen, [0, 5], 15, np.random.default_rng(3))
+        second = batch_random_walks(frozen, [0, 5], 15, np.random.default_rng(3))
+        assert np.array_equal(first, second)
+
+    def test_dead_end_walkers_die(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        frozen = graph.freeze()
+        trajectory = batch_random_walks(frozen, [0], 5, np.random.default_rng(1))
+        # 0 -> 1 -> 2 then stuck (only neighbor is the previous hop).
+        assert trajectory[1, 0] == 1 and trajectory[2, 0] == 2
+        assert trajectory[3, 0] == -1
+
+    def test_backtracking_allows_return(self):
+        graph = Graph.from_edges(2, [(0, 1)])
+        frozen = graph.freeze()
+        trajectory = batch_random_walks(
+            frozen, [0], 4, np.random.default_rng(1), allow_backtracking=True
+        )
+        assert trajectory[4, 0] >= 0  # bounces forever on the single edge
+
+    def test_isolated_source_never_moves(self):
+        frozen = Graph(2).freeze()
+        trajectory = batch_random_walks(frozen, [0], 3, np.random.default_rng(1))
+        assert trajectory[0, 0] == 0
+        assert (trajectory[1:, 0] == -1).all()

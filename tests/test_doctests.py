@@ -8,6 +8,7 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
+    "repro.core.csr",
     "repro.core.graph",
     "repro.core.rng",
     "repro.generators.degree_sequence",

@@ -21,6 +21,9 @@ from repro.search.flooding import FloodingSearch
 from repro.search.metrics import normalized_walk_curve, search_curve
 from repro.search.normalized_flooding import NormalizedFloodingSearch
 
+# Heaviest file of the unit suite: builds several 2000-node topologies.
+pytestmark = pytest.mark.slow
+
 NODES = 2000
 QUERIES = 40
 SEED = 2007
