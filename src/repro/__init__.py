@@ -97,6 +97,7 @@ from repro.search import (
     random_walk,
     search_curve,
 )
+from repro.scenarios import ScenarioSpec, run_scenario
 from repro.substrate import (
     ErdosRenyiNetwork,
     GeometricRandomNetwork,
@@ -172,4 +173,7 @@ __all__ = [
     "natural_cutoff_dorogovtsev",
     "natural_cutoff_pa",
     "path_length_statistics",
+    # scenarios
+    "ScenarioSpec",
+    "run_scenario",
 ]

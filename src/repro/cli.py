@@ -7,11 +7,18 @@ Subcommands
 ``repro figure fig9 --scale small --jobs 4 --cache .repro-cache --out results/``
     Run one experiment — optionally across worker processes and against a
     persistent result cache — and print its series (optionally saving
-    JSON/CSV).
+    JSON/CSV).  ``--json`` emits a machine-readable payload instead.
 ``repro suite --scale small --jobs 8 --cache .repro-cache --out results/``
     Run every registered experiment through one shared worker pool; cached
     experiments are skipped, so an interrupted suite resumes where it left
-    off.
+    off.  ``--json`` emits per-experiment results and cache-hit flags.
+``repro run my_scenario.json --scale small --jobs 4 --cache .repro-cache``
+    Run a user-authored declarative scenario spec (see
+    :mod:`repro.scenarios`) with the same engine options as ``figure``;
+    ``--inline '<json>'`` takes the spec on the command line.
+``repro scenarios list`` / ``repro scenarios show fig9``
+    Introspect the built-in scenarios (every figure/table/ablation is a
+    spec); ``show --scale smoke`` prints the compiled series labels.
 ``repro generate pa --nodes 10000 --stubs 2 --cutoff 40 --out topo.json``
     Generate a topology and print (or save) its summary statistics.
 ``repro search nf --model pa --nodes 5000 --stubs 2 --cutoff 10 --ttl 8``
@@ -40,10 +47,17 @@ from repro.engine.tasks import run_suite
 from repro.experiments.registry import (
     available_experiments,
     experiment_titles,
-    run_experiment,
+    run_experiment_cached,
 )
 from repro.experiments.runner import ExperimentScale
 from repro.generators.registry import available_generators, create_generator
+from repro.scenarios import (
+    ScenarioSpec,
+    builtin_scenarios,
+    compile_scenario,
+    get_builtin_scenario,
+    run_scenario_cached,
+)
 from repro.search.flooding import FloodingSearch
 from repro.search.metrics import normalized_walk_curve, search_curve
 from repro.search.normalized_flooding import NormalizedFloodingSearch
@@ -91,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "served from cache")
     figure.add_argument("--progress", action="store_true",
                         help="stream per-task progress to stderr")
+    figure.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON payload "
+                             "(experiment id, cache-hit flag, full series) "
+                             "instead of the text table")
 
     # suite
     suite = subparsers.add_parser(
@@ -115,6 +133,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only these experiment ids (default: all)")
     suite.add_argument("--progress", action="store_true",
                        help="stream per-task progress to stderr")
+    suite.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON report (per-"
+                            "experiment results, timings, cache-hit flags) "
+                            "instead of the summary table")
+
+    # run (declarative scenarios)
+    run_cmd = subparsers.add_parser(
+        "run", help="run a declarative scenario spec (JSON file or --inline)"
+    )
+    run_cmd.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to a scenario JSON file, or a built-in scenario id",
+    )
+    run_cmd.add_argument("--inline", default=None, metavar="JSON",
+                         help="scenario spec as an inline JSON string")
+    run_cmd.add_argument(
+        "--scale", default="small", choices=["smoke", "small", "paper"],
+        help="experiment scale preset (default: small)",
+    )
+    run_cmd.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    run_cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for realization tasks (default: 1)")
+    run_cmd.add_argument("--backend", default="adj", choices=["adj", "csr"],
+                         help="graph backend for the search phase; results "
+                              "are identical ('csr' is faster)")
+    run_cmd.add_argument("--cache", type=Path, default=None,
+                         help="result-store directory; re-runs of any "
+                              "equivalent spelling of the spec are served "
+                              "from cache (specs hash canonically)")
+    run_cmd.add_argument("--out", type=Path, default=None,
+                         help="directory to write <scenario-id>.json and .csv into")
+    run_cmd.add_argument("--progress", action="store_true",
+                         help="stream per-task progress to stderr")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON payload "
+                              "(scenario id, spec hash, cache-hit flag, "
+                              "full series) instead of the text table")
+
+    # scenarios (introspection)
+    scenarios_cmd = subparsers.add_parser(
+        "scenarios", help="introspect the built-in declarative scenarios"
+    )
+    scenarios_sub = scenarios_cmd.add_subparsers(dest="scenarios_command")
+    scenarios_sub.add_parser("list", help="list built-in scenario ids and titles")
+    scenarios_show = scenarios_sub.add_parser(
+        "show", help="print one built-in scenario's spec as JSON"
+    )
+    scenarios_show.add_argument("scenario", help="scenario id, e.g. fig9")
+    scenarios_show.add_argument(
+        "--scale", default=None, choices=["smoke", "small", "paper"],
+        help="also print the series labels the spec compiles to at this scale",
+    )
 
     # generate
     generate = subparsers.add_parser("generate", help="generate one overlay topology")
@@ -173,12 +243,22 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _save_result(result, out_dir: Path, to_stderr: bool = False) -> None:
+    """Write a result's JSON/CSV artifacts under ``out_dir`` and report it."""
+    json_path = result.save_json(out_dir / f"{result.experiment_id}.json")
+    csv_path = result.save_csv(out_dir / f"{result.experiment_id}.csv")
+    print(
+        f"wrote {json_path} and {csv_path}",
+        file=sys.stderr if to_stderr else sys.stdout,
+    )
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
     store = ResultStore(args.cache) if args.cache is not None else None
     progress = ProgressReporter(stream=sys.stderr if args.progress else None)
     with executor_from_jobs(args.jobs) as executor:
-        result = run_experiment(
+        result, from_cache = run_experiment_cached(
             args.experiment,
             scale=scale,
             seed=args.seed,
@@ -187,13 +267,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             progress=progress,
             backend=args.backend,
         )
-    print(result.to_table())
-    if store is not None and progress.timings and progress.timings[-1].from_cache:
+    if args.json:
+        print(json.dumps(
+            {
+                "experiment_id": result.experiment_id,
+                "from_cache": from_cache,
+                "result": result.as_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(result.to_table())
+    if store is not None and from_cache:
         print(f"served from cache ({store.root})", file=sys.stderr)
     if args.out is not None:
-        json_path = result.save_json(args.out / f"{result.experiment_id}.json")
-        csv_path = result.save_csv(args.out / f"{result.experiment_id}.csv")
-        print(f"wrote {json_path} and {csv_path}")
+        _save_result(result, args.out, to_stderr=args.json)
     return 0
 
 
@@ -222,7 +311,115 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
     if args.out is not None:
         print(f"wrote {2 * len(report.entries)} files under {args.out}", file=sys.stderr)
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _load_scenario(args: argparse.Namespace) -> "tuple[ScenarioSpec, bool]":
+    """Resolve the scenario for ``repro run``: inline JSON, file, or built-in.
+
+    Returns ``(spec, is_builtin)``; built-ins are flagged so the run can be
+    keyed like ``repro figure`` and share its cache entries.
+    """
+    if (args.spec is None) == (args.inline is None):
+        raise ReproError(
+            "give exactly one scenario source: a spec file/built-in id, "
+            "or --inline '<json>'"
+        )
+    if args.inline is not None:
+        return ScenarioSpec.from_json(args.inline), False
+    path = Path(args.spec)
+    if path.exists():
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as error:
+            raise ReproError(f"cannot read scenario file {args.spec!r}: {error}")
+        return ScenarioSpec.from_json(text), False
+    if args.spec in builtin_scenarios():
+        return get_builtin_scenario(args.spec), True
+    raise ReproError(
+        f"scenario file {args.spec!r} does not exist and is not a "
+        f"built-in scenario id (see 'repro scenarios list')"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec, is_builtin = _load_scenario(args)
+    scale = ExperimentScale.from_name(args.scale)
+    store = ResultStore(args.cache) if args.cache is not None else None
+    progress = ProgressReporter(stream=sys.stderr if args.progress else None)
+    with executor_from_jobs(args.jobs) as executor:
+        if is_builtin:
+            # Built-in ids go through the experiment registry so the cache
+            # entry is the same one `repro figure <id>` / `repro suite` use
+            # (keyed by id + scale, no spec-hash extra).  Results are
+            # byte-identical either way.
+            result, from_cache = run_experiment_cached(
+                spec.scenario_id,
+                scale=scale,
+                seed=args.seed,
+                executor=executor,
+                store=store,
+                progress=progress,
+                backend=args.backend,
+            )
+        else:
+            result, from_cache = run_scenario_cached(
+                spec,
+                scale=scale,
+                seed=args.seed,
+                executor=executor,
+                store=store,
+                progress=progress,
+                backend=args.backend,
+            )
+    if args.json:
+        print(json.dumps(
+            {
+                "scenario": spec.scenario_id,
+                "spec_hash": spec.spec_hash(),
+                "from_cache": from_cache,
+                "result": result.as_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(result.to_table())
+    if store is not None and from_cache:
+        print(f"served from cache ({store.root})", file=sys.stderr)
+    if args.out is not None:
+        _save_result(result, args.out, to_stderr=args.json)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    command = args.scenarios_command or "list"
+    specs = builtin_scenarios()
+    if command == "list":
+        width = max(len(scenario_id) for scenario_id in specs)
+        for scenario_id, spec in specs.items():
+            print(f"{scenario_id:<{width}}  {spec.title}")
+        return 0
+    # show
+    spec = get_builtin_scenario(args.scenario)
+    if args.scale is not None:
+        plans = compile_scenario(spec, ExperimentScale.from_name(args.scale))
+        print(json.dumps(
+            {
+                "scenario": spec.scenario_id,
+                "scale": args.scale,
+                "spec_hash": spec.spec_hash(),
+                "series": [plan.label for plan in plans],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(spec.to_json())
     return 0
 
 
@@ -316,6 +513,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "figure": _cmd_figure,
     "suite": _cmd_suite,
+    "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
     "generate": _cmd_generate,
     "search": _cmd_search,
     "churn": _cmd_churn,

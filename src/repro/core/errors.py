@@ -20,6 +20,7 @@ __all__ = [
     "SimulationError",
     "AnalysisError",
     "ExperimentError",
+    "ScenarioError",
 ]
 
 
@@ -78,3 +79,12 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """The experiment harness failed to run or aggregate an experiment."""
+
+
+class ScenarioError(ExperimentError, ValueError):
+    """A scenario specification is invalid or cannot be compiled.
+
+    Raised eagerly during :meth:`~repro.scenarios.ScenarioSpec.validate` /
+    ``from_dict`` with a message naming the offending field, so spec authors
+    get actionable feedback before any realization work starts.
+    """

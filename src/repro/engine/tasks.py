@@ -92,6 +92,29 @@ class SuiteReport:
     def cache_hits(self) -> int:
         return sum(1 for entry in self.entries if entry.from_cache)
 
+    def as_dict(self, include_results: bool = True) -> Dict[str, Any]:
+        """JSON-friendly form (the CLI's ``repro suite --json`` payload).
+
+        Each entry carries the experiment id, wall-clock seconds, the
+        cache-hit flag, and (unless ``include_results`` is false) the full
+        ``ExperimentResult`` dict with per-series metadata.
+        """
+        entries: List[Dict[str, Any]] = []
+        for entry in self.entries:
+            record: Dict[str, Any] = {
+                "experiment_id": entry.experiment_id,
+                "seconds": entry.seconds,
+                "from_cache": entry.from_cache,
+            }
+            if include_results:
+                record["result"] = entry.result.as_dict()
+            entries.append(record)
+        return {
+            "entries": entries,
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+        }
+
     def summary(self) -> str:
         """Render a compact per-experiment timing table."""
         lines = []

@@ -32,7 +32,13 @@ at the paper's full network sizes.
 """
 
 from repro.experiments.compare import ComparisonReport, compare_results
-from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+from repro.experiments.registry import (
+    available_experiments,
+    get_experiment,
+    run_experiment,
+    run_scenario,
+    run_scenario_cached,
+)
 from repro.experiments.results import ExperimentResult, Series
 from repro.experiments.runner import ExperimentScale, realization_seeds, run_realizations
 from repro.experiments.sweeps import parameter_grid
@@ -49,4 +55,6 @@ __all__ = [
     "realization_seeds",
     "run_experiment",
     "run_realizations",
+    "run_scenario",
+    "run_scenario_cached",
 ]

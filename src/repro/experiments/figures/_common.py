@@ -1,34 +1,37 @@
-"""Shared plumbing for the figure-reproduction modules.
+"""Compatibility shims over the scenario layer (:mod:`repro.scenarios`).
 
-The individual figure modules only differ in which topology model they build,
-which search algorithm they run, and which parameter grid they sweep; the
-mechanics of "generate R realizations, measure a curve on each, average"
-live here.
+This module used to own the figure harness's plumbing: topology builders,
+parameter grids, and seven near-identical ``*_series`` helpers that each
+figure module re-encoded its grid through.  That machinery now lives in the
+declarative scenario layer — :mod:`repro.scenarios.measure` holds the
+primitives and :mod:`repro.scenarios.compile` the compiler — and the figure
+modules are :class:`~repro.scenarios.ScenarioSpec` instances.
+
+Everything importable from here keeps working (same names, same signatures,
+same numbers, no deprecation noise for this release); the series helpers
+are now thin shims that build a single compiled
+:class:`~repro.scenarios.compile.SeriesPlan` and hand it to the scenario
+compiler's :func:`~repro.scenarios.compile.run_series_plan`.  New code
+should author a :class:`~repro.scenarios.ScenarioSpec` (or call
+:mod:`repro.scenarios.measure` directly) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.degree_distribution import degree_distribution
-from repro.analysis.powerlaw import fit_power_law
-from repro.core.backend import GraphLike, active_backend, freeze_for_backend
-from repro.core.config import GRNConfig
-from repro.core.errors import AnalysisError
-from repro.core.graph import Graph
-from repro.core.rng import DEFAULT_SEED
-from repro.engine.executor import active_executor, active_progress
-from repro.engine.tasks import Task
 from repro.experiments.results import Series
-from repro.experiments.runner import ExperimentScale, realization_seeds
-from repro.generators.cm import generate_cm
-from repro.generators.dapa import generate_dapa
-from repro.generators.hapa import generate_hapa
-from repro.generators.pa import generate_pa
-from repro.search.flooding import FloodingSearch
-from repro.search.metrics import SearchCurve, average_search_curve, normalized_walk_curve, search_curve
-from repro.search.normalized_flooding import NormalizedFloodingSearch
+from repro.experiments.runner import ExperimentScale
+from repro.scenarios.compile import SeriesPlan, run_series_plan
+from repro.scenarios.measure import (  # noqa: F401  (compatibility re-exports)
+    HAPA_NONPAPER_NODE_CAP,
+    RealizationSpec,
+    build_graph,
+    cutoff_grid,
+    dapa_cutoff_grid,
+    dapa_tau_sub_grid,
+    resolve_scale,
+)
 
 __all__ = [
     "resolve_scale",
@@ -45,198 +48,37 @@ __all__ = [
 ]
 
 
-def resolve_scale(scale: Optional[ExperimentScale], seed: Optional[int]) -> ExperimentScale:
-    """Default to the 'small' preset; apply a seed override when given."""
-    resolved = scale if scale is not None else ExperimentScale.small()
-    if seed is not None:
-        resolved = resolved.with_seed(seed)
-    return resolved
-
-
-# --------------------------------------------------------------------------- #
-# Parameter grids (scaled-down versions of the paper's grids)
-# --------------------------------------------------------------------------- #
-def cutoff_grid(scale: ExperimentScale, high_cutoff: int = 50) -> List[Optional[int]]:
-    """Hard-cutoff values used by most search figures: 10, ~50, and none."""
-    if scale.name == "smoke":
-        return [10, None]
-    return [10, high_cutoff, None]
-
-
-def dapa_tau_sub_grid(scale: ExperimentScale) -> List[int]:
-    """Locality-horizon values τ_sub, trimmed for the smaller presets."""
-    if scale.name == "smoke":
-        return [2, 4]
-    if scale.name == "paper":
-        return [2, 4, 6, 8, 10, 20, 50]
-    return [2, 4, 10]
-
-
-def dapa_cutoff_grid(scale: ExperimentScale) -> List[Optional[int]]:
-    """Hard-cutoff values used by the DAPA figures (10, 50, none)."""
-    if scale.name == "smoke":
-        return [10, None]
-    return [10, 50, None]
-
-
-# --------------------------------------------------------------------------- #
-# Topology construction
-# --------------------------------------------------------------------------- #
-def build_graph(
-    model: str,
-    scale: ExperimentScale,
-    seed: int,
-    stubs: int = 1,
-    hard_cutoff: Optional[int] = None,
-    exponent: float = 3.0,
-    tau_sub: int = 4,
-    for_search: bool = False,
-) -> Graph:
-    """Build one realization of ``model`` with the figure's parameters.
-
-    ``for_search`` selects the (smaller) search network size the paper uses
-    for Figs. 6–12 instead of the degree-distribution size of Figs. 1–4.
-    """
-    nodes = scale.search_nodes if for_search else scale.nodes
-    if model == "pa":
-        return generate_pa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
-    if model == "cm":
-        return generate_cm(
-            nodes,
-            exponent=exponent,
-            min_degree=stubs,
-            hard_cutoff=hard_cutoff,
-            seed=seed,
-        )
-    if model == "hapa":
-        # HAPA with a small cutoff is the most expensive growth model (the
-        # acceptance probability is bounded by kc / k_total); cap the size of
-        # non-paper runs so the harness stays interactive.
-        if scale.name != "paper":
-            nodes = min(nodes, 2000 if not for_search else nodes)
-        return generate_hapa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
-    if model == "dapa":
-        overlay = scale.search_nodes if for_search else min(scale.nodes, scale.substrate_nodes // 2)
-        substrate = GRNConfig(
-            number_of_nodes=max(scale.substrate_nodes, 2 * overlay),
-            target_mean_degree=10.0,
-            dimensions=2,
-            seed=seed,
-        )
-        return generate_dapa(
-            overlay_size=overlay,
-            stubs=stubs,
-            hard_cutoff=hard_cutoff,
-            local_ttl=tau_sub,
-            substrate_config=substrate,
-            seed=seed,
-        )
-    raise ValueError(f"unknown model {model!r}")
-
-
-# --------------------------------------------------------------------------- #
-# Realization tasks (picklable units the engine's executors can distribute)
-# --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class RealizationSpec:
-    """Everything needed to rebuild one topology realization in any process.
-
-    ``backend`` is captured at task-creation time (from the ambient
-    :func:`~repro.core.backend.active_backend`), so the generate-mutable /
-    freeze-once / search-many policy travels with the pickled spec into the
-    engine's worker processes.
-    """
-
-    model: str
-    scale: ExperimentScale
-    seed: int
-    stubs: int = 1
-    hard_cutoff: Optional[int] = None
-    exponent: float = 3.0
-    tau_sub: int = 4
-    for_search: bool = False
-    backend: str = "adj"
-
-    def build(self) -> Graph:
-        return build_graph(
-            self.model,
-            self.scale,
-            self.seed,
-            stubs=self.stubs,
-            hard_cutoff=self.hard_cutoff,
-            exponent=self.exponent,
-            tau_sub=self.tau_sub,
-            for_search=self.for_search,
-        )
-
-    def build_for_measurement(self) -> GraphLike:
-        """Build the topology and freeze it when the ``csr`` backend is on."""
-        return freeze_for_backend(self.build(), self.backend)
-
-
-def _realize_degree_sequence(spec: RealizationSpec) -> List[int]:
-    """Task body: one realization's degree sequence (Figs. 1–4 and sweeps)."""
-    return list(spec.build().degree_sequence())
-
-
-def _realize_search_curve(
-    spec: RealizationSpec, algorithm: str, ttl_values: Tuple[int, ...]
-) -> SearchCurve:
-    """Task body: one realization's search curve (Figs. 6–12, messaging)."""
-    graph = spec.build_for_measurement()
-    queries = spec.scale.queries
-    query_rng = spec.seed + 977
-    if algorithm == "fl":
-        return search_curve(graph, FloodingSearch(), ttl_values, queries=queries, rng=query_rng)
-    if algorithm == "nf":
-        return search_curve(
-            graph,
-            NormalizedFloodingSearch(k_min=spec.stubs),
-            ttl_values,
-            queries=queries,
-            rng=query_rng,
-        )
-    if algorithm == "rw":
-        return normalized_walk_curve(
-            graph, ttl_values, k_min=spec.stubs, queries=queries, rng=query_rng
-        )
-    raise ValueError(f"unknown search algorithm {algorithm!r}")
-
-
-def _degree_sequence_rows(
-    model: str,
+def _single_series(
     label: str,
+    kind: str,
     scale: ExperimentScale,
+    model: str,
     stubs: int,
     hard_cutoff: Optional[int],
     exponent: float,
     tau_sub: int,
-) -> List[List[int]]:
-    """One degree sequence per realization, fanned through the active executor."""
-    tasks = [
-        Task(
-            fn=_realize_degree_sequence,
-            args=(
-                RealizationSpec(
-                    model=model,
-                    scale=scale,
-                    seed=seed,
-                    stubs=stubs,
-                    hard_cutoff=hard_cutoff,
-                    exponent=exponent,
-                    tau_sub=tau_sub,
-                ),
-            ),
-            key=f"degrees:{label}[{index}]",
-        )
-        for index, seed in enumerate(realization_seeds(scale, label))
-    ]
-    return active_executor().run(tasks, active_progress())
+    algorithm: Optional[str] = None,
+    params: Optional[Dict[str, object]] = None,
+) -> Series:
+    """Run one pre-labelled series plan through the scenario compiler."""
+    plan = SeriesPlan(
+        label=label,
+        kind=kind,
+        algorithm=algorithm,
+        ttl=None,
+        topology={
+            "model": model,
+            "stubs": stubs,
+            "hard_cutoff": hard_cutoff,
+            "exponent": exponent,
+            "tau_sub": tau_sub,
+        },
+        params=dict(params or {}),
+    )
+    (series,) = run_series_plan(plan, scale)
+    return series
 
 
-# --------------------------------------------------------------------------- #
-# Degree-distribution figures (Figs. 1–4)
-# --------------------------------------------------------------------------- #
 def degree_distribution_series(
     model: str,
     label: str,
@@ -247,25 +89,8 @@ def degree_distribution_series(
     tau_sub: int = 4,
 ) -> Series:
     """P(k) for one parameter combination, pooled over all realizations."""
-    pooled_degrees: List[int] = []
-    for row in _degree_sequence_rows(
-        model, label, scale, stubs, hard_cutoff, exponent, tau_sub
-    ):
-        pooled_degrees.extend(row)
-    distribution = degree_distribution(pooled_degrees)
-    return Series(
-        label=label,
-        x=[int(k) for k in distribution],
-        y=[float(p) for p in distribution.values()],
-        metadata={
-            "model": model,
-            "stubs": stubs,
-            "hard_cutoff": hard_cutoff,
-            "exponent": exponent,
-            "tau_sub": tau_sub,
-            "realizations": scale.realizations,
-            "max_degree": max(pooled_degrees) if pooled_degrees else 0,
-        },
+    return _single_series(
+        label, "degree-distribution", scale, model, stubs, hard_cutoff, exponent, tau_sub
     )
 
 
@@ -278,71 +103,10 @@ def exponent_vs_cutoff_series(
     tau_sub: int = 10,
 ) -> Series:
     """Fitted γ as a function of the hard cutoff (Figs. 1c and 4g)."""
-    exponents: List[float] = []
-    used_cutoffs: List[int] = []
-    for cutoff in cutoffs:
-        pooled: List[int] = []
-        for row in _degree_sequence_rows(
-            model, f"{label}-kc{cutoff}", scale, stubs, cutoff, 3.0, tau_sub
-        ):
-            pooled.extend(row)
-        try:
-            fit = fit_power_law(
-                pooled, k_min=max(1, stubs), exclude_cutoff_spike=True
-            )
-        except AnalysisError:
-            continue
-        used_cutoffs.append(int(cutoff))
-        exponents.append(fit.exponent)
-    return Series(
-        label=label,
-        x=used_cutoffs,
-        y=exponents,
-        metadata={"model": model, "stubs": stubs, "tau_sub": tau_sub},
+    return _single_series(
+        label, "exponent-vs-cutoff", scale, model, stubs, None, 3.0, tau_sub,
+        params={"cutoffs": list(cutoffs)},
     )
-
-
-# --------------------------------------------------------------------------- #
-# Search figures (Figs. 6–12)
-# --------------------------------------------------------------------------- #
-def _averaged_curve(
-    model: str,
-    scale: ExperimentScale,
-    label: str,
-    algorithm: str,
-    ttl_values: Sequence[int],
-    stubs: int,
-    hard_cutoff: Optional[int],
-    exponent: float,
-    tau_sub: int,
-) -> SearchCurve:
-    if algorithm not in ("fl", "nf", "rw"):
-        raise ValueError(f"unknown search algorithm {algorithm!r}")
-    backend = active_backend()
-    tasks = [
-        Task(
-            fn=_realize_search_curve,
-            args=(
-                RealizationSpec(
-                    model=model,
-                    scale=scale,
-                    seed=seed,
-                    stubs=stubs,
-                    hard_cutoff=hard_cutoff,
-                    exponent=exponent,
-                    tau_sub=tau_sub,
-                    for_search=True,
-                    backend=backend,
-                ),
-                algorithm,
-                tuple(int(value) for value in ttl_values),
-            ),
-            key=f"{algorithm}:{label}[{index}]",
-        )
-        for index, seed in enumerate(realization_seeds(scale, f"{algorithm}:{label}"))
-    ]
-    curves: List[SearchCurve] = active_executor().run(tasks, active_progress())
-    return average_search_curve(curves)
 
 
 def flooding_series(
@@ -355,11 +119,10 @@ def flooding_series(
     tau_sub: int = 4,
 ) -> Series:
     """FL hits-vs-τ curve for one parameter combination."""
-    curve = _averaged_curve(
-        model, scale, label, "fl", scale.flooding_ttl_grid(),
-        stubs, hard_cutoff, exponent, tau_sub,
+    return _single_series(
+        label, "search-curve", scale, model, stubs, hard_cutoff, exponent, tau_sub,
+        algorithm="fl",
     )
-    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
 
 
 def normalized_flooding_series(
@@ -372,11 +135,10 @@ def normalized_flooding_series(
     tau_sub: int = 4,
 ) -> Series:
     """NF hits-vs-τ curve for one parameter combination."""
-    curve = _averaged_curve(
-        model, scale, label, "nf", scale.ttl_grid(),
-        stubs, hard_cutoff, exponent, tau_sub,
+    return _single_series(
+        label, "search-curve", scale, model, stubs, hard_cutoff, exponent, tau_sub,
+        algorithm="nf",
     )
-    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
 
 
 def random_walk_series(
@@ -389,11 +151,10 @@ def random_walk_series(
     tau_sub: int = 4,
 ) -> Series:
     """NF-message-normalized RW hits-vs-τ curve for one parameter combination."""
-    curve = _averaged_curve(
-        model, scale, label, "rw", scale.ttl_grid(),
-        stubs, hard_cutoff, exponent, tau_sub,
+    return _single_series(
+        label, "search-curve", scale, model, stubs, hard_cutoff, exponent, tau_sub,
+        algorithm="rw",
     )
-    return _series_from_curve(curve, label, model, stubs, hard_cutoff, exponent, tau_sub)
 
 
 def messaging_series(
@@ -407,45 +168,7 @@ def messaging_series(
     tau_sub: int = 4,
 ) -> Series:
     """Messages-per-query vs τ for NF or RW (the §V-B-2 messaging study)."""
-    curve = _averaged_curve(
-        model, scale, label, algorithm, scale.ttl_grid(),
-        stubs, hard_cutoff, exponent, tau_sub,
-    )
-    return Series(
-        label=label,
-        x=list(curve.ttl_values),
-        y=list(curve.mean_messages),
-        metadata={
-            "model": model,
-            "algorithm": algorithm,
-            "stubs": stubs,
-            "hard_cutoff": hard_cutoff,
-            "metric": "messages",
-        },
-    )
-
-
-def _series_from_curve(
-    curve: SearchCurve,
-    label: str,
-    model: str,
-    stubs: int,
-    hard_cutoff: Optional[int],
-    exponent: float,
-    tau_sub: int,
-) -> Series:
-    return Series(
-        label=label,
-        x=list(curve.ttl_values),
-        y=list(curve.mean_hits),
-        metadata={
-            "model": model,
-            "algorithm": curve.algorithm,
-            "stubs": stubs,
-            "hard_cutoff": hard_cutoff,
-            "exponent": exponent,
-            "tau_sub": tau_sub,
-            "mean_messages": list(curve.mean_messages),
-            "queries": curve.queries,
-        },
+    return _single_series(
+        label, "messaging", scale, model, stubs, hard_cutoff, exponent, tau_sub,
+        algorithm=algorithm,
     )

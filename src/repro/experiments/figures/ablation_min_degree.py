@@ -5,63 +5,37 @@ maintain a minimum of 2-3 links to the rest of the network rather than just
 one link, it is possible to diminish negative effects of hard cutoffs on
 search performance."
 
-This ablation quantifies that claim directly: for m = 1, 2, 3 on PA
-topologies it measures the *relative flooding penalty* of a hard cutoff —
-``hits(no cutoff) / hits(kc = 10)`` at a fixed TTL — which should shrink
-towards 1 as m grows.
+The ``cutoff-penalty`` measurement kind quantifies that claim directly: for
+m = 1, 2, 3 on PA topologies it measures the *relative flooding penalty* of
+a hard cutoff — ``hits(no cutoff) / hits(kc = 10)`` at a fixed TTL — which
+should shrink towards 1 as m grows.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import flooding_series, resolve_scale
-from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import ExperimentScale
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "ablation_min_degree",
+    "title": "Cutoff penalty on flooding vs minimum degree m (paper §V-B guideline)",
+    "notes": (
+        "The 'cutoff penalty ratio' series should decrease towards ~1 as "
+        "m grows from 1 to 3: by m=3 the hard cutoff costs flooding "
+        "almost nothing."
+    ),
+    "topology": {"model": "pa"},
+    "label": "cutoff penalty ratio (no kc / kc=10)",
+    "measurement": {
+        "kind": "cutoff-penalty",
+        "params": {
+            "stubs_values": {"default": [1, 2, 3], "smoke": [1, 2]},
+            "penalty_cutoff": 10,
+            "reference_ttl_cap": 6,
+        },
+    },
+})
 
-EXPERIMENT_ID = "ablation_min_degree"
-TITLE = "Cutoff penalty on flooding vs minimum degree m (paper §V-B guideline)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Measure the flooding-hit ratio no-cutoff / kc=10 as a function of m."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "The 'cutoff penalty ratio' series should decrease towards ~1 as "
-            "m grows from 1 to 3: by m=3 the hard cutoff costs flooding "
-            "almost nothing."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
-    reference_ttl = min(6, scale.flooding_max_ttl)
-
-    penalties: List[float] = []
-    for stubs in stubs_values:
-        unbounded = flooding_series(
-            "pa", label=f"m={stubs}, no kc", scale=scale, stubs=stubs, hard_cutoff=None
-        )
-        bounded = flooding_series(
-            "pa", label=f"m={stubs}, kc=10", scale=scale, stubs=stubs, hard_cutoff=10
-        )
-        result.add(unbounded)
-        result.add(bounded)
-        hits_unbounded = unbounded.y_at(reference_ttl)
-        hits_bounded = max(1.0, float(bounded.y_at(reference_ttl)))
-        penalties.append(float(hits_unbounded) / hits_bounded)
-
-    result.add(
-        Series(
-            label="cutoff penalty ratio (no kc / kc=10)",
-            x=list(stubs_values),
-            y=penalties,
-            metadata={"reference_ttl": reference_ttl},
-        )
-    )
-    return result
+run = scenario_runner(SCENARIO)

@@ -5,82 +5,38 @@ scale-free networks survive random failures but shatter when the hubs are
 removed.  A hard cutoff removes the super hubs, so it should *narrow* the
 gap between failure tolerance and attack tolerance.
 
-This ablation removes up to 30 % of the nodes of PA topologies — uniformly at
-random and highest-degree-first — with and without a hard cutoff, and
-records the giant-component fraction curves.
+The ``robustness-sweep`` measurement kind removes up to 30 % of the nodes of
+PA topologies — uniformly at random and highest-degree-first — with and
+without a hard cutoff, and records the giant-component fraction curves.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.analysis.robustness import attack_robustness, failure_robustness
-from repro.experiments.figures._common import resolve_scale
-from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import ExperimentScale, realization_seeds, average_curves
-from repro.experiments.sweeps import format_label
-from repro.generators.pa import generate_pa
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "ablation_robustness",
+    "title": "Failure vs attack tolerance with and without hard cutoffs (paper §III)",
+    "notes": (
+        "Without a cutoff the attack curve should collapse much faster "
+        "than the failure curve; with kc=10 the two curves should be "
+        "closer together (no super hubs to decapitate)."
+    ),
+    "topology": {"model": "pa"},
+    "label": "giant component under removal",
+    "measurement": {
+        "kind": "robustness-sweep",
+        "params": {
+            "cutoffs": [None, 10],
+            "steps": 6,
+            "max_removed": 0.3,
+            "node_cap": 1500,
+            "stubs": 2,
+        },
+    },
+})
 
-EXPERIMENT_ID = "ablation_robustness"
-TITLE = "Failure vs attack tolerance with and without hard cutoffs (paper §III)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Measure giant-component decay under failures and attacks."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Without a cutoff the attack curve should collapse much faster "
-            "than the failure curve; with kc=10 the two curves should be "
-            "closer together (no super hubs to decapitate)."
-        ),
-    )
-
-    nodes = min(scale.search_nodes, 1500)
-    steps = 6
-    max_removed = 0.3
-
-    for cutoff in (None, 10):
-        for strategy_name, runner in (
-            ("failure", failure_robustness),
-            ("attack", attack_robustness),
-        ):
-            curves = []
-            x_values = None
-            for realization_seed in realization_seeds(
-                scale, f"{strategy_name}-{cutoff}"
-            ):
-                graph = generate_pa(
-                    nodes, stubs=2, hard_cutoff=cutoff, seed=realization_seed
-                )
-                if strategy_name == "failure":
-                    removal = runner(
-                        graph,
-                        max_removed_fraction=max_removed,
-                        steps=steps,
-                        rng=realization_seed + 13,
-                    )
-                else:
-                    removal = runner(
-                        graph, max_removed_fraction=max_removed, steps=steps
-                    )
-                curves.append(removal.giant_component_fractions)
-                x_values = removal.removed_fractions
-            result.add(
-                Series(
-                    label=f"{strategy_name}, {format_label(kc=cutoff)}",
-                    x=[float(value) for value in (x_values or [])],
-                    y=average_curves(curves),
-                    metadata={
-                        "strategy": strategy_name,
-                        "hard_cutoff": cutoff,
-                        "nodes": nodes,
-                    },
-                )
-            )
-    return result
+run = scenario_runner(SCENARIO)

@@ -11,48 +11,21 @@ effect somewhat more pronounced for RW than for NF.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.experiments.figures.fig9_nf_global import global_models_panels
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import random_walk_series, resolve_scale
-from repro.experiments.figures.fig9_nf_global import cutoffs_for_model
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig11",
+    "title": "Random-walk search on PA, CM, HAPA topologies (paper Fig. 11)",
+    "notes": (
+        "RW hits are measured at equal NF message budget; on PA and HAPA "
+        "the small-kc series should finish at or above the no-cutoff "
+        "series."
+    ),
+    "panels": global_models_panels("rw"),
+})
 
-EXPERIMENT_ID = "fig11"
-TITLE = "Random-walk search on PA, CM, HAPA topologies (paper Fig. 11)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the six panels of Fig. 11 as labelled hit-vs-τ series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "RW hits are measured at equal NF message budget; on PA and HAPA "
-            "the small-kc series should finish at or above the no-cutoff "
-            "series."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
-    models = ("pa", "cm", "hapa")
-
-    for model in models:
-        for stubs in stubs_values:
-            for cutoff in cutoffs_for_model(scale, model):
-                result.add(
-                    random_walk_series(
-                        model,
-                        label=f"{model} {format_label(m=stubs, kc=cutoff)}",
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        exponent=2.2 if model == "cm" else 3.0,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

@@ -10,54 +10,27 @@ magnitude more hits than m = 1.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    dapa_cutoff_grid,
-    dapa_tau_sub_grid,
-    random_walk_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig12",
+    "title": "Random-walk search on DAPA topologies (paper Fig. 12)",
+    "notes": (
+        "Hits should improve as kc shrinks for every m; m=3 series sit "
+        "far above m=1 series."
+    ),
+    "topology": {"model": "dapa"},
+    "sweep": {"axes": {
+        "stubs": {"default": [1, 2, 3], "smoke": [1]},
+        "hard_cutoff": {"default": [10, 50, None], "smoke": [10, None]},
+        "tau_sub": {"default": [2, 4, 10], "smoke": [2, 4],
+                    "paper": [2, 4, 6, 8, 10, 20, 50]},
+    }},
+    "label": "m={m}, {kc}, tau_sub={tau_sub}",
+    "measurement": {"kind": "search-curve", "algorithm": "rw"},
+})
 
-EXPERIMENT_ID = "fig12"
-TITLE = "Random-walk search on DAPA topologies (paper Fig. 12)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the nine panels of Fig. 12 as labelled hit-vs-τ series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Hits should improve as kc shrinks for every m; m=3 series sit "
-            "far above m=1 series."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1]
-    cutoffs = dapa_cutoff_grid(scale)
-    tau_subs = dapa_tau_sub_grid(scale)
-
-    for stubs in stubs_values:
-        for cutoff in cutoffs:
-            for tau_sub in tau_subs:
-                result.add(
-                    random_walk_series(
-                        "dapa",
-                        label=(
-                            f"{format_label(m=stubs, kc=cutoff)}, tau_sub={tau_sub}"
-                        ),
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        tau_sub=tau_sub,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

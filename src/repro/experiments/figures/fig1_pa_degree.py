@@ -14,75 +14,48 @@ the γ-vs-kc series are increasing in kc.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    degree_distribution_series,
-    exponent_vs_cutoff_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+_STUBS = {"default": [1, 2, 3], "smoke": [1, 2]}
 
-EXPERIMENT_ID = "fig1"
-TITLE = "PA degree distributions with hard cutoffs (paper Fig. 1)"
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig1",
+    "title": "PA degree distributions with hard cutoffs (paper Fig. 1)",
+    "notes": (
+        "Panel (a): 'P(k) m=...' series should be power laws; "
+        "panel (b): '... kc=...' series accumulate probability at k=kc; "
+        "panel (c): 'gamma vs kc m=...' series increase with kc."
+    ),
+    "topology": {"model": "pa"},
+    "panels": [
+        {   # Panel (a): no cutoff.
+            "sweep": {"axes": {"stubs": _STUBS}},
+            "label": "P(k) m={m}, {kc}",
+            "measurement": {"kind": "degree-distribution"},
+        },
+        {   # Panel (b): hard cutoffs.
+            "sweep": {"axes": {
+                "stubs": _STUBS,
+                "hard_cutoff": {"default": [10, 40, 100], "smoke": [10, 40]},
+            }},
+            "label": "P(k) m={m}, {kc}",
+            "measurement": {"kind": "degree-distribution"},
+        },
+        {   # Panel (c): fitted exponent vs cutoff.
+            "topology": {"tau_sub": 10},
+            "sweep": {"axes": {"stubs": _STUBS}},
+            "label": "gamma vs kc m={m}",
+            "measurement": {
+                "kind": "exponent-vs-cutoff",
+                "params": {"cutoffs": {
+                    "default": [10, 20, 30, 40, 50], "smoke": [10, 30, 50],
+                }},
+            },
+        },
+    ],
+})
 
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the three panels of Fig. 1 as labelled series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Panel (a): 'P(k) m=...' series should be power laws; "
-            "panel (b): '... kc=...' series accumulate probability at k=kc; "
-            "panel (c): 'gamma vs kc m=...' series increase with kc."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
-
-    # Panel (a): no cutoff.
-    for stubs in stubs_values:
-        result.add(
-            degree_distribution_series(
-                "pa",
-                label=f"P(k) {format_label(m=stubs, kc=None)}",
-                scale=scale,
-                stubs=stubs,
-                hard_cutoff=None,
-            )
-        )
-
-    # Panel (b): hard cutoffs.
-    cutoff_values = [10, 40, 100] if scale.name != "smoke" else [10, 40]
-    for stubs in stubs_values:
-        for cutoff in cutoff_values:
-            result.add(
-                degree_distribution_series(
-                    "pa",
-                    label=f"P(k) {format_label(m=stubs, kc=cutoff)}",
-                    scale=scale,
-                    stubs=stubs,
-                    hard_cutoff=cutoff,
-                )
-            )
-
-    # Panel (c): fitted exponent vs cutoff.
-    sweep_cutoffs = [10, 20, 30, 40, 50] if scale.name != "smoke" else [10, 30, 50]
-    for stubs in stubs_values:
-        result.add(
-            exponent_vs_cutoff_series(
-                "pa",
-                label=f"gamma vs kc m={stubs}",
-                scale=scale,
-                stubs=stubs,
-                cutoffs=sweep_cutoffs,
-            )
-        )
-    return result
+run = scenario_runner(SCENARIO)

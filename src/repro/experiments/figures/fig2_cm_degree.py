@@ -10,51 +10,28 @@ paper's panels.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import degree_distribution_series, resolve_scale
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig2",
+    "title": "Configuration-model degree distributions (paper Fig. 2)",
+    "notes": (
+        "For each gamma the cutoff series should share the same slope as "
+        "the no-cutoff series and simply stop at k=kc; a few nodes may "
+        "fall below the prescribed minimum degree after self-loop/"
+        "multi-edge removal."
+    ),
+    "topology": {"model": "cm"},
+    "sweep": {"axes": {
+        "exponent": {"default": [2.2, 2.6, 3.0], "smoke": [2.2, 3.0]},
+        "stubs": {"default": [1, 2, 3], "smoke": [1, 3]},
+        "hard_cutoff": {"default": [10, 40, None], "smoke": [10, None]},
+    }},
+    "label": "gamma={gamma}, m={m}, {kc}",
+    "measurement": {"kind": "degree-distribution"},
+})
 
-EXPERIMENT_ID = "fig2"
-TITLE = "Configuration-model degree distributions (paper Fig. 2)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-EXPONENTS = (2.2, 2.6, 3.0)
-
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the three panels of Fig. 2 as labelled series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "For each gamma the cutoff series should share the same slope as "
-            "the no-cutoff series and simply stop at k=kc; a few nodes may "
-            "fall below the prescribed minimum degree after self-loop/"
-            "multi-edge removal."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 3]
-    cutoff_values = [10, 40, None] if scale.name != "smoke" else [10, None]
-    exponents = EXPONENTS if scale.name != "smoke" else (2.2, 3.0)
-
-    for exponent in exponents:
-        for stubs in stubs_values:
-            for cutoff in cutoff_values:
-                result.add(
-                    degree_distribution_series(
-                        "cm",
-                        label=f"gamma={exponent}, {format_label(m=stubs, kc=cutoff)}",
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        exponent=exponent,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

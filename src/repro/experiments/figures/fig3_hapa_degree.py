@@ -12,44 +12,25 @@ to N; the cutoff series do not exceed kc and decay monotonically.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import degree_distribution_series, resolve_scale
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig3",
+    "title": "HAPA degree distributions: star without cutoff, power law with (paper Fig. 3)",
+    "notes": (
+        "The 'no kc' series must contain at least one degree on the order "
+        "of the network size (super hub); the kc series are bounded by kc."
+    ),
+    "topology": {"model": "hapa"},
+    "sweep": {"axes": {
+        "stubs": {"default": [1, 2, 3], "smoke": [1]},
+        "hard_cutoff": {"default": [None, 50, 10], "smoke": [None, 10]},
+    }},
+    "label": "P(k) m={m}, {kc}",
+    "measurement": {"kind": "degree-distribution"},
+})
 
-EXPERIMENT_ID = "fig3"
-TITLE = "HAPA degree distributions: star without cutoff, power law with (paper Fig. 3)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the three panels of Fig. 3 as labelled series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "The 'no kc' series must contain at least one degree on the order "
-            "of the network size (super hub); the kc series are bounded by kc."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1]
-    cutoff_values = [None, 50, 10] if scale.name != "smoke" else [None, 10]
-
-    for stubs in stubs_values:
-        for cutoff in cutoff_values:
-            result.add(
-                degree_distribution_series(
-                    "hapa",
-                    label=f"P(k) {format_label(m=stubs, kc=cutoff)}",
-                    scale=scale,
-                    stubs=stubs,
-                    hard_cutoff=cutoff,
-                )
-            )
-    return result
+run = scenario_runner(SCENARIO)

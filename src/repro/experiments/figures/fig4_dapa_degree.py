@@ -16,72 +16,45 @@ checked).
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    dapa_cutoff_grid,
-    dapa_tau_sub_grid,
-    degree_distribution_series,
-    exponent_vs_cutoff_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+_STUBS = {"default": [1, 3], "smoke": [1]}
 
-EXPERIMENT_ID = "fig4"
-TITLE = "DAPA degree distributions vs locality horizon (paper Fig. 4)"
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig4",
+    "title": "DAPA degree distributions vs locality horizon (paper Fig. 4)",
+    "notes": (
+        "For a fixed cutoff the tau_sub=2 series should decay faster "
+        "(exponential) than the largest-tau_sub series (power-law-like); "
+        "with kc=10 the series nearly coincide."
+    ),
+    "topology": {"model": "dapa"},
+    "panels": [
+        {   # Panels (a-f): P(k) across the tau_sub sweep.
+            "sweep": {"axes": {
+                "stubs": _STUBS,
+                "hard_cutoff": {"default": [10, 50, None], "smoke": [10, None]},
+                "tau_sub": {"default": [2, 4, 10], "smoke": [2, 4],
+                            "paper": [2, 4, 6, 8, 10, 20, 50]},
+            }},
+            "label": "P(k) m={m}, {kc}, tau_sub={tau_sub}",
+            "measurement": {"kind": "degree-distribution"},
+        },
+        {   # Panel (g): exponent vs cutoff at a generous horizon.
+            "topology": {"tau_sub": {"default": 10, "smoke": 4, "paper": 50}},
+            "sweep": {"axes": {"stubs": _STUBS}},
+            "label": "gamma vs kc m={m}",
+            "measurement": {
+                "kind": "exponent-vs-cutoff",
+                "params": {"cutoffs": {
+                    "default": [10, 20, 30, 40, 50], "smoke": [10, 40],
+                }},
+            },
+        },
+    ],
+})
 
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the panels of Fig. 4 as labelled series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "For a fixed cutoff the tau_sub=2 series should decay faster "
-            "(exponential) than the largest-tau_sub series (power-law-like); "
-            "with kc=10 the series nearly coincide."
-        ),
-    )
-
-    stubs_values = [1, 3] if scale.name != "smoke" else [1]
-    cutoffs = dapa_cutoff_grid(scale)
-    tau_subs = dapa_tau_sub_grid(scale)
-
-    for stubs in stubs_values:
-        for cutoff in cutoffs:
-            for tau_sub in tau_subs:
-                result.add(
-                    degree_distribution_series(
-                        "dapa",
-                        label=(
-                            f"P(k) {format_label(m=stubs, kc=cutoff)}, "
-                            f"tau_sub={tau_sub}"
-                        ),
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        tau_sub=tau_sub,
-                    )
-                )
-
-    # Panel (g): exponent vs cutoff at a generous horizon.
-    sweep_cutoffs = [10, 20, 30, 40, 50] if scale.name != "smoke" else [10, 40]
-    generous_tau = max(tau_subs)
-    for stubs in stubs_values:
-        result.add(
-            exponent_vs_cutoff_series(
-                "dapa",
-                label=f"gamma vs kc m={stubs}",
-                scale=scale,
-                stubs=stubs,
-                cutoffs=sweep_cutoffs,
-                tau_sub=generous_tau,
-            )
-        )
-    return result
+run = scenario_runner(SCENARIO)

@@ -10,49 +10,26 @@ the hit count saturates well below the network size for every cutoff.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import flooding_series, resolve_scale
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig7",
+    "title": "Flooding search on configuration-model topologies (paper Fig. 7)",
+    "notes": (
+        "m=1 series must saturate below the network size (disconnected "
+        "CM); for m>=2 the 'no kc' series dominates its cutoff variants."
+    ),
+    "topology": {"model": "cm"},
+    "sweep": {"axes": {
+        "exponent": {"default": [2.2, 2.6, 3.0], "smoke": [2.2, 3.0]},
+        "stubs": {"default": [1, 2, 3], "smoke": [1, 2]},
+        "hard_cutoff": {"default": [10, 40, None], "smoke": [10, None]},
+    }},
+    "label": "gamma={gamma}, m={m}, {kc}",
+    "measurement": {"kind": "search-curve", "algorithm": "fl"},
+})
 
-EXPERIMENT_ID = "fig7"
-TITLE = "Flooding search on configuration-model topologies (paper Fig. 7)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the three panels of Fig. 7 as labelled hit-vs-τ series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "m=1 series must saturate below the network size (disconnected "
-            "CM); for m>=2 the 'no kc' series dominates its cutoff variants."
-        ),
-    )
-
-    exponents = (2.2, 2.6, 3.0) if scale.name != "smoke" else (2.2, 3.0)
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
-    cutoffs = [10, 40, None] if scale.name != "smoke" else [10, None]
-
-    for exponent in exponents:
-        for stubs in stubs_values:
-            for cutoff in cutoffs:
-                result.add(
-                    flooding_series(
-                        "cm",
-                        label=(
-                            f"gamma={exponent}, {format_label(m=stubs, kc=cutoff)}"
-                        ),
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        exponent=exponent,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

@@ -11,55 +11,28 @@ larger m the effect of the cutoff diminishes.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    dapa_cutoff_grid,
-    dapa_tau_sub_grid,
-    flooding_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig8",
+    "title": "Flooding search on DAPA topologies (paper Fig. 8)",
+    "notes": (
+        "Larger tau_sub should reach more peers at the same TTL; for m=1 "
+        "the kc=10 series should beat the no-cutoff series (connectedness "
+        "interplay)."
+    ),
+    "topology": {"model": "dapa"},
+    "sweep": {"axes": {
+        "stubs": {"default": [1, 2, 3], "smoke": [1]},
+        "hard_cutoff": {"default": [10, 50, None], "smoke": [10, None]},
+        "tau_sub": {"default": [2, 4, 10], "smoke": [2, 4],
+                    "paper": [2, 4, 6, 8, 10, 20, 50]},
+    }},
+    "label": "m={m}, {kc}, tau_sub={tau_sub}",
+    "measurement": {"kind": "search-curve", "algorithm": "fl"},
+})
 
-EXPERIMENT_ID = "fig8"
-TITLE = "Flooding search on DAPA topologies (paper Fig. 8)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the three panels of Fig. 8 as labelled hit-vs-τ series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Larger tau_sub should reach more peers at the same TTL; for m=1 "
-            "the kc=10 series should beat the no-cutoff series (connectedness "
-            "interplay)."
-        ),
-    )
-
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1]
-    cutoffs = dapa_cutoff_grid(scale)
-    tau_subs = dapa_tau_sub_grid(scale)
-
-    for stubs in stubs_values:
-        for cutoff in cutoffs:
-            for tau_sub in tau_subs:
-                result.add(
-                    flooding_series(
-                        "dapa",
-                        label=(
-                            f"{format_label(m=stubs, kc=cutoff)}, tau_sub={tau_sub}"
-                        ),
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        tau_sub=tau_sub,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

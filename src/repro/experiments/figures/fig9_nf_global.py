@@ -11,59 +11,46 @@ Raising m from 1 to 2–3 increases the hit count by orders of magnitude.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    normalized_flooding_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+#: Cutoff sweep per model: the paper sweeps 10..200; CM gets a shorter grid
+#: because the prescribed exponent makes the cutoff indifferent there.
+GLOBAL_MODEL_CUTOFFS = {"default": [10, 20, 40, 100, None], "smoke": [10, None]}
+CM_CUTOFFS = {"default": [10, 40, None], "smoke": [10, None]}
 
-EXPERIMENT_ID = "fig9"
-TITLE = "Normalized flooding on PA, CM, HAPA topologies (paper Fig. 9)"
+#: Stub sweep shared by the NF/RW "global models" figures (9 and 11).
+GLOBAL_MODEL_STUBS = {"default": [1, 2, 3], "smoke": [1, 2]}
 
 
-def cutoffs_for_model(scale: ExperimentScale, model: str):
-    """Cutoff sweep: a few values plus 'none' (the paper sweeps 10..200)."""
-    if scale.name == "smoke":
-        return [10, None]
-    if model == "cm":
-        return [10, 40, None]
-    return [10, 20, 40, 100, None]
+def global_models_panels(algorithm: str) -> list:
+    """The shared Fig. 9 / Fig. 11 panel structure: PA, CM, HAPA sweeps."""
+    return [
+        {
+            "topology": {"model": model, "exponent": exponent},
+            "sweep": {"axes": {"stubs": GLOBAL_MODEL_STUBS, "hard_cutoff": cutoffs}},
+            "label": "{model} m={m}, {kc}",
+            "measurement": {"kind": "search-curve", "algorithm": algorithm},
+        }
+        for model, exponent, cutoffs in (
+            ("pa", 3.0, GLOBAL_MODEL_CUTOFFS),
+            ("cm", 2.2, CM_CUTOFFS),
+            ("hapa", 3.0, GLOBAL_MODEL_CUTOFFS),
+        )
+    ]
 
 
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Regenerate the six panels of Fig. 9 as labelled hit-vs-τ series."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "On PA and HAPA the smallest-kc series should finish at or above "
-            "the no-cutoff series; on CM the ordering is indifferent; m=2,3 "
-            "series sit far above m=1 series."
-        ),
-    )
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "fig9",
+    "title": "Normalized flooding on PA, CM, HAPA topologies (paper Fig. 9)",
+    "notes": (
+        "On PA and HAPA the smallest-kc series should finish at or above "
+        "the no-cutoff series; on CM the ordering is indifferent; m=2,3 "
+        "series sit far above m=1 series."
+    ),
+    "panels": global_models_panels("nf"),
+})
 
-    stubs_values = [1, 2, 3] if scale.name != "smoke" else [1, 2]
-    models = ("pa", "cm", "hapa")
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-    for model in models:
-        for stubs in stubs_values:
-            for cutoff in cutoffs_for_model(scale, model):
-                result.add(
-                    normalized_flooding_series(
-                        model,
-                        label=f"{model} {format_label(m=stubs, kc=cutoff)}",
-                        scale=scale,
-                        stubs=stubs,
-                        hard_cutoff=cutoff,
-                        exponent=2.2 if model == "cm" else 3.0,
-                    )
-                )
-    return result
+run = scenario_runner(SCENARIO)

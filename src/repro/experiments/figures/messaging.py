@@ -18,72 +18,40 @@ message efficiency that substantiates the "NF better than RW" claim.
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import (
-    messaging_series,
-    normalized_flooding_series,
-    random_walk_series,
-    resolve_scale,
-)
-from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
-from repro.experiments.sweeps import format_label
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "messaging",
+    "title": "Messaging complexity of NF vs RW with and without cutoffs (paper §V-B-2)",
+    "notes": (
+        "Per-tau message counts of the kc series should stay within a "
+        "small factor of the no-cutoff series (cutoff cost negligible); "
+        "NF hits-per-message should be at least as good as RW's."
+    ),
+    "topology": {"model": "pa"},
+    "sweep": {"axes": {
+        "stubs": {"default": [1, 2, 3], "smoke": [1, 2]},
+        "hard_cutoff": {"default": [10, 50, None], "smoke": [10, None]},
+    }},
+    # Hits per TTL for both algorithms ride along with the message counts so
+    # the analysis can compute hits-per-message (the NF vs RW comparison).
+    "series": [
+        {
+            "label": "nf messages m={m}, {kc}",
+            "measurement": {"kind": "messaging", "algorithm": "nf"},
+        },
+        {
+            "label": "nf hits m={m}, {kc}",
+            "measurement": {"kind": "search-curve", "algorithm": "nf"},
+        },
+        {
+            "label": "rw hits m={m}, {kc}",
+            "measurement": {"kind": "search-curve", "algorithm": "rw"},
+        },
+    ],
+})
 
-EXPERIMENT_ID = "messaging"
-TITLE = "Messaging complexity of NF vs RW with and without cutoffs (paper §V-B-2)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Measure messages per query and hits per message for NF and RW."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Per-tau message counts of the kc series should stay within a "
-            "small factor of the no-cutoff series (cutoff cost negligible); "
-            "NF hits-per-message should be at least as good as RW's."
-        ),
-    )
-
-    stubs_values = [1, 2] if scale.name == "smoke" else [1, 2, 3]
-    cutoffs = [10, None] if scale.name == "smoke" else [10, 50, None]
-
-    for stubs in stubs_values:
-        for cutoff in cutoffs:
-            label_suffix = format_label(m=stubs, kc=cutoff)
-            result.add(
-                messaging_series(
-                    "pa",
-                    label=f"nf messages {label_suffix}",
-                    scale=scale,
-                    algorithm="nf",
-                    stubs=stubs,
-                    hard_cutoff=cutoff,
-                )
-            )
-            # Hits per TTL for both algorithms let the analysis compute
-            # hits-per-message (NF vs RW comparison).
-            result.add(
-                normalized_flooding_series(
-                    "pa",
-                    label=f"nf hits {label_suffix}",
-                    scale=scale,
-                    stubs=stubs,
-                    hard_cutoff=cutoff,
-                )
-            )
-            result.add(
-                random_walk_series(
-                    "pa",
-                    label=f"rw hits {label_suffix}",
-                    scale=scale,
-                    stubs=stubs,
-                    hard_cutoff=cutoff,
-                )
-            )
-    return result
+run = scenario_runner(SCENARIO)

@@ -2,85 +2,38 @@
 
 The natural cutoff of a finite scale-free network — the largest degree one
 expects to observe — scales as ``k_nc ~ m N^{1/(γ-1)}`` (Dorogovtsev et al.),
-which for the PA model (γ = 3) becomes ``m √N``.  This experiment grows PA
-networks of increasing size without any hard cutoff, records the maximum
-degree, and reports it next to the two analytical estimates so the scaling
-exponent can be compared.
+which for the PA model (γ = 3) becomes ``m √N``.  The
+``natural-cutoff-scaling`` measurement kind grows PA networks of increasing
+size without any hard cutoff, records the maximum degree, and reports it
+next to the two analytical estimates so the scaling exponent can be
+compared.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.analysis.cutoff import (
-    empirical_cutoff,
-    natural_cutoff_aiello,
-    natural_cutoff_dorogovtsev,
-)
-from repro.experiments.figures._common import resolve_scale
-from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import ExperimentScale, realization_seeds
-from repro.generators.pa import generate_pa
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "natural_cutoff",
+    "title": "Natural-cutoff scaling of PA networks (paper Eqs. 2, 4, 5)",
+    "notes": (
+        "The measured maximum degree should grow roughly like sqrt(N) "
+        "(the Dorogovtsev estimate for gamma=3) and faster than the "
+        "Aiello estimate N^(1/3)."
+    ),
+    "topology": {"model": "pa"},
+    "label": "natural cutoff scaling",
+    "measurement": {
+        "kind": "natural-cutoff-scaling",
+        "params": {
+            "sizes": {"default": [500, 2000, 8000], "smoke": [200, 800],
+                      "paper": [1000, 10000, 100000]},
+            "stubs_values": {"default": [1, 2], "smoke": [1]},
+        },
+    },
+})
 
-EXPERIMENT_ID = "natural_cutoff"
-TITLE = "Natural-cutoff scaling of PA networks (paper Eqs. 2, 4, 5)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def _sizes(scale: ExperimentScale) -> List[int]:
-    if scale.name == "smoke":
-        return [200, 800]
-    if scale.name == "paper":
-        return [1000, 10_000, 100_000]
-    return [500, 2000, 8000]
-
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Measure the empirical maximum degree of PA networks vs the estimates."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "The measured maximum degree should grow roughly like sqrt(N) "
-            "(the Dorogovtsev estimate for gamma=3) and faster than the "
-            "Aiello estimate N^(1/3)."
-        ),
-    )
-
-    sizes = _sizes(scale)
-    for stubs in ([1, 2] if scale.name != "smoke" else [1]):
-        measured: List[float] = []
-        for size in sizes:
-            per_realization = []
-            for realization_seed in realization_seeds(scale, f"m{stubs}-N{size}"):
-                graph = generate_pa(size, stubs=stubs, hard_cutoff=None, seed=realization_seed)
-                per_realization.append(empirical_cutoff(graph))
-            measured.append(sum(per_realization) / len(per_realization))
-        result.add(
-            Series(
-                label=f"measured kmax m={stubs}",
-                x=list(sizes),
-                y=measured,
-                metadata={"stubs": stubs},
-            )
-        )
-        result.add(
-            Series(
-                label=f"dorogovtsev m={stubs} (m*sqrt(N))",
-                x=list(sizes),
-                y=[natural_cutoff_dorogovtsev(size, 3.0, stubs) for size in sizes],
-                metadata={"stubs": stubs, "analytical": True},
-            )
-        )
-        result.add(
-            Series(
-                label=f"aiello m={stubs} (N^(1/3))",
-                x=list(sizes),
-                y=[natural_cutoff_aiello(size, 3.0) for size in sizes],
-                metadata={"stubs": stubs, "analytical": True},
-            )
-        )
-    return result
+run = scenario_runner(SCENARIO)

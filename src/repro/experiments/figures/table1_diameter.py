@@ -11,98 +11,46 @@ ln N             3           1
 ln N             > 3         ≥ 1
 ===============  ==========  =========
 
-This experiment measures the average shortest-path length of CM topologies
-with γ ∈ {2.5, 3.0, 3.5} and PA topologies (γ = 3) with m ∈ {1, 2}, across a
-range of network sizes, and reports the measured path length next to the
-predicted functional form — the reproduction checks the *ordering*
-(ultra-small < small-world < tree) rather than asymptotic constants, which a
-10³–10⁴-node network cannot resolve.
+The ``path-length-scaling`` measurement kind grows CM topologies with
+γ ∈ {2.5, 3.5} and PA topologies (γ = 3) with m ∈ {1, 2} across a range of
+network sizes and reports the measured average shortest-path length next to
+the predicted functional form — the reproduction checks the *ordering*
+(ultra-small < small-world < tree) rather than asymptotic constants, which
+a 10³–10⁴-node network cannot resolve.
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.analysis.paths import expected_diameter_class, path_length_statistics
-from repro.experiments.figures._common import resolve_scale
-from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import ExperimentScale, realization_seeds
-from repro.generators.cm import generate_cm
-from repro.generators.pa import generate_pa
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "table1",
+    "title": "Diameter scaling of scale-free topologies (paper Table I)",
+    "notes": (
+        "At equal N the ordering should be: gamma in (2,3) (ultra-small) "
+        "<= gamma=3, m>=2 < gamma=3, m=1 (tree) and gamma>3; every series "
+        "should grow slower than linearly in N (logarithmically or "
+        "double-logarithmically)."
+    ),
+    "topology": {"model": "pa"},
+    "label": "avg path length vs N",
+    "measurement": {
+        "kind": "path-length-scaling",
+        "params": {
+            # (series label, model, exponent, stubs) per table row.
+            "rows": [
+                ["cm gamma=2.5 m=2", "cm", 2.5, 2],
+                ["pa gamma=3 m=2", "pa", 3.0, 2],
+                ["pa gamma=3 m=1 (tree)", "pa", 3.0, 1],
+                ["cm gamma=3.5 m=2", "cm", 3.5, 2],
+            ],
+            "sizes": {"default": [500, 1000, 2000, 4000], "smoke": [200, 400],
+                      "paper": [1000, 3000, 10000, 30000, 100000]},
+        },
+    },
+})
 
-EXPERIMENT_ID = "table1"
-TITLE = "Diameter scaling of scale-free topologies (paper Table I)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-
-def _sizes(scale: ExperimentScale) -> List[int]:
-    if scale.name == "smoke":
-        return [200, 400]
-    if scale.name == "paper":
-        return [1000, 3000, 10_000, 30_000, 100_000]
-    return [500, 1000, 2000, 4000]
-
-
-def _average_path(model: str, size: int, scale: ExperimentScale, seed: int,
-                  exponent: float, stubs: int) -> float:
-    sample = min(size, 200)
-    if model == "pa":
-        graph = generate_pa(size, stubs=stubs, seed=seed)
-    else:
-        graph = generate_cm(
-            size, exponent=exponent, min_degree=stubs, hard_cutoff=None, seed=seed
-        )
-    return path_length_statistics(graph, sample_size=sample, rng=seed + 1).average
-
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Measure average path length vs N for the table's (γ, m) classes."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "At equal N the ordering should be: gamma in (2,3) (ultra-small) "
-            "<= gamma=3, m>=2 < gamma=3, m=1 (tree) and gamma>3; every series "
-            "should grow slower than linearly in N (logarithmically or "
-            "double-logarithmically)."
-        ),
-    )
-
-    rows = [
-        # (label, model, exponent, stubs, expected class)
-        ("cm gamma=2.5 m=2", "cm", 2.5, 2, expected_diameter_class(2.5, 2)),
-        ("pa gamma=3 m=2", "pa", 3.0, 2, expected_diameter_class(3.0, 2)),
-        ("pa gamma=3 m=1 (tree)", "pa", 3.0, 1, expected_diameter_class(3.0, 1)),
-        ("cm gamma=3.5 m=2", "cm", 3.5, 2, expected_diameter_class(3.5, 2)),
-    ]
-    sizes = _sizes(scale)
-
-    for label, model, exponent, stubs, diameter_class in rows:
-        averages: List[float] = []
-        for size in sizes:
-            per_realization = []
-            for realization_seed in realization_seeds(scale, f"{label}:{size}"):
-                per_realization.append(
-                    _average_path(model, size, scale, realization_seed, exponent, stubs)
-                )
-            averages.append(sum(per_realization) / len(per_realization))
-        result.add(
-            Series(
-                label=label,
-                x=list(sizes),
-                y=averages,
-                metadata={
-                    "model": model,
-                    "exponent": exponent,
-                    "stubs": stubs,
-                    "expected_class": diameter_class,
-                    "ln_n": [math.log(size) for size in sizes],
-                    "lnln_n": [math.log(math.log(size)) for size in sizes],
-                },
-            )
-        )
-    return result
+run = scenario_runner(SCENARIO)

@@ -9,64 +9,39 @@ HAPA        partial
 DAPA        no
 ==========  ===========================
 
-This "experiment" asserts the claim structurally (the generator classes
-declare their information requirements) and backs it with a small behavioural
-check: the amount of non-local state each join step consumes, derived from
-the algorithms themselves (PA and CM need the degrees of all N nodes, HAPA
-needs only the running total degree, DAPA needs nothing outside the joining
-node's horizon).
+The ``global-information`` measurement kind asserts the claim structurally
+(the generator classes declare their information requirements) and backs it
+with a small behavioural check: the amount of non-local state each join
+step consumes, derived from the algorithms themselves (PA and CM need the
+degrees of all N nodes, HAPA needs only the running total degree, DAPA
+needs nothing outside the joining node's horizon).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.scenarios import ScenarioSpec, scenario_runner
 
-from repro.experiments.figures._common import resolve_scale
-from repro.experiments.results import ExperimentResult, Series
-from repro.experiments.runner import ExperimentScale
-from repro.generators.registry import GENERATORS
+SCENARIO = ScenarioSpec.from_dict({
+    "id": "table2",
+    "title": "Global-information requirements of PA, CM, HAPA, DAPA (paper Table II)",
+    "notes": (
+        "Scores: 2 = needs per-node global information, 1 = needs an "
+        "aggregate global quantity, 0 = purely local.  Expected: "
+        "pa=2, cm=2, hapa=1, dapa=0."
+    ),
+    "topology": {"model": "pa"},
+    "label": "global information usage",
+    "measurement": {
+        "kind": "global-information",
+        # Only the paper's four mechanisms belong to Table II; extension
+        # models registered alongside them (e.g. nonlinear PA) are not part
+        # of the table.
+        "params": {"expected": {"pa": "yes", "cm": "yes",
+                                "hapa": "partial", "dapa": "no"}},
+    },
+})
 
-EXPERIMENT_ID = "table2"
-TITLE = "Global-information requirements of PA, CM, HAPA, DAPA (paper Table II)"
+EXPERIMENT_ID = SCENARIO.scenario_id
+TITLE = SCENARIO.title
 
-#: Global state consulted per join, expressed as the number of remote nodes
-#: whose degree the joining node must know: N for PA/CM (all degrees), 1 for
-#: HAPA (only the aggregate total degree), 0 for DAPA (horizon only).
-_GLOBAL_STATE_SCORE = {"yes": 2, "partial": 1, "no": 0}
-
-EXPECTED = {"pa": "yes", "cm": "yes", "hapa": "partial", "dapa": "no"}
-
-
-def run(
-    scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
-) -> ExperimentResult:
-    """Report each registered model's global-information classification."""
-    scale = resolve_scale(scale, seed)
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        parameters=scale.as_dict(),
-        notes=(
-            "Scores: 2 = needs per-node global information, 1 = needs an "
-            "aggregate global quantity, 0 = purely local.  Expected: "
-            "pa=2, cm=2, hapa=1, dapa=0."
-        ),
-    )
-    # Only the paper's four mechanisms belong to Table II; extension models
-    # registered alongside them (e.g. nonlinear PA) are not part of the table.
-    paper_models = [name for name in sorted(GENERATORS) if name in EXPECTED]
-    for index, name in enumerate(paper_models):
-        classification = GENERATORS[name].uses_global_information
-        result.add(
-            Series(
-                label=name,
-                x=[index],
-                y=[_GLOBAL_STATE_SCORE.get(classification, -1)],
-                metadata={
-                    "classification": classification,
-                    "expected": EXPECTED[name],
-                    "matches_paper": EXPECTED[name] == classification,
-                },
-            )
-        )
-    return result
+run = scenario_runner(SCENARIO)

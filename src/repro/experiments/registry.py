@@ -1,4 +1,12 @@
-"""Registry of reproducible experiments (figures, tables, ablations)."""
+"""Registry of reproducible experiments (figures, tables, ablations).
+
+Every built-in experiment is a :class:`~repro.scenarios.ScenarioSpec`
+declared in its figure module; this registry maps ids to their ``run``
+callables and forwards engine options (executor / store / progress /
+backend).  User-authored scenarios enter through the same machinery via
+:func:`run_scenario` (re-exported here from :mod:`repro.scenarios`), which
+is what the ``repro run`` CLI verb calls.
+"""
 
 from __future__ import annotations
 
@@ -12,12 +20,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.engine.executor import Executor
     from repro.engine.progress import ProgressReporter
     from repro.engine.store import ResultStore
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "available_experiments",
     "get_experiment",
     "run_experiment",
     "run_experiment_cached",
+    "run_scenario",
+    "run_scenario_cached",
     "experiment_titles",
 ]
 
@@ -153,3 +164,61 @@ def run_experiment_cached(
     if progress is not None:
         progress.experiment_finished(experiment_id, from_cache=from_cache)
     return result, from_cache
+
+
+def run_scenario(
+    spec: "ScenarioSpec",
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
+    """Run a declarative :class:`~repro.scenarios.ScenarioSpec` end to end.
+
+    The scenario counterpart of :func:`run_experiment`: same engine options,
+    same determinism guarantees, but the experiment is *data* (a spec the
+    caller authored or loaded from JSON) instead of a registered id.  With a
+    ``store``, results are keyed by (scenario id, scale, canonical spec
+    hash), so every equivalent spelling of the spec shares one cache entry.
+    """
+    # Imported lazily: the scenario layer sits above this module.
+    from repro.scenarios.compile import run_scenario as _run_scenario
+
+    return _run_scenario(
+        spec,
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        store=store,
+        progress=progress,
+        backend=backend,
+    )
+
+
+def run_scenario_cached(
+    spec: "ScenarioSpec",
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
+) -> "tuple[ExperimentResult, bool]":
+    """Scenario counterpart of :func:`run_experiment_cached`.
+
+    Returns ``(result, from_cache)`` so callers (e.g. ``repro run --json``)
+    can report cache hits.
+    """
+    from repro.scenarios.compile import run_scenario_cached as _run_scenario_cached
+
+    return _run_scenario_cached(
+        spec,
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        store=store,
+        progress=progress,
+        backend=backend,
+    )

@@ -1,0 +1,299 @@
+"""Compile and run scenario specs on the experiment engine.
+
+:func:`compile_scenario` lowers a :class:`~repro.scenarios.spec.ScenarioSpec`
+into an ordered list of :class:`SeriesPlan` items — one per measured series,
+with every by-scale value resolved and every label rendered — and
+:func:`run_scenario` executes a compiled plan through the engine's existing
+``Task`` fan-out: the same SHA-256 per-(label, index) seed streams, ambient
+executor/backend capture, and content-addressed
+:class:`~repro.engine.store.ResultStore` keys the figure harness has always
+used.  Because specs hash canonically
+(:meth:`~repro.scenarios.spec.ScenarioSpec.spec_hash`), a scenario cached
+once is cached for every equivalent spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ScenarioError
+from repro.experiments.results import ExperimentResult, Series
+from repro.experiments.runner import ExperimentScale
+from repro.scenarios.kinds import get_measurement_kind
+from repro.scenarios.measure import resolve_scale
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    label_fields,
+    render_label,
+    resolve_by_scale,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - imported for signatures only
+    from repro.engine.executor import Executor
+    from repro.engine.progress import ProgressReporter
+    from repro.engine.store import ResultStore
+
+__all__ = [
+    "SeriesPlan",
+    "compile_scenario",
+    "run_series_plan",
+    "run_scenario",
+    "run_scenario_cached",
+    "scenario_runner",
+    "builtin_scenarios",
+    "get_builtin_scenario",
+]
+
+
+@dataclass(frozen=True)
+class SeriesPlan:
+    """One fully-resolved series: the compiler's output unit.
+
+    Attributes
+    ----------
+    label:
+        The rendered series label (drives the per-realization seed stream).
+    kind:
+        The measurement kind handling this plan.
+    algorithm:
+        Canonical search-algorithm name, for algorithmic kinds.
+    ttl:
+        Explicit TTL grid, or ``None`` for the scale's default grid.
+    topology:
+        Resolved construction parameters
+        (``model``/``stubs``/``hard_cutoff``/``exponent``/``tau_sub``).
+    params:
+        Resolved kind-specific parameters.
+    """
+
+    label: str
+    kind: str
+    algorithm: Optional[str]
+    ttl: Optional[Tuple[int, ...]]
+    topology: Dict[str, Any]
+    params: Dict[str, Any]
+
+
+def compile_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> List[SeriesPlan]:
+    """Lower ``spec`` to its ordered series plans for one scale preset.
+
+    Merge order for topology parameters (later wins): scenario defaults →
+    panel overrides → sweep point → series overrides; every value is then
+    resolved against the scale's preset name.
+    """
+    spec.validate()
+    plans: List[SeriesPlan] = []
+    base = spec.topology.as_params()
+    for panel_index, panel in enumerate(spec.panels):
+        points = panel.sweep.points(scale.name) if panel.sweep is not None else [{}]
+        for point in points:
+            for template in panel.series:
+                merged = dict(base)
+                merged.update(panel.topology)
+                merged.update(point)
+                merged.update(template.topology)
+                topology = {
+                    name: resolve_by_scale(value, scale.name)
+                    for name, value in merged.items()
+                }
+                if topology.get("model") is None:
+                    raise ScenarioError(
+                        f"panel {panel_index}: no construction model in scope "
+                        f"for series {template.label!r}; set topology.model "
+                        "on the scenario, the panel, or a sweep axis"
+                    )
+                measurement = template.measurement
+                ttl = resolve_by_scale(measurement.ttl, scale.name)
+                if ttl is not None:
+                    ttl = tuple(int(value) for value in ttl)
+                params = {
+                    name: resolve_by_scale(value, scale.name)
+                    for name, value in measurement.params.items()
+                }
+                plans.append(
+                    SeriesPlan(
+                        label=render_label(
+                            template.label,
+                            label_fields(topology, measurement.algorithm),
+                        ),
+                        kind=measurement.kind,
+                        algorithm=measurement.algorithm,
+                        ttl=ttl,
+                        topology=topology,
+                        params=params,
+                    )
+                )
+    seen: Dict[str, int] = {}
+    for plan in plans:
+        seen[plan.label] = seen.get(plan.label, 0) + 1
+    duplicates = sorted(label for label, count in seen.items() if count > 1)
+    if duplicates:
+        # Colliding labels would silently shadow each other in the result
+        # AND draw from identical per-(label, index) seed streams.
+        raise ScenarioError(
+            f"scenario {spec.scenario_id!r} compiles to duplicate series "
+            f"label(s) {', '.join(map(repr, duplicates))} at scale "
+            f"{scale.name!r}; include every swept axis in the label "
+            "template (e.g. '{kc}' for a hard_cutoff sweep)"
+        )
+    return plans
+
+
+def run_series_plan(plan: SeriesPlan, scale: ExperimentScale) -> List[Series]:
+    """Execute one compiled plan through its measurement kind."""
+    return get_measurement_kind(plan.kind)(plan, scale)
+
+
+def _compute_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> ExperimentResult:
+    """Compile and execute ``spec`` under the ambient executor/backend."""
+    result = ExperimentResult(
+        experiment_id=spec.scenario_id,
+        title=spec.title,
+        parameters=scale.as_dict(),
+        notes=spec.notes,
+    )
+    seen_labels = set()
+    for plan in compile_scenario(spec, scale):
+        for series in run_series_plan(plan, scale):
+            # Composite kinds emit their own labels, which the compile-time
+            # guard cannot see — collisions would silently shadow a curve.
+            if series.label in seen_labels:
+                raise ScenarioError(
+                    f"scenario {spec.scenario_id!r}: measurement kind "
+                    f"{plan.kind!r} produced a duplicate series label "
+                    f"{series.label!r}"
+                )
+            seen_labels.add(series.label)
+            result.add(series)
+    return result
+
+
+def run_scenario_cached(
+    spec: ScenarioSpec,
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
+) -> "tuple[ExperimentResult, bool]":
+    """Run a scenario on the engine; returns ``(result, from_cache)``.
+
+    Mirrors :func:`repro.experiments.registry.run_experiment_cached`: the
+    realization tasks fan out through ``executor`` (results byte-identical
+    to a serial run), the graph ``backend`` is installed ambiently, and with
+    a ``store`` the result is keyed by (scenario id, scale, spec hash) — so
+    a re-run of any equivalent spelling of the spec is a cache hit.
+    """
+    from repro.core.backend import use_backend
+    from repro.engine.executor import use_executor
+
+    spec.validate()
+    resolved = resolve_scale(scale, seed)
+    if progress is not None:
+        progress.experiment_started(spec.scenario_id)
+
+    def compute() -> ExperimentResult:
+        with use_executor(executor, progress), use_backend(backend):
+            return _compute_scenario(spec, resolved)
+
+    if store is not None:
+        result, from_cache = store.fetch_or_run(
+            spec.scenario_id,
+            resolved,
+            compute,
+            extra={"scenario": spec.spec_hash()},
+        )
+    else:
+        result, from_cache = compute(), False
+    if progress is not None:
+        progress.experiment_finished(spec.scenario_id, from_cache=from_cache)
+    return result, from_cache
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    executor: "Optional[Executor]" = None,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[ProgressReporter]" = None,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
+    """Run a scenario spec end to end and return its result.
+
+    Examples
+    --------
+    >>> from repro.scenarios import ScenarioSpec
+    >>> from repro.experiments.runner import ExperimentScale
+    >>> spec = ScenarioSpec.from_dict({
+    ...     "id": "demo",
+    ...     "title": "PA degree distribution",
+    ...     "topology": {"model": "pa", "stubs": 2, "hard_cutoff": 10},
+    ...     "label": "P(k) m={m}, {kc}",
+    ...     "measurement": {"kind": "degree-distribution"},
+    ... })
+    >>> result = run_scenario(spec, scale=ExperimentScale.smoke())
+    >>> result.labels()
+    ['P(k) m=2, kc=10']
+    """
+    result, _ = run_scenario_cached(
+        spec,
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        store=store,
+        progress=progress,
+        backend=backend,
+    )
+    return result
+
+
+def scenario_runner(spec: ScenarioSpec) -> Callable[..., ExperimentResult]:
+    """Wrap ``spec`` as a registry-compatible ``run(scale=, seed=)`` callable.
+
+    The built-in figure modules are each reduced to a
+    :class:`~repro.scenarios.spec.ScenarioSpec` plus ``run =
+    scenario_runner(SCENARIO)``; the experiment registry (and therefore
+    ``repro figure`` / ``repro suite``) calls the wrapper exactly like the
+    hand-written ``run`` functions it replaces.
+    """
+    spec.validate()
+
+    def run(
+        scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
+    ) -> ExperimentResult:
+        return _compute_scenario(spec, resolve_scale(scale, seed))
+
+    run.__name__ = f"run_{spec.scenario_id}"
+    run.__doc__ = f"Run the {spec.scenario_id!r} scenario: {spec.title}"
+    run.scenario = spec  # type: ignore[attr-defined]
+    return run
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenarios
+# --------------------------------------------------------------------------- #
+def builtin_scenarios() -> Dict[str, ScenarioSpec]:
+    """Return every built-in scenario, keyed by id, in paper order."""
+    # Imported lazily: the figure modules themselves import this package.
+    from repro.experiments.figures import ALL_FIGURE_MODULES
+
+    specs: Dict[str, ScenarioSpec] = {}
+    for module in ALL_FIGURE_MODULES:
+        spec = getattr(module, "SCENARIO", None)
+        if spec is not None:
+            specs[spec.scenario_id] = spec
+    return specs
+
+
+def get_builtin_scenario(scenario_id: str) -> ScenarioSpec:
+    """Return one built-in scenario by id, with an actionable error."""
+    specs = builtin_scenarios()
+    if scenario_id not in specs:
+        raise ScenarioError(
+            f"unknown scenario {scenario_id!r}; "
+            f"built-ins: {', '.join(specs)}"
+        )
+    return specs[scenario_id]

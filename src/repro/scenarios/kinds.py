@@ -1,0 +1,513 @@
+"""Measurement-kind registry: the verbs of the scenario grammar.
+
+A *measurement kind* maps one compiled
+:class:`~repro.scenarios.compile.SeriesPlan` to the list of
+:class:`~repro.experiments.results.Series` it contributes to the scenario's
+result.  The four core kinds cover the paper's figure grammar:
+
+``degree-distribution``
+    Pooled P(k) over all realizations (Figs. 1–4).
+``search-curve``
+    Realization-averaged hits-vs-τ for any registered search algorithm
+    (Figs. 6–12); RW uses the paper's NF-message normalization.
+``messaging``
+    Messages-per-query vs τ (§V-B-2).
+``exponent-vs-cutoff``
+    Fitted γ as a function of the hard cutoff (Figs. 1c, 4g); takes a
+    ``cutoffs`` parameter.
+
+The composite kinds (``path-length-scaling``, ``global-information``,
+``natural-cutoff-scaling``, ``robustness-sweep``, ``cutoff-penalty``) carry
+the paper's tables and ablations; they may emit several series per plan.
+
+:func:`register_measurement_kind` is the extension point: anything
+registered here becomes addressable from user-authored scenario JSON, the
+same way plugin generators and search algorithms join through their own
+registries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.analysis.cutoff import (
+    empirical_cutoff,
+    natural_cutoff_aiello,
+    natural_cutoff_dorogovtsev,
+)
+from repro.analysis.paths import expected_diameter_class, path_length_statistics
+from repro.analysis.robustness import attack_robustness, failure_robustness
+from repro.core.errors import ScenarioError
+from repro.experiments.results import Series
+from repro.experiments.runner import (
+    ExperimentScale,
+    average_curves,
+    realization_seeds,
+)
+from repro.experiments.sweeps import format_label
+from repro.generators.cm import generate_cm
+from repro.generators.pa import generate_pa
+from repro.scenarios import measure
+
+__all__ = [
+    "MeasurementKind",
+    "register_measurement_kind",
+    "available_measurement_kinds",
+    "get_measurement_kind",
+]
+
+#: ``handler(plan, scale) -> [Series, ...]`` — ``plan`` is a compiled
+#: :class:`~repro.scenarios.compile.SeriesPlan` with every by-scale value
+#: already resolved.
+MeasurementKind = Callable[[Any, ExperimentScale], List[Series]]
+
+_MEASUREMENT_KINDS: Dict[str, MeasurementKind] = {}
+
+#: Declared ``(required, optional)`` param names per kind.  ``None`` means
+#: "unconstrained" (the default for plugins, and for algorithmic kinds
+#: whose params are probed against the algorithm itself).
+_KIND_PARAM_SCHEMAS: Dict[str, "tuple[frozenset, frozenset] | None"] = {}
+
+
+def register_measurement_kind(
+    name: str,
+    handler: MeasurementKind,
+    required_params: "tuple[str, ...]" = (),
+    optional_params: "tuple[str, ...] | None" = None,
+) -> None:
+    """Register ``handler`` under ``name`` (kebab-case by convention).
+
+    ``required_params``/``optional_params`` declare the kind's parameter
+    schema so specs fail eagerly on missing or typo'd params; pass
+    ``optional_params=None`` (the default) to leave params unconstrained.
+    """
+    key = str(name).lower()
+    if key in _MEASUREMENT_KINDS:
+        raise ScenarioError(f"measurement kind {name!r} is already registered")
+    _MEASUREMENT_KINDS[key] = handler
+    if optional_params is None and not required_params:
+        _KIND_PARAM_SCHEMAS[key] = None
+    else:
+        _KIND_PARAM_SCHEMAS[key] = (
+            frozenset(required_params),
+            frozenset(optional_params or ()),
+        )
+
+
+def check_kind_params(kind: str, params: "Dict[str, Any]") -> None:
+    """Eagerly validate ``params`` against the kind's declared schema."""
+    schema = _KIND_PARAM_SCHEMAS.get(str(kind).lower())
+    if schema is None:
+        return
+    required, optional = schema
+    missing = sorted(required - set(params))
+    if missing:
+        raise ScenarioError(
+            f"measurement kind {kind!r} needs params "
+            f"{', '.join(map(repr, missing))}"
+        )
+    unknown = sorted(set(params) - required - optional)
+    if unknown:
+        raise ScenarioError(
+            f"measurement kind {kind!r} does not take params "
+            f"{', '.join(map(repr, unknown))}; accepted: "
+            f"{', '.join(sorted(required | optional)) or '(none)'}"
+        )
+
+
+def available_measurement_kinds() -> List[str]:
+    """Return the sorted names of every registered measurement kind."""
+    return sorted(_MEASUREMENT_KINDS)
+
+
+def get_measurement_kind(name: str) -> MeasurementKind:
+    """Return the handler registered under ``name``."""
+    key = str(name).lower()
+    if key not in _MEASUREMENT_KINDS:
+        raise ScenarioError(
+            f"unknown measurement kind {name!r}; "
+            f"available: {', '.join(available_measurement_kinds())}"
+        )
+    return _MEASUREMENT_KINDS[key]
+
+
+def _require_param(plan: Any, name: str) -> Any:
+    if name not in plan.params:
+        raise ScenarioError(
+            f"measurement kind {plan.kind!r} needs params[{name!r}] "
+            f"(series {plan.label!r})"
+        )
+    return plan.params[name]
+
+
+def _require_model(plan: Any, *allowed: str) -> str:
+    """Reject topologies a model-specific kind would otherwise silently ignore."""
+    model = plan.topology.get("model")
+    if model not in allowed:
+        raise ScenarioError(
+            f"measurement kind {plan.kind!r} is defined for "
+            f"{'/'.join(allowed)} topologies only, got model {model!r} "
+            f"(series {plan.label!r})"
+        )
+    return model
+
+
+def _reject_unconsumed_topology(plan: Any, consumed: "tuple[str, ...]") -> None:
+    """Reject non-default topology fields a composite kind does not read.
+
+    Composite kinds take their sweep data from ``params`` (rows, sizes,
+    stubs_values, cutoffs, ...), so a topology override they ignore would
+    change the spec's meaning — and its hash — without changing a number.
+    """
+    from repro.scenarios.spec import TopologySpec
+
+    defaults = TopologySpec().as_params()
+    ignored = sorted(
+        name
+        for name, default in defaults.items()
+        if name != "model" and name not in consumed
+        and plan.topology.get(name) != default
+    )
+    if ignored:
+        raise ScenarioError(
+            f"measurement kind {plan.kind!r} does not read topology "
+            f"field(s) {', '.join(map(repr, ignored))} (series "
+            f"{plan.label!r}); its sweep is configured through "
+            "measurement.params instead"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Core kinds (the figure grammar)
+# --------------------------------------------------------------------------- #
+def _kind_degree_distribution(plan: Any, scale: ExperimentScale) -> List[Series]:
+    topo = plan.topology
+    return [
+        measure.degree_distribution_series(
+            topo["model"],
+            plan.label,
+            scale,
+            stubs=topo["stubs"],
+            hard_cutoff=topo["hard_cutoff"],
+            exponent=topo["exponent"],
+            tau_sub=topo["tau_sub"],
+        )
+    ]
+
+
+def _kind_search_curve(plan: Any, scale: ExperimentScale) -> List[Series]:
+    topo = plan.topology
+    return [
+        measure.search_series(
+            topo["model"],
+            plan.label,
+            scale,
+            algorithm=plan.algorithm,
+            stubs=topo["stubs"],
+            hard_cutoff=topo["hard_cutoff"],
+            exponent=topo["exponent"],
+            tau_sub=topo["tau_sub"],
+            ttl_values=plan.ttl,
+            algorithm_params=dict(plan.params),
+        )
+    ]
+
+
+def _kind_messaging(plan: Any, scale: ExperimentScale) -> List[Series]:
+    topo = plan.topology
+    return [
+        measure.messaging_series(
+            topo["model"],
+            plan.label,
+            scale,
+            algorithm=plan.algorithm,
+            stubs=topo["stubs"],
+            hard_cutoff=topo["hard_cutoff"],
+            exponent=topo["exponent"],
+            tau_sub=topo["tau_sub"],
+            ttl_values=plan.ttl,
+            algorithm_params=dict(plan.params),
+        )
+    ]
+
+
+def _kind_exponent_vs_cutoff(plan: Any, scale: ExperimentScale) -> List[Series]:
+    topo = plan.topology
+    cutoffs = _require_param(plan, "cutoffs")
+    return [
+        measure.exponent_vs_cutoff_series(
+            topo["model"],
+            plan.label,
+            scale,
+            stubs=topo["stubs"],
+            cutoffs=list(cutoffs),
+            tau_sub=topo["tau_sub"],
+            exponent=topo["exponent"],
+        )
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Composite kinds (tables and ablations)
+# --------------------------------------------------------------------------- #
+def _kind_path_length_scaling(plan: Any, scale: ExperimentScale) -> List[Series]:
+    """Average shortest-path length vs N for (model, γ, m) rows (Table I).
+
+    The topologies come from the ``rows`` parameter — each row names its own
+    (model, exponent, stubs) — so the plan's ambient topology spec is not
+    consulted (non-default topology overrides are rejected).
+    """
+    _reject_unconsumed_topology(plan, consumed=())
+    rows = _require_param(plan, "rows")
+    sizes = [int(size) for size in _require_param(plan, "sizes")]
+    sample_cap = int(plan.params.get("sample_cap", 200))
+    series: List[Series] = []
+    for row in rows:
+        label, model, exponent, stubs = (
+            str(row[0]), str(row[1]), float(row[2]), int(row[3])
+        )
+        averages: List[float] = []
+        for size in sizes:
+            per_realization = []
+            for realization_seed in realization_seeds(scale, f"{label}:{size}"):
+                sample = min(size, sample_cap)
+                if model == "pa":
+                    graph = generate_pa(size, stubs=stubs, seed=realization_seed)
+                else:
+                    graph = generate_cm(
+                        size,
+                        exponent=exponent,
+                        min_degree=stubs,
+                        hard_cutoff=None,
+                        seed=realization_seed,
+                    )
+                per_realization.append(
+                    path_length_statistics(
+                        graph, sample_size=sample, rng=realization_seed + 1
+                    ).average
+                )
+            averages.append(sum(per_realization) / len(per_realization))
+        series.append(
+            Series(
+                label=label,
+                x=list(sizes),
+                y=averages,
+                metadata={
+                    "model": model,
+                    "exponent": exponent,
+                    "stubs": stubs,
+                    "expected_class": expected_diameter_class(exponent, stubs),
+                    "ln_n": [math.log(size) for size in sizes],
+                    "lnln_n": [math.log(math.log(size)) for size in sizes],
+                },
+            )
+        )
+    return series
+
+
+#: Global state consulted per join, expressed as the number of remote nodes
+#: whose degree the joining node must know: N for PA/CM (all degrees), 1 for
+#: HAPA (only the aggregate total degree), 0 for DAPA (horizon only).
+_GLOBAL_STATE_SCORE = {"yes": 2, "partial": 1, "no": 0}
+
+
+def _kind_global_information(plan: Any, scale: ExperimentScale) -> List[Series]:
+    """Each model's global-information classification vs the paper (Table II)."""
+    from repro.generators.registry import GENERATORS
+
+    _reject_unconsumed_topology(plan, consumed=())
+    expected: Mapping[str, str] = _require_param(plan, "expected")
+    paper_models = [name for name in sorted(GENERATORS) if name in expected]
+    series: List[Series] = []
+    for index, name in enumerate(paper_models):
+        classification = GENERATORS[name].uses_global_information
+        series.append(
+            Series(
+                label=name,
+                x=[index],
+                y=[_GLOBAL_STATE_SCORE.get(classification, -1)],
+                metadata={
+                    "classification": classification,
+                    "expected": expected[name],
+                    "matches_paper": expected[name] == classification,
+                },
+            )
+        )
+    return series
+
+
+def _kind_natural_cutoff_scaling(plan: Any, scale: ExperimentScale) -> List[Series]:
+    """Measured k_max vs N next to the analytical estimates (Eqs. 2, 4, 5).
+
+    PA-specific: the analytical cutoff estimates assume the PA model's γ=3.
+    """
+    _require_model(plan, "pa")
+    _reject_unconsumed_topology(plan, consumed=())
+    sizes = [int(size) for size in _require_param(plan, "sizes")]
+    stubs_values = [int(value) for value in _require_param(plan, "stubs_values")]
+    series: List[Series] = []
+    for stubs in stubs_values:
+        measured: List[float] = []
+        for size in sizes:
+            per_realization = []
+            for realization_seed in realization_seeds(scale, f"m{stubs}-N{size}"):
+                graph = generate_pa(
+                    size, stubs=stubs, hard_cutoff=None, seed=realization_seed
+                )
+                per_realization.append(empirical_cutoff(graph))
+            measured.append(sum(per_realization) / len(per_realization))
+        series.append(
+            Series(
+                label=f"measured kmax m={stubs}",
+                x=list(sizes),
+                y=measured,
+                metadata={"stubs": stubs},
+            )
+        )
+        series.append(
+            Series(
+                label=f"dorogovtsev m={stubs} (m*sqrt(N))",
+                x=list(sizes),
+                y=[natural_cutoff_dorogovtsev(size, 3.0, stubs) for size in sizes],
+                metadata={"stubs": stubs, "analytical": True},
+            )
+        )
+        series.append(
+            Series(
+                label=f"aiello m={stubs} (N^(1/3))",
+                x=list(sizes),
+                y=[natural_cutoff_aiello(size, 3.0) for size in sizes],
+                metadata={"stubs": stubs, "analytical": True},
+            )
+        )
+    return series
+
+
+def _kind_robustness_sweep(plan: Any, scale: ExperimentScale) -> List[Series]:
+    """Giant-component decay under failures and attacks, ± cutoff (§III).
+
+    PA-specific: the removal study targets PA's hub structure; the stub
+    count and cutoff sweep come from ``params`` (``stubs``, ``cutoffs``).
+    """
+    _require_model(plan, "pa")
+    _reject_unconsumed_topology(plan, consumed=())
+    cutoffs = _require_param(plan, "cutoffs")
+    steps = int(plan.params.get("steps", 6))
+    max_removed = float(plan.params.get("max_removed", 0.3))
+    node_cap = int(plan.params.get("node_cap", 1500))
+    stubs = int(plan.params.get("stubs", 2))
+    nodes = min(scale.search_nodes, node_cap)
+    series: List[Series] = []
+    for cutoff in cutoffs:
+        for strategy_name, runner in (
+            ("failure", failure_robustness),
+            ("attack", attack_robustness),
+        ):
+            curves = []
+            x_values = None
+            for realization_seed in realization_seeds(
+                scale, f"{strategy_name}-{cutoff}"
+            ):
+                graph = generate_pa(
+                    nodes, stubs=stubs, hard_cutoff=cutoff, seed=realization_seed
+                )
+                if strategy_name == "failure":
+                    removal = runner(
+                        graph,
+                        max_removed_fraction=max_removed,
+                        steps=steps,
+                        rng=realization_seed + 13,
+                    )
+                else:
+                    removal = runner(
+                        graph, max_removed_fraction=max_removed, steps=steps
+                    )
+                curves.append(removal.giant_component_fractions)
+                x_values = removal.removed_fractions
+            series.append(
+                Series(
+                    label=f"{strategy_name}, {format_label(kc=cutoff)}",
+                    x=[float(value) for value in (x_values or [])],
+                    y=average_curves(curves),
+                    metadata={
+                        "strategy": strategy_name,
+                        "hard_cutoff": cutoff,
+                        "nodes": nodes,
+                    },
+                )
+            )
+    return series
+
+
+def _kind_cutoff_penalty(plan: Any, scale: ExperimentScale) -> List[Series]:
+    """Flooding-hit ratio no-cutoff / cutoff as a function of m (§V-B).
+
+    The stub sweep and the cutoff under test come from ``params``
+    (``stubs_values``, ``penalty_cutoff``); the topology's model, exponent,
+    and tau_sub are honoured.
+    """
+    topo = plan.topology
+    _reject_unconsumed_topology(plan, consumed=("exponent", "tau_sub"))
+    stubs_values = [int(value) for value in _require_param(plan, "stubs_values")]
+    penalty_cutoff = int(plan.params.get("penalty_cutoff", 10))
+    reference_ttl = min(
+        int(plan.params.get("reference_ttl_cap", 6)), scale.flooding_max_ttl
+    )
+    series: List[Series] = []
+    penalties: List[float] = []
+    for stubs in stubs_values:
+        unbounded = measure.search_series(
+            topo["model"],
+            f"m={stubs}, no kc",
+            scale,
+            algorithm="fl",
+            stubs=stubs,
+            hard_cutoff=None,
+            exponent=topo["exponent"],
+            tau_sub=topo["tau_sub"],
+        )
+        bounded = measure.search_series(
+            topo["model"],
+            f"m={stubs}, kc={penalty_cutoff}",
+            scale,
+            algorithm="fl",
+            stubs=stubs,
+            hard_cutoff=penalty_cutoff,
+            exponent=topo["exponent"],
+            tau_sub=topo["tau_sub"],
+        )
+        series.append(unbounded)
+        series.append(bounded)
+        hits_unbounded = unbounded.y_at(reference_ttl)
+        hits_bounded = max(1.0, float(bounded.y_at(reference_ttl)))
+        penalties.append(float(hits_unbounded) / hits_bounded)
+    series.append(
+        Series(
+            label=plan.label,
+            x=list(stubs_values),
+            y=penalties,
+            metadata={"reference_ttl": reference_ttl},
+        )
+    )
+    return series
+
+
+for _name, _handler, _required, _optional in (
+    # Algorithmic kinds leave params unconstrained here: they are probed
+    # against the search algorithm itself during spec validation.
+    ("degree-distribution", _kind_degree_distribution, (), ()),
+    ("search-curve", _kind_search_curve, (), None),
+    ("messaging", _kind_messaging, (), None),
+    ("exponent-vs-cutoff", _kind_exponent_vs_cutoff, ("cutoffs",), ()),
+    ("path-length-scaling", _kind_path_length_scaling,
+     ("rows", "sizes"), ("sample_cap",)),
+    ("global-information", _kind_global_information, ("expected",), ()),
+    ("natural-cutoff-scaling", _kind_natural_cutoff_scaling,
+     ("sizes", "stubs_values"), ()),
+    ("robustness-sweep", _kind_robustness_sweep,
+     ("cutoffs",), ("steps", "max_removed", "node_cap", "stubs")),
+    ("cutoff-penalty", _kind_cutoff_penalty,
+     ("stubs_values",), ("penalty_cutoff", "reference_ttl_cap")),
+):
+    register_measurement_kind(_name, _handler, _required, _optional)

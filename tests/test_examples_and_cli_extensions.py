@@ -19,6 +19,7 @@ EXAMPLE_SCRIPTS = [
     "churn_maintenance.py",
     "join_strategy_comparison.py",
     "reproduce_paper.py",
+    "custom_scenario.py",
 ]
 
 

@@ -108,3 +108,77 @@ class TestSeriesBuilders:
         a = flooding_series("pa", "same-label", scale, stubs=1, hard_cutoff=10)
         b = flooding_series("pa", "same-label", scale, stubs=1, hard_cutoff=10)
         assert a.y == b.y
+
+
+class TestHapaNonPaperCap:
+    """The HAPA size cap: distribution builds only, never search builds.
+
+    The pre-scenario code spelled the cap as ``min(nodes, 2000 if not
+    for_search else nodes)`` — a no-op for ``for_search=True`` that made the
+    intent invisible.  These tests pin the now-explicit behaviour.
+    """
+
+    def _scale(self, name):
+        return ExperimentScale(
+            name=name, nodes=2300, search_nodes=2100, substrate_nodes=2300,
+            realizations=1, queries=5,
+        )
+
+    def test_distribution_build_is_capped_below_paper_scale(self):
+        from repro.scenarios.measure import HAPA_NONPAPER_NODE_CAP
+
+        graph = build_graph("hapa", self._scale("custom"), seed=3, stubs=1)
+        assert graph.number_of_nodes == HAPA_NONPAPER_NODE_CAP == 2000
+
+    def test_search_build_is_never_capped(self):
+        graph = build_graph(
+            "hapa", self._scale("custom"), seed=3, stubs=1, for_search=True
+        )
+        assert graph.number_of_nodes == 2100
+
+    def test_paper_scale_is_never_capped(self):
+        graph = build_graph("hapa", self._scale("paper"), seed=3, stubs=1)
+        assert graph.number_of_nodes == 2300
+
+
+class TestShimsDelegateToScenarioCompiler:
+    """Pin that the legacy ``*_series`` helpers are compiler shims."""
+
+    @pytest.fixture
+    def captured_plans(self, monkeypatch):
+        import repro.experiments.figures._common as common
+        from repro.experiments.results import Series
+
+        plans = []
+
+        def fake_run_series_plan(plan, scale):
+            plans.append(plan)
+            return [Series(label=plan.label, x=[1], y=[1.0])]
+
+        monkeypatch.setattr(common, "run_series_plan", fake_run_series_plan)
+        return plans
+
+    def test_flooding_series_delegates(self, scale, captured_plans):
+        series = flooding_series("pa", "lbl", scale, stubs=2, hard_cutoff=10)
+        assert series.label == "lbl"
+        (plan,) = captured_plans
+        assert plan.kind == "search-curve"
+        assert plan.algorithm == "fl"
+        assert plan.topology == {"model": "pa", "stubs": 2, "hard_cutoff": 10,
+                                 "exponent": 3.0, "tau_sub": 4}
+
+    def test_every_series_helper_delegates(self, scale, captured_plans):
+        degree_distribution_series("pa", "a", scale)
+        normalized_flooding_series("pa", "b", scale)
+        random_walk_series("pa", "c", scale)
+        messaging_series("pa", "d", scale, algorithm="nf")
+        exponent_vs_cutoff_series("pa", "e", scale, stubs=1, cutoffs=[10])
+        assert [(p.kind, p.algorithm) for p in captured_plans] == [
+            ("degree-distribution", None),
+            ("search-curve", "nf"),
+            ("search-curve", "rw"),
+            ("messaging", "nf"),
+            ("exponent-vs-cutoff", None),
+        ]
+        assert captured_plans[-1].params == {"cutoffs": [10]}
+        assert captured_plans[-1].topology["tau_sub"] == 10  # legacy default

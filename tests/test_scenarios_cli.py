@@ -1,0 +1,196 @@
+"""CLI tests for the scenario verbs and the machine-readable --json outputs.
+
+Covers ``repro run`` (file, --inline, built-in id; caching incl. the
+acceptance path "user-authored scenario, --jobs 2, second invocation is a
+full cache hit"), ``repro scenarios list/show``, and ``repro figure/suite
+--json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import ScenarioSpec
+
+#: A scenario no built-in figure covers: PF (an algorithm the figures never
+#: exercise) on CM with a cutoff sweep.
+PF_ON_CM = {
+    "id": "pf-on-cm-cutoff-sweep",
+    "title": "Probabilistic flooding on CM with a cutoff sweep",
+    "topology": {"model": "cm", "exponent": 2.6, "stubs": 2},
+    "sweep": {"axes": {"hard_cutoff": [10, 40, None]}},
+    "label": "pf m={m}, {kc}",
+    "measurement": {
+        "kind": "search-curve",
+        "algorithm": "pf",
+        "params": {"forward_probability": 0.5},
+    },
+}
+
+
+def _run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestRunCommand:
+    def test_user_scenario_file_with_cache_and_jobs(self, capsys, tmp_path):
+        """The acceptance path: user JSON, parallel fan-out, full cache hit."""
+        spec_path = tmp_path / "pf_on_cm.json"
+        spec_path.write_text(json.dumps(PF_ON_CM))
+        cache = tmp_path / "cache"
+        argv = ["run", str(spec_path), "--scale", "smoke", "--jobs", "2",
+                "--cache", str(cache), "--json"]
+        first = _run_json(capsys, argv)
+        assert first["scenario"] == "pf-on-cm-cutoff-sweep"
+        assert first["from_cache"] is False
+        labels = [series["label"] for series in first["result"]["series"]]
+        assert labels == ["pf m=2, kc=10", "pf m=2, kc=40", "pf m=2, no kc"]
+        assert all(series["metadata"]["algorithm"] == "pf"
+                   for series in first["result"]["series"])
+        second = _run_json(capsys, argv)
+        assert second["from_cache"] is True
+        assert second["result"] == first["result"]
+
+    def test_equivalent_spelling_hits_the_same_cache_entry(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(PF_ON_CM))
+        cache = tmp_path / "cache"
+        _run_json(capsys, ["run", str(spec_path), "--scale", "smoke",
+                           "--cache", str(cache), "--json"])
+        # Same scenario, different spelling: canonical panels form + the
+        # registry alias for the algorithm.
+        respelled = ScenarioSpec.from_dict(PF_ON_CM).to_dict()
+        respelled["panels"][0]["series"][0]["measurement"]["algorithm"] = (
+            "probabilistic_flooding"
+        )
+        payload = _run_json(capsys, [
+            "run", "--inline", json.dumps(respelled), "--scale", "smoke",
+            "--cache", str(cache), "--json",
+        ])
+        assert payload["from_cache"] is True
+
+    def test_inline_spec_prints_table(self, capsys):
+        argv = ["run", "--inline", json.dumps(PF_ON_CM), "--scale", "smoke"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pf-on-cm-cutoff-sweep" in out
+        assert "pf m=2, kc=10" in out
+
+    def test_builtin_id_runs(self, capsys):
+        payload = _run_json(capsys, ["run", "table2", "--scale", "smoke", "--json"])
+        assert payload["scenario"] == "table2"
+        assert payload["result"]["series"]
+
+    def test_builtin_id_shares_the_figure_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = _run_json(capsys, ["figure", "table2", "--scale", "smoke",
+                                   "--cache", cache, "--json"])
+        assert first["from_cache"] is False
+        via_run = _run_json(capsys, ["run", "table2", "--scale", "smoke",
+                                     "--cache", cache, "--json"])
+        assert via_run["from_cache"] is True
+        assert via_run["result"] == first["result"]
+
+    def test_out_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["run", "--inline", json.dumps(PF_ON_CM),
+                     "--scale", "smoke", "--out", str(out_dir)]) == 0
+        assert (out_dir / "pf-on-cm-cutoff-sweep.json").exists()
+        assert (out_dir / "pf-on-cm-cutoff-sweep.csv").exists()
+
+    def test_missing_source_is_an_error(self, capsys):
+        assert main(["run"]) == 1
+        assert "scenario source" in capsys.readouterr().err
+
+    def test_both_sources_is_an_error(self, capsys):
+        assert main(["run", "spec.json", "--inline", "{}"]) == 1
+
+    def test_rw_accepts_k_min_override_param(self, capsys):
+        spec = dict(PF_ON_CM, id="rw-kmin",
+                    sweep={"axes": {"hard_cutoff": [10]}},
+                    measurement={"kind": "search-curve", "algorithm": "rw",
+                                 "params": {"k_min": 3}},
+                    label="rw m={m}, {kc}")
+        payload = _run_json(capsys, ["run", "--inline", json.dumps(spec),
+                                     "--scale", "smoke", "--json"])
+        assert payload["result"]["series"][0]["label"] == "rw m=2, kc=10"
+
+    def test_directory_as_spec_path_is_an_error(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path)]) == 1
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_non_utf8_spec_file_is_an_error(self, capsys, tmp_path):
+        binary = tmp_path / "spec.json"
+        binary.write_bytes(b"\xff\xfe\x00broken")
+        assert main(["run", str(binary)]) == 1
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_nonexistent_file_names_builtins(self, capsys):
+        assert main(["run", "no_such_spec.json"]) == 1
+        assert "repro scenarios list" in capsys.readouterr().err
+
+    def test_invalid_spec_is_actionable(self, capsys):
+        bad = dict(PF_ON_CM, measurement={"kind": "search-curve",
+                                          "algorithm": "dht"})
+        assert main(["run", "--inline", json.dumps(bad)]) == 1
+        assert "unknown search algorithm" in capsys.readouterr().err
+
+
+class TestScenariosCommand:
+    def test_list_shows_every_builtin(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for scenario_id in ("fig1", "fig9", "table2", "ablation_robustness"):
+            assert scenario_id in out
+
+    def test_bare_scenarios_defaults_to_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_show_round_trips_through_the_parser(self, capsys):
+        assert main(["scenarios", "show", "fig9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        spec = ScenarioSpec.from_dict(payload)
+        assert spec.scenario_id == "fig9"
+
+    def test_show_compiled_labels(self, capsys):
+        payload = _run_json(
+            capsys, ["scenarios", "show", "fig9", "--scale", "smoke"])
+        assert payload["scenario"] == "fig9"
+        assert "pa m=1, kc=10" in payload["series"]
+        assert len(payload["spec_hash"]) == 64
+
+    def test_show_unknown_id(self, capsys):
+        assert main(["scenarios", "show", "fig99"]) == 1
+        assert "built-ins" in capsys.readouterr().err
+
+
+class TestJsonOutputs:
+    def test_figure_json_payload(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["figure", "table2", "--scale", "smoke",
+                "--cache", str(cache), "--json"]
+        first = _run_json(capsys, argv)
+        assert first["experiment_id"] == "table2"
+        assert first["from_cache"] is False
+        assert all("metadata" in series for series in first["result"]["series"])
+        second = _run_json(capsys, argv)
+        assert second["from_cache"] is True
+        assert second["result"] == first["result"]
+
+    def test_suite_json_payload(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["suite", "--scale", "smoke", "--only", "table2",
+                "natural_cutoff", "--cache", str(cache), "--json"]
+        first = _run_json(capsys, argv)
+        assert [entry["experiment_id"] for entry in first["entries"]] == [
+            "table2", "natural_cutoff"]
+        assert first["cache_hits"] == 0
+        assert all("result" in entry for entry in first["entries"])
+        second = _run_json(capsys, argv)
+        assert second["cache_hits"] == 2
+        assert all(entry["from_cache"] for entry in second["entries"])

@@ -1,0 +1,488 @@
+"""Unit tests for the declarative scenario spec layer (repro.scenarios.spec).
+
+Covers: dict→spec→dict round-trip identity (including hypothesis-fuzzed
+specs), canonical spec-hash stability across equivalent spellings, eager
+validation with actionable errors, by-scale value resolution, sweep
+expansion, and label rendering.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError, ScenarioError
+from repro.experiments.runner import ExperimentScale
+from repro.scenarios import (
+    MeasurementSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+    builtin_scenarios,
+    canonical_algorithm,
+    compile_scenario,
+)
+from repro.scenarios.spec import resolve_by_scale
+
+
+def _minimal(payload_overrides=None):
+    payload = {
+        "id": "t",
+        "title": "t",
+        "topology": {"model": "pa"},
+        "label": "m={m}, {kc}",
+        "measurement": {"kind": "degree-distribution"},
+    }
+    payload.update(payload_overrides or {})
+    return payload
+
+
+class TestRoundTrip:
+    def test_shorthand_expands_and_round_trips(self):
+        spec = ScenarioSpec.from_dict(_minimal())
+        payload = spec.to_dict()
+        assert payload["panels"]  # shorthand expanded to a panel list
+        assert ScenarioSpec.from_dict(payload) == spec
+        # canonical form is a fixed point
+        assert ScenarioSpec.from_dict(payload).to_dict() == payload
+
+    def test_json_round_trip(self):
+        spec = ScenarioSpec.from_dict(_minimal({
+            "sweep": {"axes": {"stubs": [1, 2],
+                               "hard_cutoff": {"default": [10, None], "smoke": [10]}}},
+        }))
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_builtin_scenarios_all_round_trip(self):
+        for scenario_id, spec in builtin_scenarios().items():
+            rebuilt = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+            assert rebuilt == spec, scenario_id
+            assert rebuilt.spec_hash() == spec.spec_hash(), scenario_id
+
+
+# Hypothesis-fuzzed round trips over a constrained but representative
+# grammar: every generated payload is a valid spec, and parsing its
+# canonical form must reproduce the identical spec and hash.
+_axis_values = st.lists(
+    st.one_of(st.integers(min_value=1, max_value=100), st.none()),
+    min_size=1, max_size=3, unique=True,
+)
+_by_scale_axis = st.one_of(
+    _axis_values,
+    st.fixed_dictionaries({"default": _axis_values, "smoke": _axis_values}),
+)
+_sweeps = st.one_of(
+    st.none(),
+    st.fixed_dictionaries({"axes": st.fixed_dictionaries(
+        {"stubs": st.just([1, 2])},
+        optional={"hard_cutoff": _by_scale_axis},
+    )}),
+)
+_measurements = st.one_of(
+    st.just({"kind": "degree-distribution"}),
+    st.builds(
+        lambda alg, ttl: {"kind": "search-curve", "algorithm": alg,
+                          **({"ttl": ttl} if ttl else {})},
+        st.sampled_from(["fl", "nf", "rw", "pf", "flooding", "random_walk"]),
+        st.one_of(st.none(), st.lists(
+            st.integers(min_value=1, max_value=8), min_size=1, max_size=3,
+            unique=True,
+        )),
+    ),
+)
+_scenarios = st.builds(
+    lambda model, stubs, sweep, measurement: {
+        "id": "fuzz",
+        "title": "fuzzed scenario",
+        "topology": {"model": model, "stubs": stubs},
+        **({"sweep": sweep} if sweep else {}),
+        "label": "{model} m={m}, {kc} [{algorithm}]",
+        "measurement": measurement,
+    },
+    st.sampled_from(["pa", "cm", "hapa", "dapa"]),
+    st.integers(min_value=1, max_value=3),
+    _sweeps,
+    _measurements,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=_scenarios)
+def test_fuzzed_round_trip_identity(payload):
+    spec = ScenarioSpec.from_dict(payload)
+    canonical = spec.to_dict()
+    rebuilt = ScenarioSpec.from_dict(canonical)
+    assert rebuilt == spec
+    assert rebuilt.to_dict() == canonical
+    assert rebuilt.spec_hash() == spec.spec_hash()
+    # compilation is deterministic and total for valid specs
+    plans_a = compile_scenario(spec, ExperimentScale.smoke())
+    plans_b = compile_scenario(rebuilt, ExperimentScale.smoke())
+    assert [p.label for p in plans_a] == [p.label for p in plans_b]
+
+
+class TestHashStability:
+    def test_equivalent_spellings_share_a_hash(self):
+        shorthand = ScenarioSpec.from_dict(_minimal())
+        explicit = ScenarioSpec.from_dict({
+            "id": "t",
+            "title": "t",
+            "notes": "",
+            "topology": {"model": "pa", "stubs": 1, "hard_cutoff": None,
+                         "exponent": 3.0, "tau_sub": 4},
+            "panels": [{
+                "topology": {},
+                "sweep": None,
+                "series": [{
+                    "label": "m={m}, {kc}",
+                    "topology": {},
+                    "measurement": {"kind": "degree-distribution",
+                                    "algorithm": None, "ttl": None, "params": {}},
+                }],
+            }],
+        })
+        assert shorthand.spec_hash() == explicit.spec_hash()
+        assert shorthand == explicit
+
+    def test_algorithm_aliases_share_a_hash(self):
+        def with_algorithm(name):
+            return ScenarioSpec.from_dict(_minimal({
+                "measurement": {"kind": "search-curve", "algorithm": name},
+            }))
+        assert (with_algorithm("flooding").spec_hash()
+                == with_algorithm("fl").spec_hash())
+        assert (with_algorithm("probabilistic_flooding").spec_hash()
+                == with_algorithm("pf").spec_hash())
+
+    def test_model_case_is_canonicalised(self):
+        upper = ScenarioSpec.from_dict(_minimal({"topology": {"model": "PA"}}))
+        lower = ScenarioSpec.from_dict(_minimal({"topology": {"model": "pa"}}))
+        assert upper == lower
+        assert upper.spec_hash() == lower.spec_hash()
+        plans = compile_scenario(upper, ExperimentScale.smoke())
+        assert plans[0].topology["model"] == "pa"
+        # ...including in sweep axes and series-level overrides
+        swept = ScenarioSpec.from_dict(_minimal({
+            "sweep": {"axes": {"model": {"default": ["PA", "CM"],
+                                         "smoke": ["HAPA"]}}},
+        }))
+        axes = dict(swept.panels[0].sweep.axes)
+        assert axes["model"] == {"default": ["pa", "cm"], "smoke": ["hapa"]}
+
+    def test_different_parameters_change_the_hash(self):
+        base = ScenarioSpec.from_dict(_minimal())
+        changed = ScenarioSpec.from_dict(_minimal({
+            "topology": {"model": "pa", "stubs": 2},
+        }))
+        assert base.spec_hash() != changed.spec_hash()
+
+    def test_axis_order_is_semantic_and_hashed(self):
+        # Sweep-axis order fixes the series order, so swapping axes is a
+        # *different* scenario: it must survive round trips and change hash.
+        def with_axes(axes):
+            return ScenarioSpec.from_dict(_minimal({"sweep": {"axes": axes}}))
+        ab = with_axes({"stubs": [1, 2], "hard_cutoff": [10, None]})
+        ba = with_axes({"hard_cutoff": [10, None], "stubs": [1, 2]})
+        assert ab.spec_hash() != ba.spec_hash()
+        assert ScenarioSpec.from_json(ab.to_json()) == ab
+        assert ScenarioSpec.from_json(ba.to_json()) == ba
+
+    def test_hash_is_stable_across_processes(self):
+        # SHA-256 over canonical JSON: no interpreter-hash randomisation.
+        spec = ScenarioSpec.from_dict(_minimal())
+        assert spec.spec_hash() == ScenarioSpec.from_dict(_minimal()).spec_hash()
+        assert len(spec.spec_hash()) == 64
+
+
+class TestValidation:
+    @pytest.mark.parametrize("payload, fragment", [
+        ({"title": "t"}, "id"),
+        (_minimal({"id": "has space"}), "whitespace"),
+        (_minimal({"topology": {"model": "chord"}}), "unknown construction model"),
+        (_minimal({"topology": {"nodes": 10}}), "unknown field"),
+        (_minimal({"measurement": {"kind": "nope"}}), "unknown measurement kind"),
+        (_minimal({"measurement": {"kind": "search-curve"}}), "algorithm"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "dht"}}),
+         "unknown search algorithm"),
+        (_minimal({"sweep": {"axes": {}}}), "at least one axis"),
+        (_minimal({"sweep": {"axes": {"queries": [1]}}}), "not a topology field"),
+        (_minimal({"sweep": {"axes": {"stubs": [1]}, "expand": "product"}}),
+         "grid"),
+        (_minimal({"label": "m={unknown_field}"}), "placeholder"),
+        (_minimal({"panels": [], "label": None, "measurement": None}), "panels"),
+        (_minimal({"sweep": {"axes": {"stubs": {"smoke": [1]}}}}), "default"),
+        (_minimal({"sweep": {"axes": {"model": ["pa", "bogus"]}}}),
+         "unknown construction model"),
+        (_minimal({"sweep": {"axes": {
+            "model": {"default": ["pa"], "smoke": ["bogus"]}}}}),
+         "unknown construction model"),
+        ({"id": "t", "title": "t", "topology": {"model": "pa"},
+          "panels": [{"series": [{
+              "label": "l", "topology": {"model": "bogus"},
+              "measurement": {"kind": "degree-distribution"}}]}]},
+         "unknown construction model"),
+        (_minimal({"id": "../evil"}), "path separators"),
+        (_minimal({"id": "a/b"}), "path separators"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "ttl": [2, None]}}), "integers"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "ttl": {"default": [2, 4],
+                                           "smoke": [2, None]}}}), "integers"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "ttl": {"default": [2, 3], "smoke": 5}}}),
+         "resolve to a non-empty list"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "ttl": {"default": "34"}}}),
+         "resolve to a non-empty list"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "ttl": []}}), "non-empty"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "fl",
+                                   "params": {"forward_probability": 0.5}}}),
+         "not accepted by algorithm 'fl'"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "pf",
+                                   "params": {"forward_probability": 1.5}}}),
+         "invalid for algorithm 'pf'"),
+        (_minimal({"measurement": {"kind": "search-curve", "algorithm": "rw",
+                                   "params": {"teleport": 0.1}}}),
+         "not accepted by algorithm 'rw'"),
+        (_minimal({"measurement": {"kind": "degree-distribution",
+                                   "ttl": [2, 4]}}), "does not take a 'ttl'"),
+        (_minimal({"measurement": {"kind": "degree-distribution",
+                                   "algorithm": "fl"}}),
+         "does not take an 'algorithm'"),
+        (_minimal({"measurement": {"kind": "degree-distribution",
+                                   "params": {"cutoffs": [10]}}}),
+         "exponent-vs-cutoff"),
+        (_minimal({"label": "m={m}, kc={kc_value:d}"}), "label"),
+        (_minimal({"measurement": {"kind": "robustness-sweep",
+                                   "params": {"cutoffs": [None],
+                                              "max_remove": 0.5}}}),
+         "does not take params 'max_remove'"),
+        (_minimal({"measurement": {"kind": "exponent-vs-cutoff"}}),
+         "needs params 'cutoffs'"),
+        (_minimal({"measurement": {"kind": "path-length-scaling",
+                                   "params": {"sizes": [100]}}}),
+         "needs params 'rows'"),
+    ])
+    def test_actionable_errors(self, payload, fragment):
+        with pytest.raises(ScenarioError) as excinfo:
+            ScenarioSpec.from_dict(payload)
+        assert fragment in str(excinfo.value)
+
+    def test_scenario_error_is_a_repro_and_value_error(self):
+        with pytest.raises(ReproError):
+            ScenarioSpec.from_dict({"id": "x"})
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict({"id": "x"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_json("{not json")
+
+    def test_zip_sweep_length_mismatch(self):
+        spec = ScenarioSpec.from_dict(_minimal({
+            "sweep": {"axes": {"stubs": [1, 2], "hard_cutoff": [10]},
+                      "expand": "zip"},
+        }))
+        with pytest.raises(ScenarioError):
+            compile_scenario(spec, ExperimentScale.smoke())
+
+    def test_runtime_duplicate_labels_from_composite_kinds_are_rejected(self):
+        # A composite kind's internally-generated labels bypass the
+        # compile-time guard; the result assembler must still catch them.
+        from repro.scenarios import run_scenario
+
+        spec = ScenarioSpec.from_dict({
+            "id": "t", "title": "t", "topology": {"model": "pa"},
+            "panels": [
+                {"series": [{"label": "m=1, no kc",
+                             "measurement": {"kind": "search-curve",
+                                             "algorithm": "fl"}}]},
+                {"series": [{"label": "penalty",
+                             "measurement": {"kind": "cutoff-penalty",
+                                             "params": {"stubs_values": [1]}}}]},
+            ],
+        })
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenario(spec, scale=ExperimentScale.smoke())
+        assert "duplicate series label 'm=1, no kc'" in str(excinfo.value)
+
+    def test_duplicate_compiled_labels_are_rejected(self):
+        # A label template that omits the swept axis would silently shadow
+        # series and share their seed streams.
+        spec = ScenarioSpec.from_dict(_minimal({
+            "sweep": {"axes": {"hard_cutoff": [10, None]}},
+            "label": "m={m}",
+        }))
+        with pytest.raises(ScenarioError) as excinfo:
+            compile_scenario(spec, ExperimentScale.smoke())
+        assert "duplicate series label" in str(excinfo.value)
+        assert "swept axis" in str(excinfo.value)
+
+    def test_builtin_scenarios_have_unique_labels_at_every_scale(self):
+        for scale_name in ("smoke", "small", "paper"):
+            scale = ExperimentScale.from_name(scale_name)
+            for scenario_id, spec in builtin_scenarios().items():
+                compile_scenario(spec, scale)  # raises on duplicates
+
+    def test_missing_model_is_a_compile_error(self):
+        spec = ScenarioSpec.from_dict({
+            "id": "t", "title": "t",
+            "label": "m={m}, {kc}",
+            "measurement": {"kind": "degree-distribution"},
+        })
+        with pytest.raises(ScenarioError) as excinfo:
+            compile_scenario(spec, ExperimentScale.smoke())
+        assert "model" in str(excinfo.value)
+
+
+class TestResolutionAndCompilation:
+    def test_by_scale_resolution(self):
+        value = {"default": [10, 50, None], "smoke": [10, None]}
+        assert resolve_by_scale(value, "smoke") == [10, None]
+        assert resolve_by_scale(value, "small") == [10, 50, None]
+        assert resolve_by_scale(value, "custom") == [10, 50, None]
+        assert resolve_by_scale([1, 2], "smoke") == [1, 2]
+        # mappings without a 'default' key are plain data
+        assert resolve_by_scale({"pa": "yes"}, "smoke") == {"pa": "yes"}
+
+    def test_grid_expansion_last_axis_fastest(self):
+        sweep = SweepSpec.from_dict(
+            {"axes": {"stubs": [1, 2], "hard_cutoff": [10, None]}}
+        )
+        assert sweep.points("small") == [
+            {"stubs": 1, "hard_cutoff": 10},
+            {"stubs": 1, "hard_cutoff": None},
+            {"stubs": 2, "hard_cutoff": 10},
+            {"stubs": 2, "hard_cutoff": None},
+        ]
+
+    def test_zip_expansion(self):
+        sweep = SweepSpec.from_dict(
+            {"axes": {"stubs": [1, 2], "hard_cutoff": [10, None]}, "expand": "zip"}
+        )
+        assert sweep.points("small") == [
+            {"stubs": 1, "hard_cutoff": 10},
+            {"stubs": 2, "hard_cutoff": None},
+        ]
+
+    def test_compiled_labels_and_merge_order(self):
+        spec = ScenarioSpec.from_dict({
+            "id": "t", "title": "t",
+            "topology": {"model": "pa", "stubs": 1},
+            "panels": [{
+                "topology": {"stubs": 2},  # panel overrides scenario default
+                "sweep": {"axes": {"hard_cutoff": [10, None]}},
+                "series": [
+                    {"label": "{model} m={m}, {kc}",
+                     "measurement": {"kind": "degree-distribution"}},
+                    {"label": "cm-version m={m}, {kc}",
+                     "topology": {"model": "cm"},  # series overrides sweep/panel
+                     "measurement": {"kind": "degree-distribution"}},
+                ],
+            }],
+        })
+        plans = compile_scenario(spec, ExperimentScale.smoke())
+        assert [plan.label for plan in plans] == [
+            "pa m=2, kc=10", "cm-version m=2, kc=10",
+            "pa m=2, no kc", "cm-version m=2, no kc",
+        ]
+        assert plans[1].topology["model"] == "cm"
+        assert plans[0].topology["stubs"] == 2
+
+    def test_canonical_algorithm_resolves_aliases_and_plugins(self):
+        assert canonical_algorithm("flooding") == "fl"
+        assert canonical_algorithm("NF") == "nf"
+        assert canonical_algorithm("pf") == "pf"
+        with pytest.raises(ScenarioError):
+            canonical_algorithm("dht")
+
+    def test_topology_spec_defaults(self):
+        spec = TopologySpec.from_dict({"model": "pa"})
+        assert spec.as_params() == {
+            "model": "pa", "stubs": 1, "hard_cutoff": None,
+            "exponent": 3.0, "tau_sub": 4,
+        }
+
+    def test_measurement_spec_canonicalises_on_construction(self):
+        assert MeasurementSpec(kind="search-curve", algorithm="flooding").algorithm == "fl"
+
+    def test_model_specific_kinds_reject_other_models(self):
+        from repro.scenarios import run_scenario
+
+        for kind, params in (
+            ("natural-cutoff-scaling", {"sizes": [50], "stubs_values": [1]}),
+            ("robustness-sweep", {"cutoffs": [None]}),
+        ):
+            spec = ScenarioSpec.from_dict(_minimal({
+                "topology": {"model": "cm", "exponent": 2.2},
+                "label": "l",
+                "measurement": {"kind": kind, "params": params},
+            }))
+            with pytest.raises(ScenarioError) as excinfo:
+                run_scenario(spec, scale=ExperimentScale.smoke())
+            assert "pa topologies only" in str(excinfo.value)
+
+    def test_composite_kinds_reject_ignored_topology_fields(self):
+        from repro.scenarios import run_scenario
+
+        spec = ScenarioSpec.from_dict(_minimal({
+            "topology": {"model": "pa", "stubs": 3, "hard_cutoff": 40},
+            "label": "l",
+            "measurement": {"kind": "robustness-sweep",
+                            "params": {"cutoffs": [None, 10]}},
+        }))
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenario(spec, scale=ExperimentScale.smoke())
+        assert "does not read topology field(s) 'hard_cutoff', 'stubs'" in str(
+            excinfo.value)
+        assert "measurement.params" in str(excinfo.value)
+
+    def test_cutoff_penalty_threads_topology_parameters(self, monkeypatch):
+        import repro.scenarios.measure as measure
+        from repro.experiments.results import Series
+        from repro.scenarios import run_scenario
+
+        seen = []
+
+        def fake_search_series(model, label, scale, algorithm, stubs=1,
+                               hard_cutoff=None, exponent=3.0, tau_sub=4,
+                               **kw):
+            seen.append((model, exponent, tau_sub))
+            ttl = scale.flooding_ttl_grid()
+            return Series(label=label, x=ttl, y=[float(v) for v in ttl])
+
+        monkeypatch.setattr(measure, "search_series", fake_search_series)
+        spec = ScenarioSpec.from_dict(_minimal({
+            "topology": {"model": "cm", "exponent": 2.2, "tau_sub": 7},
+            "label": "penalty",
+            "measurement": {"kind": "cutoff-penalty",
+                            "params": {"stubs_values": [1]}},
+        }))
+        run_scenario(spec, scale=ExperimentScale.smoke())
+        assert seen == [("cm", 2.2, 7), ("cm", 2.2, 7)]
+
+    def test_exponent_vs_cutoff_measures_the_topology_exponent(self, monkeypatch):
+        """The prescribed CM exponent must reach the graph builder, not the
+        historical hardcoded 3.0."""
+        import repro.scenarios.measure as measure
+        from repro.scenarios import run_scenario
+
+        seen = []
+
+        def fake_rows(model, label, scale, stubs, hard_cutoff, exponent, tau_sub):
+            seen.append((model, exponent))
+            return [[1, 2, 2, 3, 5, 8]]
+
+        monkeypatch.setattr(measure, "_degree_sequence_rows", fake_rows)
+        spec = ScenarioSpec.from_dict(_minimal({
+            "topology": {"model": "cm", "exponent": 2.2},
+            "label": "gamma vs kc",
+            "measurement": {"kind": "exponent-vs-cutoff",
+                            "params": {"cutoffs": [10]}},
+        }))
+        run_scenario(spec, scale=ExperimentScale.smoke())
+        assert seen == [("cm", 2.2)]
