@@ -167,3 +167,76 @@ class TestBackendBenchmarks:
             batch_random_walks, fig9_frozen, sources, 200, rng
         )
         assert trajectory.shape == (201, self.QUERIES)
+
+
+class TestKernelTierBenchmarks:
+    """python vs. jit kernel tier on fig11-scale stochastic curves.
+
+    The jit tier exists to deliver an integer multiple on the NF/PF/RW
+    loops the CSR backend could not vectorize (RNG-stream parity pins them
+    to sequential draws); these tests assert its >= 3x floor so a kernel
+    or dispatch regression fails the suite instead of passing silently.
+    Skipped (not failed) when numba is absent: the interpreted fallback is
+    correctness-equivalent but intentionally unoptimized.
+    """
+
+    QUERIES = 60
+    NF_TTLS = list(range(2, 11, 2))
+    RW_TTLS = list(range(2, 11, 2))
+
+    @pytest.fixture(autouse=True)
+    def _require_compiled_kernels(self):
+        from repro.kernels import kernel_tier
+
+        if kernel_tier() != "jit":
+            pytest.skip("numba not installed: jit kernel tier unavailable")
+
+    def _nf_curve(self, graph, mode):
+        from repro.kernels import use_kernels
+        from repro.search.metrics import search_curve
+        from repro.search.normalized_flooding import NormalizedFloodingSearch
+
+        with use_kernels(mode):
+            return search_curve(
+                graph,
+                NormalizedFloodingSearch(k_min=2),
+                self.NF_TTLS,
+                queries=self.QUERIES,
+                rng=5,
+            )
+
+    def _rw_curve(self, graph, mode):
+        from repro.kernels import use_kernels
+        from repro.search.metrics import normalized_walk_curve
+
+        with use_kernels(mode):
+            return normalized_walk_curve(
+                graph, self.RW_TTLS, k_min=2, queries=self.QUERIES, rng=7
+            )
+
+    def test_nf_jit_speedup_at_least_3x(self, fig9_frozen):
+        # Warm-up (and correctness gate): jit must equal python exactly.
+        python_curve = self._nf_curve(fig9_frozen, "python")
+        jit_curve = self._nf_curve(fig9_frozen, "jit")
+        assert python_curve.as_dict() == jit_curve.as_dict()
+
+        python_seconds = _best_of(3, lambda: self._nf_curve(fig9_frozen, "python"))
+        jit_seconds = _best_of(3, lambda: self._nf_curve(fig9_frozen, "jit"))
+        speedup = python_seconds / jit_seconds
+        assert speedup >= 3.0, (
+            f"jit NF speedup regressed: {speedup:.2f}x "
+            f"(python {python_seconds * 1e3:.1f} ms, jit {jit_seconds * 1e3:.1f} ms)"
+        )
+
+    def test_rw_jit_speedup_at_least_3x(self, fig9_frozen):
+        python_curve = self._rw_curve(fig9_frozen, "python")
+        jit_curve = self._rw_curve(fig9_frozen, "jit")
+        assert python_curve.as_dict() == jit_curve.as_dict()
+
+        python_seconds = _best_of(3, lambda: self._rw_curve(fig9_frozen, "python"))
+        jit_seconds = _best_of(3, lambda: self._rw_curve(fig9_frozen, "jit"))
+        speedup = python_seconds / jit_seconds
+        assert speedup >= 3.0, (
+            f"jit RW speedup regressed: {speedup:.2f}x "
+            f"(python {python_seconds * 1e3:.1f} ms, jit {jit_seconds * 1e3:.1f} ms)"
+        )

@@ -1,11 +1,73 @@
-"""Setuptools shim.
+"""Packaging metadata for the ``repro`` reproduction toolkit.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-so that ``pip install -e .`` works in offline environments whose setuptools
-lacks the ``wheel`` package needed by PEP 517 editable builds (pip then falls
-back to the legacy ``setup.py develop`` code path).
+Kept in ``setup.py`` (rather than ``pyproject.toml``) so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package needed by PEP 517 editable builds — pip then falls
+back to the legacy ``setup.py`` code path, which this file fully supports.
+
+Install targets:
+
+* ``pip install .`` — core library + ``repro`` CLI (numpy + networkx only);
+* ``pip install .[scipy]`` — SciPy-accelerated batched flood kernel;
+* ``pip install .[fast]`` — numba, enabling the compiled ``jit`` kernel
+  tier for the stochastic search loops (identical results, much faster);
+* ``pip install .[dev]`` — the test/benchmark toolchain.
+
+Everything optional degrades gracefully: without scipy the CSR flood
+kernel falls back to pure NumPy, without numba the ``jit`` kernel tier
+falls back to the Python loops (see README "Kernel tiers").
 """
 
-from setuptools import setup
+import os.path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    version_path = os.path.join(
+        os.path.dirname(__file__), "src", "repro", "_version.py"
+    )
+    namespace = {}
+    with open(version_path, encoding="utf-8") as handle:
+        exec(handle.read(), namespace)
+    return namespace["__version__"]
+
+
+setup(
+    name="repro-guclu-yuksel-2007",
+    version=_read_version(),
+    description=(
+        "Scale-free overlay topologies with hard cutoffs for unstructured "
+        "P2P networks (Guclu & Yuksel, ICDCS 2007) — reproduction toolkit"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "networkx>=2.8",
+    ],
+    extras_require={
+        "scipy": ["scipy>=1.8"],
+        "fast": ["numba>=0.56"],
+        "dev": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -38,7 +38,7 @@ from typing import List, Optional, Sequence
 from repro._version import __version__
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
-from repro.core.backend import freeze_for_backend
+from repro.core.backend import freeze_for_backend, use_kernels
 from repro.core.errors import AnalysisError, ReproError
 from repro.engine.executor import executor_from_jobs
 from repro.engine.progress import ProgressReporter
@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--cache", type=Path, default=None,
                         help="result-store directory; identical re-runs are "
                              "served from cache")
+    figure.add_argument("--kernels", default="auto",
+                        choices=["auto", "python", "jit"],
+                        help="execution tier for the stochastic search "
+                             "loops: 'jit' compiles them with numba "
+                             "(identical results), 'auto' picks jit when "
+                             "numba is installed, 'python' forces the "
+                             "reference loops")
     figure.add_argument("--progress", action="store_true",
                         help="stream per-task progress to stderr")
     figure.add_argument("--json", action="store_true",
@@ -124,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--backend", default="adj", choices=["adj", "csr"],
                        help="graph backend for the search phase (identical "
                             "results; 'csr' is faster)")
+    suite.add_argument("--kernels", default="auto",
+                       choices=["auto", "python", "jit"],
+                       help="execution tier for the stochastic search loops "
+                            "(identical results; 'jit' is faster with numba)")
     suite.add_argument("--cache", type=Path, default=None,
                        help="result-store directory; completed experiments are "
                             "skipped on re-runs, making the suite resumable")
@@ -158,6 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--backend", default="adj", choices=["adj", "csr"],
                          help="graph backend for the search phase; results "
                               "are identical ('csr' is faster)")
+    run_cmd.add_argument("--kernels", default="auto",
+                         choices=["auto", "python", "jit"],
+                         help="execution tier for the stochastic search "
+                              "loops (identical results; 'jit' is faster "
+                              "with numba)")
+    run_cmd.add_argument("--compare", type=Path, default=None, metavar="BASELINE",
+                         help="compare the result against a stored baseline "
+                              "JSON (a previous --out / save_json file); "
+                              "exits non-zero when any shared series drifts "
+                              "beyond --tolerance")
+    run_cmd.add_argument("--tolerance", type=float, default=0.0,
+                         help="maximum relative per-series difference "
+                              "accepted by --compare (default: 0.0 — "
+                              "byte-identical reproduction)")
     run_cmd.add_argument("--cache", type=Path, default=None,
                          help="result-store directory; re-runs of any "
                               "equivalent spelling of the spec are served "
@@ -217,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--backend", default="adj", choices=["adj", "csr"],
                         help="graph backend: freeze the generated topology "
                              "('csr') or search the mutable graph ('adj')")
+    search.add_argument("--kernels", default="auto",
+                        choices=["auto", "python", "jit"],
+                        help="execution tier for the stochastic search loops "
+                             "(identical results; 'jit' is faster with numba)")
 
     # churn
     churn = subparsers.add_parser("churn", help="run a join/leave simulation")
@@ -266,6 +295,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             store=store,
             progress=progress,
             backend=args.backend,
+            kernels=args.kernels,
         )
     if args.json:
         print(json.dumps(
@@ -308,6 +338,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             progress=progress,
             on_result=save_entry,
             backend=args.backend,
+            kernels=args.kernels,
         )
     if args.out is not None:
         print(f"wrote {2 * len(report.entries)} files under {args.out}", file=sys.stderr)
@@ -365,6 +396,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 store=store,
                 progress=progress,
                 backend=args.backend,
+                kernels=args.kernels,
             )
         else:
             result, from_cache = run_scenario_cached(
@@ -375,25 +407,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 store=store,
                 progress=progress,
                 backend=args.backend,
+                kernels=args.kernels,
             )
+    comparison = None
+    if args.compare is not None:
+        comparison = _compare_against_baseline(result, args.compare, args.tolerance)
+    payload = {
+        "scenario": spec.scenario_id,
+        "spec_hash": spec.spec_hash(),
+        "from_cache": from_cache,
+        "result": result.as_dict(),
+    }
+    if comparison is not None:
+        payload["comparison"] = comparison
     if args.json:
-        print(json.dumps(
-            {
-                "scenario": spec.scenario_id,
-                "spec_hash": spec.spec_hash(),
-                "from_cache": from_cache,
-                "result": result.as_dict(),
-            },
-            indent=2,
-            sort_keys=True,
-        ))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.to_table())
+        if comparison is not None:
+            _print_comparison(comparison)
     if store is not None and from_cache:
         print(f"served from cache ({store.root})", file=sys.stderr)
     if args.out is not None:
         _save_result(result, args.out, to_stderr=args.json)
+    if comparison is not None and not comparison["within_tolerance"]:
+        if not comparison["labels_match"]:
+            summary = comparison["summary"]
+            print(
+                f"error: series labels diverged from baseline {args.compare} "
+                f"(shared: {summary['shared_series']}, only in this run: "
+                f"{summary['only_in_first']}, only in baseline: "
+                f"{summary['only_in_second']})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"error: result drifted beyond tolerance {args.tolerance} "
+                f"from baseline {args.compare} "
+                f"(worst: {comparison['summary']['worst_label']!r} at "
+                f"{comparison['summary']['worst_max_relative_difference']:.3e})",
+                file=sys.stderr,
+            )
+        return 3
     return 0
+
+
+def _compare_against_baseline(result, baseline_path: Path, tolerance: float) -> dict:
+    """Diff ``result`` against a stored baseline via :mod:`experiments.compare`."""
+    from repro.experiments.compare import compare_results
+    from repro.experiments.results import ExperimentResult
+
+    try:
+        baseline = ExperimentResult.load_json(baseline_path)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise ReproError(
+            f"cannot load baseline result {str(baseline_path)!r}: {error}"
+        ) from None
+    report = compare_results(result, baseline)
+    # The gate must fail closed: a run whose series *labels* drifted (or
+    # that dropped/added series) has no shared curves to diff, and an
+    # empty diff is a reproduction failure, not a pass.
+    labels_match = (
+        bool(report.shared)
+        and not report.only_in_first
+        and not report.only_in_second
+    )
+    return {
+        "baseline": str(baseline_path),
+        "tolerance": tolerance,
+        "within_tolerance": labels_match and report.all_within(tolerance),
+        "labels_match": labels_match,
+        "summary": report.summary(),
+        "series": [
+            {
+                "label": item.label,
+                "max_relative_difference": item.max_relative_difference,
+                "mean_relative_difference": item.mean_relative_difference,
+                "points_compared": item.points_compared,
+                "identical_grid": item.identical_grid,
+                "within_tolerance": item.within(tolerance),
+            }
+            for item in report.shared
+        ],
+    }
+
+
+def _print_comparison(comparison: dict) -> None:
+    """Render a ``--compare`` delta as a compact text table."""
+    print(f"\ncompared against {comparison['baseline']}:")
+    width = max(
+        [len(item["label"]) for item in comparison["series"]] or [5]
+    )
+    for item in comparison["series"]:
+        verdict = "ok" if item["within_tolerance"] else "DRIFT"
+        print(
+            f"  {item['label']:<{width}}  "
+            f"max {item['max_relative_difference']:.3e}  "
+            f"mean {item['mean_relative_difference']:.3e}  "
+            f"({item['points_compared']} pts)  {verdict}"
+        )
+    for label in comparison["summary"]["only_in_first"]:
+        print(f"  {label:<{width}}  only in this run")
+    for label in comparison["summary"]["only_in_second"]:
+        print(f"  {label:<{width}}  only in baseline")
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -474,22 +590,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
     graph = freeze_for_backend(generator.generate_graph(), args.backend)
     ttl_values = list(range(1, args.ttl + 1))
-    if args.algorithm == "fl":
-        curve = search_curve(
-            graph, FloodingSearch(), ttl_values, queries=args.queries, rng=args.seed
-        )
-    elif args.algorithm == "nf":
-        curve = search_curve(
-            graph,
-            NormalizedFloodingSearch(k_min=args.stubs),
-            ttl_values,
-            queries=args.queries,
-            rng=args.seed,
-        )
-    else:
-        curve = normalized_walk_curve(
-            graph, ttl_values, k_min=args.stubs, queries=args.queries, rng=args.seed
-        )
+    with use_kernels(args.kernels):
+        if args.algorithm == "fl":
+            curve = search_curve(
+                graph, FloodingSearch(), ttl_values, queries=args.queries,
+                rng=args.seed,
+            )
+        elif args.algorithm == "nf":
+            curve = search_curve(
+                graph,
+                NormalizedFloodingSearch(k_min=args.stubs),
+                ttl_values,
+                queries=args.queries,
+                rng=args.seed,
+            )
+        else:
+            curve = normalized_walk_curve(
+                graph, ttl_values, k_min=args.stubs, queries=args.queries,
+                rng=args.seed,
+            )
     print(json.dumps(curve.as_dict(), indent=2, sort_keys=True))
     return 0
 

@@ -36,10 +36,15 @@ simulation layer:
 from repro.core.backend import (
     BACKENDS,
     DEFAULT_BACKEND,
+    KERNEL_MODES,
     active_backend,
+    active_kernels,
     freeze_for_backend,
+    kernel_tier,
     normalize_backend,
+    normalize_kernels,
     use_backend,
+    use_kernels,
 )
 from repro.core.csr import CSRGraph
 from repro.core.errors import (
@@ -71,8 +76,13 @@ __all__ = [
     "ReproError",
     "SearchError",
     "SimulationError",
+    "KERNEL_MODES",
     "active_backend",
+    "active_kernels",
     "freeze_for_backend",
+    "kernel_tier",
     "normalize_backend",
+    "normalize_kernels",
     "use_backend",
+    "use_kernels",
 ]

@@ -26,14 +26,31 @@ from repro.core.csr import CSRGraph
 from repro.core.errors import ConfigurationError
 from repro.core.graph import Graph
 
+# The kernel-tier context lives in repro.kernels.dispatch but is re-exported
+# here: the backend and the kernel mode are sibling ambient selections (what
+# representation the graph is in × what executes the search loops over it),
+# and engine/CLI code imports both from this one place.
+from repro.kernels.dispatch import (  # noqa: F401  (re-exports)
+    KERNEL_MODES,
+    active_kernels,
+    kernel_tier,
+    normalize_kernels,
+    use_kernels,
+)
+
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "GraphLike",
+    "KERNEL_MODES",
     "active_backend",
+    "active_kernels",
     "freeze_for_backend",
+    "kernel_tier",
     "normalize_backend",
+    "normalize_kernels",
     "use_backend",
+    "use_kernels",
 ]
 
 #: Either graph representation; search and analysis code that only reads the

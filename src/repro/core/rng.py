@@ -152,6 +152,40 @@ class RandomSource:
         return len(weights) - 1
 
     # ------------------------------------------------------------------ #
+    # Stream-position export/import (the kernel tier's splice points)
+    # ------------------------------------------------------------------ #
+    def getstate(self):
+        """Return the underlying generator state (see :meth:`random.Random.getstate`)."""
+        return self._random.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured with :meth:`getstate`."""
+        self._random.setstate(state)
+
+    def export_mt_state(self) -> np.ndarray:
+        """Export the Mersenne-Twister stream position as an ``int64[625]`` array.
+
+        The layout (624 key words + the position index) is what the
+        compiled kernels in :mod:`repro.kernels` mutate in place; pair
+        with :meth:`import_mt_state` to hand the advanced stream back so
+        everything drawn afterwards continues from exactly where a
+        pure-Python consumer would have left it.
+        """
+        _version, internal, _gauss_next = self._random.getstate()
+        return np.array(internal, dtype=np.int64)
+
+    def import_mt_state(self, state: "np.ndarray") -> None:
+        """Adopt a stream position exported with :meth:`export_mt_state`.
+
+        Only the Mersenne-Twister words and position are replaced; the
+        Gaussian-pair cache is preserved (the kernels never draw from it).
+        """
+        version, _internal, gauss_next = self._random.getstate()
+        self._random.setstate(
+            (version, tuple(int(word) for word in state), gauss_next)
+        )
+
+    # ------------------------------------------------------------------ #
     # Derived sources
     # ------------------------------------------------------------------ #
     def spawn(self, label: str = "") -> "RandomSource":

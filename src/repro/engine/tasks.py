@@ -139,6 +139,7 @@ def run_suite(
     progress: Any = None,
     on_result: Optional[Callable[[SuiteEntry], None]] = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> SuiteReport:
     """Run many experiments through one shared executor and result store.
 
@@ -167,6 +168,9 @@ def run_suite(
     backend:
         Optional graph backend (``"adj"`` or ``"csr"``) applied to every
         experiment in the suite; results are identical across backends.
+    kernels:
+        Optional kernel mode (``"auto"``, ``"python"``, or ``"jit"``)
+        applied to every experiment; results are identical across modes.
     """
     # Imported lazily: the registry imports the runner layer, which must be
     # importable without the engine package being fully initialised.
@@ -191,6 +195,7 @@ def run_suite(
             store=store,
             progress=progress,
             backend=backend,
+            kernels=kernels,
         )
         entry = SuiteEntry(
             experiment_id=experiment_id,

@@ -80,6 +80,7 @@ def run_experiment(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id and return its result.
 
@@ -105,6 +106,12 @@ def run_experiment(
         the run via :func:`repro.core.backend.use_backend`.  Results are
         byte-identical across backends (so cached results are shared);
         ``"csr"`` freezes each topology once and searches the snapshot.
+    kernels:
+        Optional kernel mode (``"auto"``, ``"python"``, or ``"jit"``)
+        installed around the run via
+        :func:`repro.kernels.dispatch.use_kernels`.  Results are
+        byte-identical across modes; ``"jit"`` runs the stochastic search
+        loops as compiled kernels when numba is available.
 
     Examples
     --------
@@ -112,7 +119,10 @@ def run_experiment(
     >>> result.experiment_id
     'table2'
     """
-    if executor is None and store is None and progress is None and backend is None:
+    if (
+        executor is None and store is None and progress is None
+        and backend is None and kernels is None
+    ):
         return get_experiment(experiment_id)(scale=scale, seed=seed)
     result, _ = run_experiment_cached(
         experiment_id,
@@ -122,6 +132,7 @@ def run_experiment(
         store=store,
         progress=progress,
         backend=backend,
+        kernels=kernels,
     )
     return result
 
@@ -134,6 +145,7 @@ def run_experiment_cached(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> "tuple[ExperimentResult, bool]":
     """Engine-aware variant of :func:`run_experiment`.
 
@@ -147,6 +159,7 @@ def run_experiment_cached(
     from repro.core.backend import use_backend
     from repro.engine.executor import use_executor
     from repro.experiments.figures._common import resolve_scale
+    from repro.kernels.dispatch import use_kernels
 
     resolved = resolve_scale(scale, seed)
 
@@ -154,7 +167,8 @@ def run_experiment_cached(
         progress.experiment_started(experiment_id)
 
     def compute() -> ExperimentResult:
-        with use_executor(executor, progress), use_backend(backend):
+        with use_executor(executor, progress), use_backend(backend), \
+                use_kernels(kernels):
             return runner(scale=resolved, seed=None)
 
     if store is not None:
@@ -174,6 +188,7 @@ def run_scenario(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> ExperimentResult:
     """Run a declarative :class:`~repro.scenarios.ScenarioSpec` end to end.
 
@@ -194,6 +209,7 @@ def run_scenario(
         store=store,
         progress=progress,
         backend=backend,
+        kernels=kernels,
     )
 
 
@@ -205,6 +221,7 @@ def run_scenario_cached(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> "tuple[ExperimentResult, bool]":
     """Scenario counterpart of :func:`run_experiment_cached`.
 
@@ -221,4 +238,5 @@ def run_scenario_cached(
         store=store,
         progress=progress,
         backend=backend,
+        kernels=kernels,
     )

@@ -194,21 +194,26 @@ def _realize_one(
     measure: Callable[[T, int], Sequence[float]],
     seed: int,
     backend: str = "adj",
+    kernels: str = "auto",
 ) -> List[float]:
     """Build and measure a single realization (one engine task).
 
     When the ``csr`` backend is selected and ``build`` produced a mutable
     :class:`~repro.core.graph.Graph`, the graph is frozen once here —
     before ``measure`` runs its many queries — so the whole measurement
-    phase uses the vectorized snapshot.
+    phase uses the vectorized snapshot.  The kernel mode travels with the
+    task the same way: installed ambiently around ``measure`` so the
+    choice survives the hop into a worker process.
     """
     from repro.core.backend import freeze_for_backend
     from repro.core.graph import Graph
+    from repro.kernels.dispatch import use_kernels
 
     subject = build(seed)
     if isinstance(subject, Graph):
         subject = freeze_for_backend(subject, backend)  # type: ignore[assignment]
-    return [float(value) for value in measure(subject, seed)]
+    with use_kernels(kernels):
+        return [float(value) for value in measure(subject, seed)]
 
 
 def run_realizations(
@@ -218,6 +223,7 @@ def run_realizations(
     label: str = "",
     executor: "Optional[Executor]" = None,
     backend: "Optional[str]" = None,
+    kernels: "Optional[str]" = None,
 ) -> List[float]:
     """Run ``build``/``measure`` once per realization and average the outputs.
 
@@ -251,6 +257,12 @@ def run_realizations(
         generate mutable, freeze once, search many.  The choice is baked
         into each task, so it survives the hop into worker processes, and
         results are identical either way.
+    kernels:
+        Kernel mode for the measurement phase (``"auto"``, ``"python"``,
+        or ``"jit"``; see :mod:`repro.kernels.dispatch`); the default is
+        the ambient mode installed by
+        :func:`repro.kernels.dispatch.use_kernels`.  Baked into each task
+        like ``backend``; results are identical across modes.
 
     Returns
     -------
@@ -261,14 +273,18 @@ def run_realizations(
     from repro.core.backend import active_backend, normalize_backend
     from repro.engine.executor import active_executor, active_progress
     from repro.engine.tasks import Task
+    from repro.kernels.dispatch import active_kernels, normalize_kernels
 
     resolved_backend = (
         active_backend() if backend is None else normalize_backend(backend)
     )
+    resolved_kernels = (
+        active_kernels() if kernels is None else normalize_kernels(kernels)
+    )
     tasks = [
         Task(
             fn=_realize_one,
-            args=(build, measure, seed, resolved_backend),
+            args=(build, measure, seed, resolved_backend, resolved_kernels),
             key=f"{label or 'realization'}[{index}]",
         )
         for index, seed in enumerate(realization_seeds(scale, label))

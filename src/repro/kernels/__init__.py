@@ -1,0 +1,43 @@
+"""JIT kernel tier: compiled stochastic search kernels below the CSR backend.
+
+The third execution tier of the search stack (after the ``adj`` reference
+backend and the frozen ``csr`` backend): :mod:`repro.kernels.search`
+JIT-compiles the NF/PF/RW query loops over the CSR ``indptr``/``indices``
+arrays while consuming the *exact* CPython Mersenne-Twister draw sequence
+(:mod:`repro.kernels.mt19937`), so results — and RNG stream positions —
+are bit-for-bit identical to the Python implementations.
+:mod:`repro.kernels.dispatch` owns tier selection: capability probing
+(numba + a parity self-check) and the ambient ``--kernels
+{auto,python,jit}`` mode.
+
+This package import is deliberately light: numba (when installed) is only
+imported on the first kernel-eligible query, never at import time.
+"""
+
+from repro.kernels.dispatch import (
+    DEFAULT_KERNELS,
+    KERNEL_MODES,
+    active_kernels,
+    kernel_query_ready,
+    kernel_self_check,
+    kernel_tier,
+    kernels_runtime,
+    normalize_kernels,
+    numba_available,
+    resolve_kernels,
+    use_kernels,
+)
+
+__all__ = [
+    "DEFAULT_KERNELS",
+    "KERNEL_MODES",
+    "active_kernels",
+    "kernel_query_ready",
+    "kernel_self_check",
+    "kernel_tier",
+    "kernels_runtime",
+    "normalize_kernels",
+    "numba_available",
+    "resolve_kernels",
+    "use_kernels",
+]

@@ -1,0 +1,37 @@
+"""Numba availability shim for the kernel tier.
+
+Every kernel in this package is written as a plain Python function over
+NumPy arrays and decorated with :func:`maybe_njit`.  With numba installed
+the decorator compiles the function (``nopython`` mode, on-disk cache);
+without numba it returns the function unchanged, so the *same code* runs
+interpreted — bit-for-bit identical results, just slower.  That is what
+makes the kernel tier testable on numba-less installs: the parity suite
+exercises the very functions the JIT would compile.
+
+Importing this module is what actually imports numba, so it must only be
+imported lazily (from :mod:`repro.kernels.dispatch` on first use), never
+at package-import time — ``repro --help`` must stay fast and must work on
+installs without numba.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_VERSION", "maybe_njit"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION: "str | None" = getattr(_numba, "__version__", "unknown")
+
+    def maybe_njit(fn):
+        """Compile ``fn`` with ``numba.njit`` (cached nopython mode)."""
+        return _numba.njit(cache=True)(fn)
+
+except ImportError:
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+    def maybe_njit(fn):
+        """No numba: return ``fn`` unchanged (interpreted kernel mode)."""
+        return fn

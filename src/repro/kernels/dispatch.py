@@ -1,0 +1,257 @@
+"""Kernel-tier selection: capability probing and the ambient ``--kernels`` mode.
+
+Three modes mirror the graph-backend context in :mod:`repro.core.backend`:
+
+``python``
+    The reference implementations (the search classes' own loops) — always
+    available, the default consumer of every draw.
+``jit``
+    The compiled kernel tier of :mod:`repro.kernels.search`.  With numba
+    installed the kernels run JIT-compiled; without it they run
+    *interpreted* (same code, same results, no speedup) — so an explicit
+    ``--kernels jit`` degrades gracefully instead of failing.  Either way
+    the tier only activates after :func:`kernel_self_check` has verified,
+    in-process, that the kernel stack reproduces CPython's RNG stream and
+    the reference algorithms' exact results on a probe graph.
+``auto`` (default)
+    :func:`kernel_tier`: ``jit`` when numba imports *and* the parity
+    self-check passes, ``python`` otherwise — the same
+    gate-on-import-else-fall-back policy as the SciPy path in
+    :mod:`repro.core.csr`.
+
+The probes are lazy (first kernel-eligible query, not package import) and
+cached for the process, so ``repro --help`` never pays for a numba import.
+The ambient mode is installed with :func:`use_kernels` — the CLI's
+``--kernels`` flag and the engine's per-task capture both go through it —
+and consulted by the search classes via :func:`kernel_query_ready`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+
+__all__ = [
+    "KERNEL_MODES",
+    "DEFAULT_KERNELS",
+    "normalize_kernels",
+    "active_kernels",
+    "use_kernels",
+    "numba_available",
+    "kernel_self_check",
+    "kernel_tier",
+    "resolve_kernels",
+    "kernel_query_ready",
+    "kernels_runtime",
+]
+
+#: Registered kernel modes, as accepted by ``--kernels`` / ``REPRO_KERNELS``.
+KERNEL_MODES = ("auto", "python", "jit")
+
+#: The mode callers get when nothing is selected.
+DEFAULT_KERNELS = "auto"
+
+_ACTIVE_STACK: List[str] = []
+
+#: Cached probe results (per process): numba importability, self-check
+#: verdict, and the self-check failure reason for diagnostics.
+_PROBE: Dict[str, object] = {}
+
+
+def normalize_kernels(name: Optional[str]) -> str:
+    """Validate a kernel-mode name (``None`` means the default, ``auto``)."""
+    if name is None:
+        return DEFAULT_KERNELS
+    key = str(name).lower()
+    if key not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"unknown kernel mode {name!r}; available: {', '.join(KERNEL_MODES)}"
+        )
+    return key
+
+
+def active_kernels() -> str:
+    """Return the mode installed by the innermost :func:`use_kernels`."""
+    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else DEFAULT_KERNELS
+
+
+@contextmanager
+def use_kernels(name: Optional[str]) -> Iterator[str]:
+    """Install kernel mode ``name`` for the ``with`` body.
+
+    ``None`` leaves the ambient mode in place (mirroring
+    :func:`repro.core.backend.use_backend`), so call sites can pass an
+    optional override unconditionally.
+    """
+    if name is not None:
+        _ACTIVE_STACK.append(normalize_kernels(name))
+    try:
+        yield active_kernels()
+    finally:
+        if name is not None:
+            _ACTIVE_STACK.pop()
+
+
+# --------------------------------------------------------------------------- #
+# Capability probing
+# --------------------------------------------------------------------------- #
+def numba_available() -> bool:
+    """True when numba imports (probed once, lazily, per process)."""
+    if "numba" not in _PROBE:
+        try:
+            from repro.kernels._compat import NUMBA_AVAILABLE
+
+            _PROBE["numba"] = bool(NUMBA_AVAILABLE)
+        except Exception:  # pragma: no cover - broken numba install
+            _PROBE["numba"] = False
+    return bool(_PROBE["numba"])
+
+
+def _parity_self_check() -> "tuple[bool, str]":
+    """Verify the kernel stack against the reference, end to end.
+
+    Checks (1) MT19937 stream parity with :class:`random.Random` for a few
+    seeds, and (2) that each stochastic kernel reproduces its reference
+    algorithm — curves, visited set, ``found_at``, and final stream
+    position — on a probe graph.  Runs the *installed* kernel functions
+    (compiled under numba, interpreted otherwise), so a miscompilation is
+    caught here and demotes the tier to ``python``.
+    """
+    import random
+
+    from repro.core.graph import Graph
+    from repro.kernels import mt19937 as mt
+    from repro.kernels import search as kernels
+
+    for seed in (0, 20070611, 2**40 + 123):
+        state = mt.mt_state_from_seed(seed)
+        reference = random.Random(seed)
+        for _ in range(25):
+            if mt.mt_random(state) != reference.random():
+                return False, f"mt_random diverged for seed {seed}"
+        for bound in (1, 2, 7, 100, 2**20 + 7):
+            if int(mt.mt_randbelow(state, bound)) != reference.randrange(bound):
+                return False, f"mt_randbelow({bound}) diverged for seed {seed}"
+        if mt.state_to_internal(state) != reference.getstate()[1]:
+            return False, f"stream position diverged for seed {seed}"
+
+    graph = Graph.from_edges(
+        12,
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 6), (2, 7),
+            (3, 8), (4, 9), (5, 10), (6, 7), (8, 9), (10, 11), (1, 3), (2, 4),
+        ],
+    )
+    frozen = graph.freeze()
+    probes = (
+        ("nf", lambda g, rng: _reference_nf(g, rng),
+         lambda rng: kernels.nf_query(frozen, 0, 5, rng, 2, False, 7)),
+        ("pf", lambda g, rng: _reference_pf(g, rng),
+         lambda rng: kernels.pf_query(frozen, 0, 5, rng, 0.6, False, 7)),
+        ("rw", lambda g, rng: _reference_rw(g, rng),
+         lambda rng: kernels.rw_query(frozen, 0, 8, rng, 2, False, False, 7)),
+    )
+    for name, run_reference, run_kernel in probes:
+        rng_ref = RandomSource(seed=97)
+        rng_kernel = RandomSource(seed=97)
+        result = run_reference(graph, rng_ref)
+        hits, messages, visited, found_at = run_kernel(rng_kernel)
+        if (
+            hits != result.hits_per_ttl
+            or messages != result.messages_per_ttl
+            or visited != result.visited
+            or found_at != result.found_at
+        ):
+            return False, f"{name} kernel diverged from the reference"
+        if rng_ref.random() != rng_kernel.random():
+            return False, f"{name} kernel left the stream at a different position"
+    return True, ""
+
+
+def _reference_nf(graph, rng):
+    from repro.search.normalized_flooding import NormalizedFloodingSearch
+
+    return NormalizedFloodingSearch(k_min=2).run(graph, 0, 5, rng=rng, target=7)
+
+
+def _reference_pf(graph, rng):
+    from repro.search.probabilistic_flooding import ProbabilisticFloodingSearch
+
+    return ProbabilisticFloodingSearch(0.6).run(graph, 0, 5, rng=rng, target=7)
+
+
+def _reference_rw(graph, rng):
+    from repro.search.random_walk import RandomWalkSearch
+
+    return RandomWalkSearch(walkers=2).run(graph, 0, 8, rng=rng, target=7)
+
+
+def kernel_self_check() -> bool:
+    """Return (and cache) the parity self-check verdict for this process."""
+    if "self_check" not in _PROBE:
+        try:
+            passed, reason = _parity_self_check()
+        except Exception as error:  # kernel import/compile failure
+            passed, reason = False, f"{type(error).__name__}: {error}"
+        _PROBE["self_check"] = passed
+        _PROBE["self_check_failure"] = reason
+    return bool(_PROBE["self_check"])
+
+
+def self_check_failure() -> str:
+    """Why the self-check failed (empty string when it passed / never ran)."""
+    kernel_self_check()
+    return str(_PROBE.get("self_check_failure", ""))
+
+
+def kernel_tier() -> str:
+    """The tier ``auto`` resolves to: ``jit`` only when numba imports and
+    the parity self-check passes, else ``python``."""
+    if numba_available() and kernel_self_check():
+        return "jit"
+    return "python"
+
+
+def resolve_kernels(mode: Optional[str] = None) -> str:
+    """Resolve a requested mode (default: the ambient one) to a tier.
+
+    ``auto`` → :func:`kernel_tier`.  An explicit ``jit`` activates the
+    kernel path whenever the self-check passes — compiled with numba,
+    interpreted (correct but not faster) without it — and falls back to
+    ``python`` if the self-check fails.
+    """
+    requested = normalize_kernels(mode if mode is not None else active_kernels())
+    if requested == "python":
+        return "python"
+    if requested == "auto":
+        return kernel_tier()
+    return "jit" if kernel_self_check() else "python"
+
+
+def kernel_query_ready(rng: object) -> bool:
+    """Should a CSR stochastic query with this RNG go to the kernel tier?
+
+    Requires the resolved tier to be ``jit`` and ``rng`` to be a plain
+    :class:`~repro.core.rng.RandomSource` — subclasses (e.g. counting or
+    instrumented sources) keep the reference path, because the kernels
+    consume the Mersenne-Twister stream directly and would bypass any
+    overridden draw methods.
+    """
+    if type(rng) is not RandomSource:
+        return False
+    return resolve_kernels() == "jit"
+
+
+def kernels_runtime() -> str:
+    """Human-readable description of what the current mode resolves to."""
+    tier = resolve_kernels()
+    if tier != "jit":
+        return "python"
+    from repro.kernels._compat import NUMBA_AVAILABLE, NUMBA_VERSION
+
+    if NUMBA_AVAILABLE:
+        return f"jit (numba {NUMBA_VERSION})"
+    return "jit (interpreted fallback; install numba for compiled kernels)"

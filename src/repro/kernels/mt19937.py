@@ -1,0 +1,237 @@
+"""CPython-compatible MT19937 over NumPy state arrays.
+
+The stochastic search algorithms draw every coin from
+:class:`repro.core.rng.RandomSource`, i.e. from CPython's
+:class:`random.Random` — a Mersenne Twister with a specific seeding
+algorithm (``init_by_array``), a specific float construction
+(``genrand_res53``), and a specific rejection-sampling integer primitive
+(``_randbelow`` over ``getrandbits``).  A compiled kernel can only replace
+the Python loops *without changing a single result* if it consumes **the
+same draw sequence**, so this module reimplements that exact stack over a
+flat ``int64[625]`` NumPy state vector (624 key words + the stream
+position) that JIT-compiled code can mutate in place:
+
+* :func:`mt_state_from_seed` — ``random.Random(seed)``'s seeding for int
+  seeds (absolute value, 32-bit little-endian key, ``init_by_array``);
+* :func:`mt_genrand` — ``genrand_uint32`` including the 624-word twist;
+* :func:`mt_random` — ``genrand_res53`` (two words → one double in [0,1));
+* :func:`mt_getrandbits32` / :func:`mt_randbelow` — ``getrandbits`` /
+  ``_randbelow_with_getrandbits`` semantics for the ≤ 32-bit widths the
+  kernels need (multi-word :func:`getrandbits` exists at Python level for
+  the parity tests).
+
+State vectors convert losslessly to and from ``random.Random.getstate()``
+via :func:`state_from_internal` / :func:`state_to_internal`;
+:class:`repro.core.rng.RandomSource` wraps that as
+``export_mt_state``/``import_mt_state`` so a kernel can pick a stream up
+mid-flight and hand it back at the exact position the reference
+implementation would have reached.  Parity with CPython for arbitrary
+seeds and draw counts is pinned by ``tests/test_kernels_mt19937.py``.
+
+The draw-consuming functions are decorated with
+:func:`repro.kernels._compat.maybe_njit`: compiled under numba, plain
+Python otherwise — identical values either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels._compat import maybe_njit
+
+__all__ = [
+    "STATE_SIZE",
+    "mt_state_from_seed",
+    "state_from_internal",
+    "state_to_internal",
+    "mt_genrand",
+    "mt_random",
+    "mt_getrandbits32",
+    "mt_randbelow",
+    "getrandbits",
+    "randrange",
+]
+
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER_MASK = 0x80000000
+_LOWER_MASK = 0x7FFFFFFF
+_MASK32 = 0xFFFFFFFF
+
+#: Length of a kernel state vector: 624 key words plus the position index.
+STATE_SIZE = _N + 1
+
+
+# --------------------------------------------------------------------------- #
+# Seeding (Python level — runs once per stream, clarity over speed)
+# --------------------------------------------------------------------------- #
+def _init_genrand(mt: List[int], seed: int) -> None:
+    """The reference ``init_genrand`` (mt19937ar), as CPython uses it."""
+    mt[0] = seed & _MASK32
+    for i in range(1, _N):
+        mt[i] = (1812433253 * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i) & _MASK32
+
+
+def _init_by_array(key: Sequence[int]) -> List[int]:
+    """The reference ``init_by_array``: how CPython seeds from an integer."""
+    mt = [0] * _N
+    _init_genrand(mt, 19650218)
+    i, j = 1, 0
+    for _ in range(max(_N, len(key))):
+        mt[i] = (
+            (mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1664525)) + key[j] + j
+        ) & _MASK32
+        i += 1
+        j += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+        if j >= len(key):
+            j = 0
+    for _ in range(_N - 1):
+        mt[i] = (
+            (mt[i] ^ ((mt[i - 1] ^ (mt[i - 1] >> 30)) * 1566083941)) - i
+        ) & _MASK32
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    mt[0] = 0x80000000
+    return mt
+
+
+def mt_state_from_seed(seed: int) -> np.ndarray:
+    """Return the state vector ``random.Random(seed)`` starts from.
+
+    Matches CPython's ``random_seed`` for integer seeds: the absolute
+    value is split into 32-bit words (least-significant first; ``0``
+    becomes the single-word key ``[0]``) and fed to ``init_by_array``.
+    """
+    value = abs(int(seed))
+    key: List[int] = []
+    while value:
+        key.append(value & _MASK32)
+        value >>= 32
+    if not key:
+        key = [0]
+    state = np.empty(STATE_SIZE, dtype=np.int64)
+    state[:_N] = _init_by_array(key)
+    state[_N] = _N  # position: the first draw triggers a twist
+    return state
+
+
+# --------------------------------------------------------------------------- #
+# getstate()/setstate() interop
+# --------------------------------------------------------------------------- #
+def state_from_internal(internal: Sequence[int]) -> np.ndarray:
+    """Convert ``random.Random.getstate()[1]`` (625 ints) to a state vector."""
+    if len(internal) != STATE_SIZE:
+        raise ValueError(
+            f"expected {STATE_SIZE} state words, got {len(internal)}"
+        )
+    return np.array(internal, dtype=np.int64)
+
+
+def state_to_internal(state: np.ndarray) -> Tuple[int, ...]:
+    """Convert a state vector back to the ``getstate()`` internal tuple."""
+    if len(state) != STATE_SIZE:
+        raise ValueError(f"expected {STATE_SIZE} state words, got {len(state)}")
+    return tuple(int(word) for word in state)
+
+
+# --------------------------------------------------------------------------- #
+# Draw primitives (kernel-side: compiled under numba, interpreted otherwise)
+# --------------------------------------------------------------------------- #
+@maybe_njit
+def mt_genrand(state: np.ndarray) -> int:
+    """``genrand_uint32``: one tempered 32-bit word, twisting on exhaustion."""
+    position = state[_N]
+    if position >= _N:
+        for kk in range(_N - _M):
+            y = (state[kk] & _UPPER_MASK) | (state[kk + 1] & _LOWER_MASK)
+            state[kk] = state[kk + _M] ^ (y >> 1) ^ ((y & 1) * _MATRIX_A)
+        for kk in range(_N - _M, _N - 1):
+            y = (state[kk] & _UPPER_MASK) | (state[kk + 1] & _LOWER_MASK)
+            state[kk] = state[kk + _M - _N] ^ (y >> 1) ^ ((y & 1) * _MATRIX_A)
+        y = (state[_N - 1] & _UPPER_MASK) | (state[0] & _LOWER_MASK)
+        state[_N - 1] = state[_M - 1] ^ (y >> 1) ^ ((y & 1) * _MATRIX_A)
+        position = 0
+    y = state[position]
+    state[_N] = position + 1
+    y ^= y >> 11
+    y ^= (y << 7) & 0x9D2C5680
+    y ^= (y << 15) & 0xEFC60000
+    y ^= y >> 18
+    return y & _MASK32
+
+
+@maybe_njit
+def mt_random(state: np.ndarray) -> float:
+    """``genrand_res53``: the double ``random.Random.random()`` returns."""
+    a = mt_genrand(state) >> 5
+    b = mt_genrand(state) >> 6
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
+
+
+@maybe_njit
+def mt_getrandbits32(state: np.ndarray, k: int) -> int:
+    """``getrandbits(k)`` for ``1 <= k <= 32`` (one word, top bits kept)."""
+    return mt_genrand(state) >> (32 - k)
+
+
+@maybe_njit
+def _bit_length(n: int) -> int:
+    length = 0
+    while n > 0:
+        n >>= 1
+        length += 1
+    return length
+
+
+@maybe_njit
+def mt_randbelow(state: np.ndarray, n: int) -> int:
+    """``_randbelow_with_getrandbits(n)`` for ``1 <= n < 2**32``.
+
+    Rejection-samples ``getrandbits(n.bit_length())`` until the value is
+    below ``n`` — including the ``n == 1`` case, which *does* consume a
+    geometric number of one-bit draws (a CPython quirk the kernels must
+    reproduce to stay stream-identical).
+    """
+    k = _bit_length(n)
+    r = mt_getrandbits32(state, k)
+    while r >= n:
+        r = mt_getrandbits32(state, k)
+    return r
+
+
+# --------------------------------------------------------------------------- #
+# Python-level conveniences (parity tests; not needed inside kernels)
+# --------------------------------------------------------------------------- #
+def getrandbits(state: np.ndarray, k: int) -> int:
+    """``getrandbits(k)`` for any ``k >= 1`` (little-endian word composition)."""
+    if k <= 0:
+        raise ValueError("number of bits must be greater than zero")
+    if k <= 32:
+        return int(mt_getrandbits32(state, k))
+    result = 0
+    shift = 0
+    remaining = k
+    while remaining > 0:
+        word = int(mt_genrand(state))
+        if remaining < 32:
+            word >>= 32 - remaining
+        result |= word << shift
+        shift += 32
+        remaining -= 32
+    return result
+
+
+def randrange(state: np.ndarray, start: int, stop: int) -> int:
+    """``random.Random.randrange(start, stop)`` (unit step)."""
+    width = stop - start
+    if width <= 0:
+        raise ValueError(f"empty range in randrange({start}, {stop})")
+    return start + int(mt_randbelow(state, width))

@@ -23,6 +23,7 @@ from repro.experiments.runner import ExperimentScale
 from repro.scenarios.kinds import get_measurement_kind
 from repro.scenarios.measure import resolve_scale
 from repro.scenarios.spec import (
+    MEASUREMENT_AXIS_PREFIX,
     ScenarioSpec,
     label_fields,
     render_label,
@@ -88,10 +89,19 @@ def compile_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> List[SeriesP
     for panel_index, panel in enumerate(spec.panels):
         points = panel.sweep.points(scale.name) if panel.sweep is not None else [{}]
         for point in points:
+            # Split the sweep point: plain axes override topology fields,
+            # ``params.*`` axes override measurement parameters.
+            topology_point: Dict[str, Any] = {}
+            param_point: Dict[str, Any] = {}
+            for name, value in point.items():
+                if name.startswith(MEASUREMENT_AXIS_PREFIX):
+                    param_point[name[len(MEASUREMENT_AXIS_PREFIX):]] = value
+                else:
+                    topology_point[name] = value
             for template in panel.series:
                 merged = dict(base)
                 merged.update(panel.topology)
-                merged.update(point)
+                merged.update(topology_point)
                 merged.update(template.topology)
                 topology = {
                     name: resolve_by_scale(value, scale.name)
@@ -107,16 +117,18 @@ def compile_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> List[SeriesP
                 ttl = resolve_by_scale(measurement.ttl, scale.name)
                 if ttl is not None:
                     ttl = tuple(int(value) for value in ttl)
+                merged_params = dict(measurement.params)
+                merged_params.update(param_point)
                 params = {
                     name: resolve_by_scale(value, scale.name)
-                    for name, value in measurement.params.items()
+                    for name, value in merged_params.items()
                 }
+                fields = label_fields(topology, measurement.algorithm)
+                for name in param_point:
+                    fields[name] = params[name]
                 plans.append(
                     SeriesPlan(
-                        label=render_label(
-                            template.label,
-                            label_fields(topology, measurement.algorithm),
-                        ),
+                        label=render_label(template.label, fields),
                         kind=measurement.kind,
                         algorithm=measurement.algorithm,
                         ttl=ttl,
@@ -177,6 +189,7 @@ def run_scenario_cached(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> "tuple[ExperimentResult, bool]":
     """Run a scenario on the engine; returns ``(result, from_cache)``.
 
@@ -188,6 +201,7 @@ def run_scenario_cached(
     """
     from repro.core.backend import use_backend
     from repro.engine.executor import use_executor
+    from repro.kernels.dispatch import use_kernels
 
     spec.validate()
     resolved = resolve_scale(scale, seed)
@@ -195,7 +209,8 @@ def run_scenario_cached(
         progress.experiment_started(spec.scenario_id)
 
     def compute() -> ExperimentResult:
-        with use_executor(executor, progress), use_backend(backend):
+        with use_executor(executor, progress), use_backend(backend), \
+                use_kernels(kernels):
             return _compute_scenario(spec, resolved)
 
     if store is not None:
@@ -220,6 +235,7 @@ def run_scenario(
     store: "Optional[ResultStore]" = None,
     progress: "Optional[ProgressReporter]" = None,
     backend: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> ExperimentResult:
     """Run a scenario spec end to end and return its result.
 
@@ -246,6 +262,7 @@ def run_scenario(
         store=store,
         progress=progress,
         backend=backend,
+        kernels=kernels,
     )
     return result
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
 from repro.core.backend import GraphLike, active_backend, freeze_for_backend
+from repro.kernels.dispatch import active_kernels, use_kernels
 from repro.core.config import GRNConfig
 from repro.core.errors import AnalysisError
 from repro.core.graph import Graph
@@ -163,10 +164,12 @@ def build_graph(
 class RealizationSpec:
     """Everything needed to rebuild one topology realization in any process.
 
-    ``backend`` is captured at task-creation time (from the ambient
-    :func:`~repro.core.backend.active_backend`), so the generate-mutable /
-    freeze-once / search-many policy travels with the pickled spec into the
-    engine's worker processes.
+    ``backend`` and ``kernels`` are captured at task-creation time (from
+    the ambient :func:`~repro.core.backend.active_backend` /
+    :func:`~repro.kernels.dispatch.active_kernels`), so the
+    generate-mutable / freeze-once / search-many policy — and the kernel
+    tier that measures the snapshot — travel with the pickled spec into
+    the engine's worker processes.
     """
 
     model: str
@@ -178,6 +181,7 @@ class RealizationSpec:
     tau_sub: int = 4
     for_search: bool = False
     backend: str = "adj"
+    kernels: str = "auto"
 
     def build(self) -> Graph:
         return build_graph(
@@ -218,15 +222,18 @@ def _realize_search_curve(
     queries = spec.scale.queries
     query_rng = spec.seed + 977
     extra = dict(params)
-    if algorithm == "rw":
-        extra.setdefault("k_min", spec.stubs)
-        return normalized_walk_curve(
-            graph, ttl_values, queries=queries, rng=query_rng, **extra
+    with use_kernels(spec.kernels):
+        if algorithm == "rw":
+            extra.setdefault("k_min", spec.stubs)
+            return normalized_walk_curve(
+                graph, ttl_values, queries=queries, rng=query_rng, **extra
+            )
+        if algorithm == "nf":
+            extra.setdefault("k_min", spec.stubs)
+        searcher = create_search_algorithm(algorithm, **extra)
+        return search_curve(
+            graph, searcher, ttl_values, queries=queries, rng=query_rng
         )
-    if algorithm == "nf":
-        extra.setdefault("k_min", spec.stubs)
-    searcher = create_search_algorithm(algorithm, **extra)
-    return search_curve(graph, searcher, ttl_values, queries=queries, rng=query_rng)
 
 
 def _degree_sequence_rows(
@@ -357,6 +364,7 @@ def averaged_search_curve(
     """One realization-averaged search curve, fanned through the executor."""
     algorithm = canonical_algorithm(algorithm)
     backend = active_backend()
+    kernels = active_kernels()
     params = tuple(sorted((algorithm_params or {}).items()))
     tasks = [
         Task(
@@ -372,6 +380,7 @@ def averaged_search_curve(
                     tau_sub=tau_sub,
                     for_search=True,
                     backend=backend,
+                    kernels=kernels,
                 ),
                 algorithm,
                 tuple(int(value) for value in ttl_values),

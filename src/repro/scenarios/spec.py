@@ -51,6 +51,7 @@ from repro.core.errors import ScenarioError
 from repro.experiments.sweeps import format_cutoff, parameter_grid
 
 __all__ = [
+    "MEASUREMENT_AXIS_PREFIX",
     "TopologySpec",
     "MeasurementSpec",
     "SweepSpec",
@@ -64,6 +65,14 @@ __all__ = [
 
 #: Topology parameters a spec / sweep axis / override mapping may set.
 TOPOLOGY_FIELDS = ("model", "stubs", "hard_cutoff", "exponent", "tau_sub")
+
+#: Sweep axes may also range over *measurement* parameters (PF forward
+#: probability, RW walker count, a composite kind's knobs, ...) by prefixing
+#: the parameter name: ``"params.forward_probability": [0.2, 0.5, 0.8]``.
+#: Each sweep point then overrides that entry of ``measurement.params`` for
+#: every series in the panel, and the bare parameter name becomes a label
+#: placeholder (``"pf p={forward_probability}"``).
+MEASUREMENT_AXIS_PREFIX = "params."
 
 #: Measurement kinds that accept (and require) a search algorithm.
 ALGORITHMIC_KINDS = ("search-curve", "messaging")
@@ -440,10 +449,18 @@ class SweepSpec:
                 f"sweep.expand must be 'grid' or 'zip', got {self.expand!r}"
             )
         for name, values in self.axes:
-            if name not in TOPOLOGY_FIELDS:
+            if name.startswith(MEASUREMENT_AXIS_PREFIX):
+                if not name[len(MEASUREMENT_AXIS_PREFIX):]:
+                    raise ScenarioError(
+                        f"sweep axis {name!r} names no measurement "
+                        f"parameter after {MEASUREMENT_AXIS_PREFIX!r}"
+                    )
+            elif name not in TOPOLOGY_FIELDS:
                 raise ScenarioError(
-                    f"sweep axis {name!r} is not a topology field; "
-                    f"allowed: {', '.join(TOPOLOGY_FIELDS)}"
+                    f"sweep axis {name!r} is not a topology field "
+                    f"({', '.join(TOPOLOGY_FIELDS)}); to sweep a "
+                    f"measurement parameter, prefix it: "
+                    f"{MEASUREMENT_AXIS_PREFIX}{name}"
                 )
             _check_scaled_list(values, f"sweep.axes[{name!r}]")
             if not isinstance(values, (list, tuple, Mapping)):
@@ -485,6 +502,33 @@ class SweepSpec:
         return [
             dict(zip(names, combo)) for combo in zip(*(resolved[name] for name in names))
         ]
+
+    def parameter_axes(self) -> List[str]:
+        """Bare names of the measurement-parameter axes (``params.*``)."""
+        return [
+            name[len(MEASUREMENT_AXIS_PREFIX):]
+            for name, _values in self.axes
+            if name.startswith(MEASUREMENT_AXIS_PREFIX)
+        ]
+
+    def parameter_axis_candidates(self) -> Dict[str, List[Any]]:
+        """Every value each ``params.*`` axis can take, across all scales.
+
+        Eager validation probes each of these against the measurement, so
+        a bad value *anywhere* in a sweep fails at spec time — not after
+        the sweep's earlier (valid) points have burned realization work.
+        """
+        candidates: Dict[str, List[Any]] = {}
+        for name, values in self.axes:
+            if not name.startswith(MEASUREMENT_AXIS_PREFIX):
+                continue
+            value_lists = values.values() if is_by_scale(values) else [values]
+            collected: List[Any] = []
+            for value_list in value_lists:
+                if isinstance(value_list, (list, tuple)):
+                    collected.extend(value_list)
+            candidates[name[len(MEASUREMENT_AXIS_PREFIX):]] = collected
+        return candidates
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -529,16 +573,29 @@ class SeriesTemplate:
             self, "topology", _canonical_topology_overrides(dict(self.topology))
         )
 
-    def validate(self) -> None:
+    def validate(
+        self,
+        extra_label_fields: Optional[Mapping[str, Any]] = None,
+        check_label: bool = True,
+    ) -> None:
+        """Validate the template.
+
+        ``extra_label_fields`` adds sweep-supplied placeholders (the bare
+        names of ``params.*`` axes) to the label check; ``check_label=False``
+        defers that check to the enclosing panel, which knows the axes.
+        """
         if not self.label or not isinstance(self.label, str):
             raise ScenarioError("every series needs a non-empty 'label' template")
         _check_mapping_keys(self.topology, TOPOLOGY_FIELDS, "series.topology")
         if "model" in self.topology:
             _check_model_name(self.topology["model"], "series.topology.model")
         self.measurement.validate()
+        if not check_label:
+            return
+        extra = dict(extra_label_fields or {})
         try:
-            render_label(self.label, _SAMPLE_LABEL_FIELDS)
-            render_label(self.label, _SAMPLE_LABEL_FIELDS_NONE)
+            render_label(self.label, {**_SAMPLE_LABEL_FIELDS, **extra})
+            render_label(self.label, {**_SAMPLE_LABEL_FIELDS_NONE, **extra})
         except ScenarioError as error:
             raise ScenarioError(f"series label {self.label!r}: {error}") from None
 
@@ -561,7 +618,9 @@ class SeriesTemplate:
             measurement=MeasurementSpec.from_dict(payload["measurement"]),
             topology=dict(payload.get("topology", {})),
         )
-        template.validate()
+        # The label check needs the enclosing panel's sweep axes (``params.*``
+        # axes add placeholders), so it runs in PanelSpec.validate instead.
+        template.validate(check_label=False)
         return template
 
 
@@ -585,10 +644,33 @@ class PanelSpec:
         _check_mapping_keys(self.topology, TOPOLOGY_FIELDS, "panel.topology")
         if "model" in self.topology:
             _check_model_name(self.topology["model"], "panel.topology.model")
+        candidates: Dict[str, List[Any]] = {}
         if self.sweep is not None:
             self.sweep.validate()
+            candidates = self.sweep.parameter_axis_candidates()
+        label_samples = {
+            name: values[0] for name, values in candidates.items() if values
+        }
         for template in self.series:
-            template.validate()
+            template.validate(extra_label_fields=label_samples)
+            if not candidates:
+                continue
+            # Every swept measurement-param value must be acceptable to
+            # every series in the panel — fail here, not after minutes of
+            # realization work on the sweep's earlier (valid) points.
+            for name, values in candidates.items():
+                for value in values:
+                    merged = dict(template.measurement.params)
+                    merged.update(label_samples)
+                    merged[name] = value
+                    if template.measurement.kind in ALGORITHMIC_KINDS:
+                        _check_algorithm_params(
+                            template.measurement.algorithm, merged
+                        )
+                    else:
+                        from repro.scenarios.kinds import check_kind_params
+
+                        check_kind_params(template.measurement.kind, merged)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -681,7 +763,7 @@ def render_label(template: str, fields: Mapping[str, Any]) -> str:
     except KeyError as error:
         raise ScenarioError(
             f"unknown label placeholder {{{error.args[0]}}}; "
-            f"available: {', '.join(sorted(_SAMPLE_LABEL_FIELDS))}"
+            f"available: {', '.join(sorted(fields))}"
         ) from None
     except (IndexError, ValueError, TypeError) as error:
         raise ScenarioError(f"malformed label template: {error}") from None

@@ -24,9 +24,11 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional
 
+from repro.core.csr import CSRGraph
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.core.types import NodeId
+from repro.kernels.dispatch import kernel_query_ready
 from repro.search.base import QueryResult, SearchAlgorithm
 
 __all__ = ["NormalizedFloodingSearch", "normalized_flood"]
@@ -76,6 +78,25 @@ class NormalizedFloodingSearch(SearchAlgorithm):
         branching = self.k_min
         if branching is None:
             branching = max(1, graph.min_degree())
+
+        if isinstance(graph, CSRGraph) and kernel_query_ready(random_source):
+            # Kernel tier: same draws, same results, stream spliced back.
+            from repro.kernels.search import nf_query
+
+            hits, messages, visited, found_at = nf_query(
+                graph, source, ttl, random_source, branching,
+                self.count_source_as_hit, target,
+            )
+            return QueryResult(
+                algorithm=self.algorithm_name,
+                source=source,
+                ttl=ttl,
+                hits_per_ttl=hits,
+                messages_per_ttl=messages,
+                visited=visited,
+                target=target,
+                found_at=found_at,
+            )
 
         base_hits = 1 if self.count_source_as_hit else 0
         hits_per_ttl: List[int] = [base_hits]

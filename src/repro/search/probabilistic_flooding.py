@@ -20,10 +20,12 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional
 
+from repro.core.csr import CSRGraph
 from repro.core.errors import SearchError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.core.types import NodeId
+from repro.kernels.dispatch import kernel_query_ready
 from repro.search.base import QueryResult, SearchAlgorithm
 
 __all__ = ["ProbabilisticFloodingSearch", "probabilistic_flood"]
@@ -68,6 +70,25 @@ class ProbabilisticFloodingSearch(SearchAlgorithm):
         self._validate(graph, source, ttl)
         random_source = self._resolve_rng(rng)
         probability = self.forward_probability
+
+        if isinstance(graph, CSRGraph) and kernel_query_ready(random_source):
+            # Kernel tier: same coins in the same neighbor order.
+            from repro.kernels.search import pf_query
+
+            hits, messages, visited, found_at = pf_query(
+                graph, source, ttl, random_source, probability,
+                self.count_source_as_hit, target,
+            )
+            return QueryResult(
+                algorithm=self.algorithm_name,
+                source=source,
+                ttl=ttl,
+                hits_per_ttl=hits,
+                messages_per_ttl=messages,
+                visited=visited,
+                target=target,
+                found_at=found_at,
+            )
 
         base_hits = 1 if self.count_source_as_hit else 0
         hits_per_ttl: List[int] = [base_hits]

@@ -29,9 +29,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.csr import CSRGraph
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.core.types import NodeId
+from repro.kernels.dispatch import kernel_query_ready
 from repro.search.base import QueryResult, SearchAlgorithm
 
 __all__ = ["RandomWalkSearch", "random_walk"]
@@ -82,6 +84,25 @@ class RandomWalkSearch(SearchAlgorithm):
     ) -> QueryResult:
         self._validate(graph, source, ttl)
         random_source = self._resolve_rng(rng)
+
+        if isinstance(graph, CSRGraph) and kernel_query_ready(random_source):
+            # Kernel tier: one _randbelow per step, walker-index order.
+            from repro.kernels.search import rw_query
+
+            hits, messages, visited, found_at = rw_query(
+                graph, source, ttl, random_source, self.walkers,
+                self.allow_backtracking, self.count_source_as_hit, target,
+            )
+            return QueryResult(
+                algorithm=self.algorithm_name,
+                source=source,
+                ttl=ttl,
+                hits_per_ttl=hits,
+                messages_per_ttl=messages,
+                visited=visited,
+                target=target,
+                found_at=found_at,
+            )
 
         base_hits = 1 if self.count_source_as_hit else 0
         visited = {source}

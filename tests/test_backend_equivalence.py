@@ -18,6 +18,7 @@ from collections import Counter
 import pytest
 
 from repro.core.backend import active_backend, freeze_for_backend, use_backend
+from repro.kernels.dispatch import use_kernels
 from repro.core.csr import CSRGraph
 from repro.core.errors import ConfigurationError
 from repro.core.graph import Graph
@@ -54,6 +55,12 @@ def graphs():
 
 GENERATORS = ["pa", "cm", "hapa", "dapa"]
 
+# Execution tiers for the frozen backend's stochastic queries: the Python
+# loops, and the kernel tier of repro.kernels (JIT-compiled under numba,
+# interpreted otherwise — identical draws either way).  Every equivalence
+# cell below must hold for both, against the same adjacency reference.
+KERNEL_TIERS = ["python", "jit"]
+
 # Every registered search algorithm (one representative configuration each,
 # plus variants that exercise backend-sensitive code paths).
 ALGORITHMS = {
@@ -79,10 +86,11 @@ def _assert_identical(result_adj, result_csr):
 class TestQueryEquivalence:
     """algorithm × generator: single queries must match field by field."""
 
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
     @pytest.mark.parametrize("model", GENERATORS)
     @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
     def test_identical_results_and_rng_consumption(
-        self, graphs, model, algorithm_name
+        self, graphs, model, algorithm_name, kernels
     ):
         graph = graphs[model]
         frozen = graph.freeze()
@@ -92,52 +100,62 @@ class TestQueryEquivalence:
         for seed, source in [(7, nodes[0]), (19, nodes[3]), (23, nodes[-1])]:
             rng_adj, rng_csr = RandomSource(seed), RandomSource(seed)
             result_adj = algorithm.run(graph, source, 8, rng=rng_adj, target=target)
-            result_csr = algorithm.run(frozen, source, 8, rng=rng_csr, target=target)
+            with use_kernels(kernels):
+                result_csr = algorithm.run(
+                    frozen, source, 8, rng=rng_csr, target=target
+                )
             _assert_identical(result_adj, result_csr)
             # Both streams must sit at the same position afterwards: the
-            # next draw from each is equal, so backend choice can never
-            # shift the seeds of whatever runs next.
+            # next draw from each is equal, so backend (and kernel-tier)
+            # choice can never shift the seeds of whatever runs next.
             assert rng_adj.random() == rng_csr.random()
 
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
     @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
-    def test_ttl_zero_and_isolated_source(self, algorithm_name):
+    def test_ttl_zero_and_isolated_source(self, algorithm_name, kernels):
         graph = Graph.from_edges(4, [(0, 1), (1, 2)])  # node 3 is isolated
         frozen = graph.freeze()
         algorithm = ALGORITHMS[algorithm_name]()
         for source, ttl in [(0, 0), (3, 5)]:
             rng_adj, rng_csr = RandomSource(3), RandomSource(3)
-            _assert_identical(
-                algorithm.run(graph, source, ttl, rng=rng_adj),
-                algorithm.run(frozen, source, ttl, rng=rng_csr),
-            )
+            result_adj = algorithm.run(graph, source, ttl, rng=rng_adj)
+            with use_kernels(kernels):
+                result_csr = algorithm.run(frozen, source, ttl, rng=rng_csr)
+            _assert_identical(result_adj, result_csr)
             assert rng_adj.random() == rng_csr.random()
 
 
 class TestCurveEquivalence:
     """Metric-level curves (what the figures actually average)."""
 
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
     @pytest.mark.parametrize("model", GENERATORS)
     @pytest.mark.parametrize(
         "algorithm_name", ["fl", "nf", "pf", "rw"]
     )
-    def test_search_curve_identical(self, graphs, model, algorithm_name):
+    def test_search_curve_identical(self, graphs, model, algorithm_name, kernels):
         graph = graphs[model]
         frozen = graph.freeze()
         ttl_values = [1, 2, 4, 6, 8]
         curve_adj = search_curve(
             graph, ALGORITHMS[algorithm_name](), ttl_values, queries=25, rng=5
         )
-        curve_csr = search_curve(
-            frozen, ALGORITHMS[algorithm_name](), ttl_values, queries=25, rng=5
-        )
+        with use_kernels(kernels):
+            curve_csr = search_curve(
+                frozen, ALGORITHMS[algorithm_name](), ttl_values, queries=25, rng=5
+            )
         assert curve_adj.as_dict() == curve_csr.as_dict()
 
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
     @pytest.mark.parametrize("model", GENERATORS)
-    def test_normalized_walk_curve_identical(self, graphs, model):
+    def test_normalized_walk_curve_identical(self, graphs, model, kernels):
         graph = graphs[model]
         frozen = graph.freeze()
         curve_adj = normalized_walk_curve(graph, [2, 4, 6], k_min=2, queries=20, rng=9)
-        curve_csr = normalized_walk_curve(frozen, [2, 4, 6], k_min=2, queries=20, rng=9)
+        with use_kernels(kernels):
+            curve_csr = normalized_walk_curve(
+                frozen, [2, 4, 6], k_min=2, queries=20, rng=9
+            )
         assert curve_adj.as_dict() == curve_csr.as_dict()
 
     def test_search_curve_error_parity(self, graphs):
@@ -152,14 +170,16 @@ class TestCurveEquivalence:
                     subject, FloodingSearch(), [1, 2], sources=[10**6], rng=1
                 )
 
-    def test_search_curve_stream_position(self, graphs):
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
+    def test_search_curve_stream_position(self, graphs, kernels):
         """The whole pipeline leaves both RNGs at the same position."""
         graph = graphs["pa"]
         frozen = graph.freeze()
         for factory in (FloodingSearch, NormalizedFloodingSearch):
             rng_adj, rng_csr = RandomSource(11), RandomSource(11)
             search_curve(graph, factory(), [1, 3, 5], queries=15, rng=rng_adj)
-            search_curve(frozen, factory(), [1, 3, 5], queries=15, rng=rng_csr)
+            with use_kernels(kernels):
+                search_curve(frozen, factory(), [1, 3, 5], queries=15, rng=rng_csr)
             assert rng_adj.random() == rng_csr.random()
 
 
@@ -202,16 +222,36 @@ class TestDrawCountRegression:
         "rw": {"randint": 24},
     }
 
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
     @pytest.mark.parametrize("algorithm_name", sorted(PINNED))
-    def test_exact_draw_counts(self, graphs, algorithm_name):
+    def test_exact_draw_counts(self, graphs, algorithm_name, kernels):
+        # A _CountingSource is a RandomSource *subclass*, so the kernel
+        # tier's dispatch must refuse it (the kernels would consume the MT
+        # stream underneath the counting methods) — the pinned counts hold
+        # under every tier because instrumented sources keep the
+        # reference path.
         graph = graphs["pa"]
         frozen = graph.freeze()
         algorithm = ALGORITHMS[algorithm_name]()
         rng_adj, rng_csr = _CountingSource(7), _CountingSource(7)
         algorithm.run(graph, 5, 8, rng=rng_adj)
-        algorithm.run(frozen, 5, 8, rng=rng_csr)
+        with use_kernels(kernels):
+            algorithm.run(frozen, 5, 8, rng=rng_csr)
         assert dict(rng_adj.calls) == self.PINNED[algorithm_name]
         assert dict(rng_csr.calls) == self.PINNED[algorithm_name]
+
+    def test_plain_source_stream_consumption_matches_counts(self, graphs):
+        """Kernel-tier queries advance a plain RandomSource exactly as far
+        as the counted reference draws say they must."""
+        graph = graphs["pa"]
+        frozen = graph.freeze()
+        for algorithm_name in sorted(self.PINNED):
+            algorithm = ALGORITHMS[algorithm_name]()
+            rng_ref, rng_jit = RandomSource(7), RandomSource(7)
+            algorithm.run(graph, 5, 8, rng=rng_ref)
+            with use_kernels("jit"):
+                algorithm.run(frozen, 5, 8, rng=rng_jit)
+            assert rng_ref.random() == rng_jit.random(), algorithm_name
 
     def test_flooding_consumes_no_draws(self, graphs):
         graph = graphs["pa"]
@@ -315,3 +355,38 @@ class TestRunRealizationsBackend:
         with use_backend("csr"):
             run_realizations(smoke_scale, build, measure)
         assert seen == ["CSRGraph"]
+
+
+class TestKernelTierExperiments:
+    """Whole experiments under ``kernels="jit"`` — the tier's acceptance bar.
+
+    fig9 (NF on PA/CM/HAPA) exercises the kernel dispatch through the full
+    stack: scenario compiler → engine tasks → ``RealizationSpec.kernels``
+    capture → batched kernel curves — and must reproduce the adjacency
+    reference byte for byte, serial and across worker processes.
+    """
+
+    def test_fig9_jit_byte_identical(self, smoke_scale):
+        adj = run_experiment("fig9", scale=smoke_scale)
+        jit = run_experiment(
+            "fig9", scale=smoke_scale, backend="csr", kernels="jit"
+        )
+        assert [series.as_dict() for series in adj.series] == [
+            series.as_dict() for series in jit.series
+        ]
+
+    def test_fig9_jit_parallel_byte_identical(self, smoke_scale):
+        """``kernels`` must survive the hop into worker processes (pickled
+        into each RealizationSpec), like ``backend`` does."""
+        from dataclasses import replace
+
+        scale = replace(smoke_scale, realizations=2)
+        adj = run_experiment("fig9", scale=scale)
+        with ParallelExecutor(jobs=2) as executor:
+            jit = run_experiment(
+                "fig9", scale=scale, backend="csr", kernels="jit",
+                executor=executor,
+            )
+        assert [series.as_dict() for series in adj.series] == [
+            series.as_dict() for series in jit.series
+        ]

@@ -1,0 +1,109 @@
+"""``repro run --compare``: regression-diff a run against a stored baseline.
+
+ROADMAP follow-up from PR 3, wired through
+:mod:`repro.experiments.compare`: the CLI reloads a previously saved
+result, diffs every shared series, prints (or embeds, with ``--json``)
+the per-series deltas, and exits non-zero on a tolerance breach so CI can
+gate on reproduction drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = json.dumps({
+    "id": "cmp-spec",
+    "title": "compare fixture",
+    "topology": {"model": "pa", "stubs": 2, "hard_cutoff": 10},
+    "label": "nf {kc}",
+    "measurement": {"kind": "search-curve", "algorithm": "nf"},
+})
+
+
+@pytest.fixture()
+def baseline(tmp_path, capsys):
+    out_dir = tmp_path / "baseline"
+    assert main([
+        "run", "--inline", SPEC, "--scale", "smoke", "--out", str(out_dir),
+    ]) == 0
+    capsys.readouterr()
+    return out_dir / "cmp-spec.json"
+
+
+class TestCompare:
+    def test_identical_run_passes_with_zero_tolerance(self, baseline, capsys):
+        code = main([
+            "run", "--inline", SPEC, "--scale", "smoke",
+            "--compare", str(baseline), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        comparison = payload["comparison"]
+        assert comparison["within_tolerance"] is True
+        assert comparison["tolerance"] == 0.0
+        assert comparison["series"][0]["max_relative_difference"] == 0.0
+        assert comparison["series"][0]["identical_grid"] is True
+
+    def test_drift_exits_nonzero_and_reports_delta(self, baseline, capsys):
+        code = main([
+            "run", "--inline", SPEC, "--scale", "smoke", "--seed", "424242",
+            "--compare", str(baseline), "--json",
+        ])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 3
+        comparison = payload["comparison"]
+        assert comparison["within_tolerance"] is False
+        assert comparison["series"][0]["max_relative_difference"] > 0.0
+        assert "drifted beyond tolerance" in captured.err
+
+    def test_loose_tolerance_accepts_seed_noise(self, baseline, capsys):
+        code = main([
+            "run", "--inline", SPEC, "--scale", "smoke", "--seed", "424242",
+            "--compare", str(baseline), "--tolerance", "10.0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "compared against" in captured.out
+        assert "ok" in captured.out
+
+    def test_label_drift_fails_closed(self, baseline, capsys):
+        # A run whose series labels no longer match the baseline has no
+        # shared curves to diff — that must gate (exit 3), not pass
+        # vacuously with an empty comparison.
+        relabelled = json.loads(SPEC)
+        relabelled["label"] = "renamed {kc}"
+        code = main([
+            "run", "--inline", json.dumps(relabelled), "--scale", "smoke",
+            "--compare", str(baseline), "--json",
+        ])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 3
+        assert payload["comparison"]["within_tolerance"] is False
+        assert payload["comparison"]["labels_match"] is False
+        assert "series labels diverged" in captured.err
+
+    def test_missing_baseline_is_an_actionable_error(self, tmp_path, capsys):
+        code = main([
+            "run", "--inline", SPEC, "--scale", "smoke",
+            "--compare", str(tmp_path / "nope.json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cannot load baseline" in captured.err
+
+    def test_mismatched_experiment_ids_rejected(self, baseline, capsys):
+        other = json.loads(SPEC)
+        other["id"] = "different-id"
+        code = main([
+            "run", "--inline", json.dumps(other), "--scale", "smoke",
+            "--compare", str(baseline),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "different experiments" in captured.err

@@ -1,0 +1,128 @@
+"""Measurement-parameter sweep axes (``params.*``) in the scenario grammar.
+
+ROADMAP follow-up from PR 3: a :class:`~repro.scenarios.spec.SweepSpec`
+axis can now range over *measurement* parameters — PF forward probability,
+RW walker count, any composite kind's knobs — alongside the topology
+fields.  These tests pin the grammar (round trip, canonical hash, eager
+validation), the compiler's topology/params split, and an end-to-end run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.experiments.runner import ExperimentScale
+from repro.scenarios import ScenarioSpec, compile_scenario, run_scenario
+
+PF_SWEEP = {
+    "id": "pf-prob-sweep",
+    "title": "PF forward-probability sweep on CM",
+    "topology": {"model": "cm", "exponent": 2.6, "stubs": 2, "hard_cutoff": 10},
+    "sweep": {"axes": {"params.forward_probability": [0.3, 0.9]}},
+    "label": "pf p={forward_probability}, {kc}",
+    "measurement": {"kind": "search-curve", "algorithm": "pf"},
+}
+
+
+class TestGrammar:
+    def test_round_trip_and_hash_stability(self):
+        spec = ScenarioSpec.from_dict(PF_SWEEP)
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+        assert ScenarioSpec.from_json(spec.to_json()).spec_hash() == spec.spec_hash()
+
+    def test_param_values_change_the_hash(self):
+        spec = ScenarioSpec.from_dict(PF_SWEEP)
+        other = ScenarioSpec.from_dict(
+            {**PF_SWEEP, "sweep": {"axes": {"params.forward_probability": [0.3, 0.8]}}}
+        )
+        assert spec.spec_hash() != other.spec_hash()
+
+    def test_mixed_topology_and_param_axes(self):
+        spec = ScenarioSpec.from_dict({
+            **PF_SWEEP,
+            "sweep": {"axes": {
+                "hard_cutoff": [10, None],
+                "params.forward_probability": [0.3, 0.9],
+            }},
+        })
+        plans = compile_scenario(spec, ExperimentScale.smoke())
+        # grid expansion: outer axis = cutoff, inner (fastest) = probability
+        assert [plan.label for plan in plans] == [
+            "pf p=0.3, kc=10", "pf p=0.9, kc=10",
+            "pf p=0.3, no kc", "pf p=0.9, no kc",
+        ]
+        assert plans[0].topology["hard_cutoff"] == 10
+        assert plans[0].params == {"forward_probability": 0.3}
+        assert plans[-1].topology["hard_cutoff"] is None
+        assert plans[-1].params == {"forward_probability": 0.9}
+
+    def test_walker_axis_for_rw(self):
+        spec = ScenarioSpec.from_dict({
+            "id": "rw-walkers", "title": "RW walker-count sweep",
+            "topology": {"model": "pa", "stubs": 2},
+            "sweep": {"axes": {"params.walkers": [1, 4]}},
+            "label": "rw w={walkers}",
+            "measurement": {"kind": "search-curve", "algorithm": "rw"},
+        })
+        plans = compile_scenario(spec, ExperimentScale.smoke())
+        assert [plan.params["walkers"] for plan in plans] == [1, 4]
+
+    def test_invalid_later_axis_value_rejected_eagerly(self):
+        # Not just the first value: a bad value anywhere in the sweep must
+        # fail at spec time, before any realization work runs.
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict({
+                **PF_SWEEP,
+                "sweep": {"axes": {"params.forward_probability": [0.3, 1.7]}},
+            })
+
+    def test_unknown_param_rejected_eagerly(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict({
+                **PF_SWEEP,
+                "sweep": {"axes": {"params.bogus_knob": [1, 2]}},
+                "label": "pf {bogus_knob}",
+            })
+
+    def test_bare_measurement_axis_gets_a_prefix_hint(self):
+        with pytest.raises(ScenarioError, match="params.walkers"):
+            ScenarioSpec.from_dict({
+                "id": "bad", "title": "t", "topology": {"model": "pa"},
+                "sweep": {"axes": {"walkers": [1, 2]}},
+                "label": "x",
+                "measurement": {"kind": "search-curve", "algorithm": "rw"},
+            })
+
+    def test_empty_param_name_rejected(self):
+        with pytest.raises(ScenarioError, match="names no measurement"):
+            ScenarioSpec.from_dict({
+                **PF_SWEEP,
+                "sweep": {"axes": {"params.": [1, 2]}},
+            })
+
+    def test_sweep_point_overrides_measurement_params(self):
+        spec = ScenarioSpec.from_dict({
+            **PF_SWEEP,
+            "measurement": {
+                "kind": "search-curve", "algorithm": "pf",
+                "params": {"forward_probability": 0.5},
+            },
+        })
+        plans = compile_scenario(spec, ExperimentScale.smoke())
+        assert [plan.params["forward_probability"] for plan in plans] == [0.3, 0.9]
+
+
+class TestExecution:
+    def test_end_to_end_run_produces_distinct_series(self, smoke_scale):
+        result = run_scenario(
+            ScenarioSpec.from_dict(PF_SWEEP), scale=smoke_scale
+        )
+        assert result.labels() == ["pf p=0.3, kc=10", "pf p=0.9, kc=10"]
+        low, high = result.series
+        # More forwarding probability -> at least as many hits everywhere,
+        # strictly more somewhere (the whole point of sweeping p).
+        assert all(h >= l for l, h in zip(low.y, high.y))
+        assert high.y[-1] > low.y[-1]
