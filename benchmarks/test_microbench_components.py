@@ -240,3 +240,77 @@ class TestKernelTierBenchmarks:
             f"jit RW speedup regressed: {speedup:.2f}x "
             f"(python {python_seconds * 1e3:.1f} ms, jit {jit_seconds * 1e3:.1f} ms)"
         )
+
+
+class TestGeneratorKernelBenchmarks:
+    """python vs. jit kernel tier on fig1-scale topology construction.
+
+    PR 4 made the search loops an integer multiple faster, which left
+    *generation* as the dominant per-realization cost at paper scale; the
+    generator kernels exist to close that gap.  As with the search floors,
+    the bar is >= 3x on the PA roulette build (the paper's Fig. 1
+    workhorse), asserted so a kernel or dispatch regression fails the
+    suite instead of passing silently.  Skipped without numba: the
+    interpreted fallback is correctness-equivalent but intentionally
+    unoptimized.
+    """
+
+    # Fig. 1 builds 10^5-node PA topologies; 2 * 10^4 keeps the python
+    # reference timing CI-friendly while staying generation-dominated.
+    FIG1_NODES = 20_000
+    STUBS = 2
+    CUTOFF = 100
+
+    @pytest.fixture(autouse=True)
+    def _require_compiled_kernels(self):
+        from repro.kernels import kernel_tier
+
+        if kernel_tier() != "jit":
+            pytest.skip("numba not installed: jit kernel tier unavailable")
+
+    def _build(self, mode, seed=7):
+        from repro.kernels import use_kernels
+
+        with use_kernels(mode):
+            return generate_pa(
+                self.FIG1_NODES, stubs=self.STUBS, hard_cutoff=self.CUTOFF,
+                seed=seed,
+            )
+
+    def test_pa_generation_jit_speedup_at_least_3x(self):
+        # Warm-up (and correctness gate): jit must equal python exactly.
+        python_graph = self._build("python")
+        jit_graph = self._build("jit")
+        assert python_graph == jit_graph
+
+        python_seconds = _best_of(3, lambda: self._build("python"))
+        jit_seconds = _best_of(3, lambda: self._build("jit"))
+        speedup = python_seconds / jit_seconds
+        assert speedup >= 3.0, (
+            f"jit PA generation speedup regressed: {speedup:.2f}x "
+            f"(python {python_seconds * 1e3:.1f} ms, "
+            f"jit {jit_seconds * 1e3:.1f} ms)"
+        )
+
+    def test_cm_generation_jit_matches_and_does_not_regress(self):
+        from repro.kernels import use_kernels
+
+        def build(mode):
+            with use_kernels(mode):
+                return generate_cm(
+                    self.FIG1_NODES, exponent=2.5, min_degree=2,
+                    hard_cutoff=100, seed=7,
+                )
+
+        python_graph = build("python")
+        jit_graph = build("jit")
+        assert python_graph == jit_graph
+        # CM is shuffle-bound, so the jit win is smaller than the growth
+        # models'; the guard is a generous regression canary (not a floor)
+        # to stay robust against noisy shared CI runners.
+        python_seconds = _best_of(3, lambda: build("python"))
+        jit_seconds = _best_of(3, lambda: build("jit"))
+        assert jit_seconds <= python_seconds * 2.0, (
+            f"jit CM generation regressed badly vs python: "
+            f"{python_seconds * 1e3:.1f} ms -> {jit_seconds * 1e3:.1f} ms"
+        )

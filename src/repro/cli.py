@@ -105,11 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "served from cache")
     figure.add_argument("--kernels", default="auto",
                         choices=["auto", "python", "jit"],
-                        help="execution tier for the stochastic search "
-                             "loops: 'jit' compiles them with numba "
-                             "(identical results), 'auto' picks jit when "
-                             "numba is installed, 'python' forces the "
-                             "reference loops")
+                        help="execution tier for topology generation and "
+                             "the stochastic search loops: 'jit' compiles "
+                             "them with numba (identical results), 'auto' "
+                             "picks jit when numba is installed, 'python' "
+                             "forces the reference loops")
     figure.add_argument("--progress", action="store_true",
                         help="stream per-task progress to stderr")
     figure.add_argument("--json", action="store_true",
@@ -133,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "results; 'csr' is faster)")
     suite.add_argument("--kernels", default="auto",
                        choices=["auto", "python", "jit"],
-                       help="execution tier for the stochastic search loops "
+                       help="execution tier for generation and search loops "
                             "(identical results; 'jit' is faster with numba)")
     suite.add_argument("--cache", type=Path, default=None,
                        help="result-store directory; completed experiments are "
@@ -171,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "are identical ('csr' is faster)")
     run_cmd.add_argument("--kernels", default="auto",
                          choices=["auto", "python", "jit"],
-                         help="execution tier for the stochastic search "
+                         help="execution tier for generation and search "
                               "loops (identical results; 'jit' is faster "
                               "with numba)")
     run_cmd.add_argument("--compare", type=Path, default=None, metavar="BASELINE",
@@ -222,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--tau-sub", type=int, default=4,
                           help="locality horizon (DAPA only)")
     generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--kernels", default="auto",
+                          choices=["auto", "python", "jit"],
+                          help="execution tier for the construction loop "
+                               "(identical topologies; 'jit' is faster "
+                               "with numba)")
     generate.add_argument("--fit", action="store_true",
                           help="also fit a power-law exponent to the result")
     generate.add_argument("--out", type=Path, default=None,
@@ -244,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "('csr') or search the mutable graph ('adj')")
     search.add_argument("--kernels", default="auto",
                         choices=["auto", "python", "jit"],
-                        help="execution tier for the stochastic search loops "
+                        help="execution tier for generation and search loops "
                              "(identical results; 'jit' is faster with numba)")
 
     # churn
@@ -566,7 +571,8 @@ def _build_generator(args: argparse.Namespace):
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
-    result = generator.generate()
+    with use_kernels(args.kernels):
+        result = generator.generate()
     summary = result.summary()
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.fit:
@@ -588,9 +594,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
-    graph = freeze_for_backend(generator.generate_graph(), args.backend)
     ttl_values = list(range(1, args.ttl + 1))
     with use_kernels(args.kernels):
+        graph = freeze_for_backend(generator.generate_graph(), args.backend)
         if args.algorithm == "fl":
             curve = search_curve(
                 graph, FloodingSearch(), ttl_values, queries=args.queries,

@@ -20,8 +20,9 @@ survives the hop into the engine's worker processes.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, Optional, Union
 
+from repro.core.ambient import AmbientStack
 from repro.core.csr import CSRGraph
 from repro.core.errors import ConfigurationError
 from repro.core.graph import Graph
@@ -63,7 +64,7 @@ BACKENDS = ("adj", "csr")
 #: The reference backend existing callers get when nothing is selected.
 DEFAULT_BACKEND = "adj"
 
-_ACTIVE_STACK: List[str] = []
+_ACTIVE_STACK: AmbientStack[str] = AmbientStack()
 
 
 def normalize_backend(name: Optional[str]) -> str:
@@ -79,8 +80,12 @@ def normalize_backend(name: Optional[str]) -> str:
 
 
 def active_backend() -> str:
-    """Return the backend installed by the innermost :func:`use_backend`."""
-    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else DEFAULT_BACKEND
+    """Return the backend installed by the innermost :func:`use_backend`.
+
+    The stack is thread-local (see :class:`repro.core.ambient.AmbientStack`);
+    worker threads re-install the backend captured from their parent.
+    """
+    return _ACTIVE_STACK.top(DEFAULT_BACKEND)
 
 
 @contextmanager
@@ -92,7 +97,7 @@ def use_backend(name: Optional[str]) -> Iterator[str]:
     optional override unconditionally.
     """
     if name is not None:
-        _ACTIVE_STACK.append(normalize_backend(name))
+        _ACTIVE_STACK.push(normalize_backend(name))
     try:
         yield active_backend()
     finally:

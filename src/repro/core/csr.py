@@ -60,11 +60,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports us laz
 
 __all__ = [
     "CSRGraph",
+    "edge_arrays_to_csr",
     "flood_levels",
     "flood_curve",
     "batch_flood_curves",
     "batch_random_walks",
 ]
+
+
+def edge_arrays_to_csr(
+    number_of_nodes: int, edge_u: np.ndarray, edge_v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower ordered edge arrays to CSR ``(indptr, indices)`` row arrays.
+
+    ``edge_u[i]``/``edge_v[i]`` are the *row* endpoints of the ``i``-th
+    undirected edge, in insertion order.  The returned ``indices`` lists
+    each node's neighbors in exactly the order incremental
+    ``Graph.add_edge`` calls would have appended them — the library's
+    defined neighbor order, which every seeded draw depends on — computed
+    with vectorized NumPy instead of a per-edge Python loop.
+    """
+    edge_u = np.ascontiguousarray(edge_u, dtype=np.int64)
+    edge_v = np.ascontiguousarray(edge_v, dtype=np.int64)
+    if edge_u.shape != edge_v.shape or edge_u.ndim != 1:
+        raise GraphError("edge arrays must be one-dimensional and equal-length")
+    count = edge_u.shape[0]
+    if count and (
+        min(edge_u.min(), edge_v.min()) < 0
+        or max(edge_u.max(), edge_v.max()) >= number_of_nodes
+    ):
+        raise GraphError("edge endpoints must be rows in [0, number_of_nodes)")
+    # Interleave the two directions so node x's entries appear in global
+    # edge order (add_edge appends to both endpoints' lists per edge).
+    src = np.empty(2 * count, dtype=np.int64)
+    dst = np.empty(2 * count, dtype=np.int64)
+    src[0::2] = edge_u
+    src[1::2] = edge_v
+    dst[0::2] = edge_v
+    dst[1::2] = edge_u
+    order = np.argsort(src, kind="stable")
+    indices = dst[order]
+    degrees = np.bincount(src, minlength=number_of_nodes)
+    indptr = np.zeros(number_of_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    return indptr, indices
 
 _FROZEN_MESSAGE = (
     "CSRGraph is a frozen snapshot; mutate the source Graph and freeze() again"
@@ -158,6 +197,27 @@ class CSRGraph:
             cursor = end
             indptr[row + 1] = cursor
         ids = None if dense else np.array(nodes, dtype=np.int64)
+        return cls(indptr, indices, ids=ids)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        number_of_nodes: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """Assemble a frozen graph directly from ordered edge arrays.
+
+        ``edge_u``/``edge_v`` hold row endpoints in edge-insertion order
+        (the generator kernels emit exactly this); ``ids`` optionally maps
+        rows to node ids for non-dense graphs (e.g. DAPA overlays, whose
+        peers keep their substrate ids).  The result is byte-identical to
+        building a mutable :class:`~repro.core.graph.Graph` edge by edge
+        and calling :meth:`~repro.core.graph.Graph.freeze`, without the
+        per-edge Python work.
+        """
+        indptr, indices = edge_arrays_to_csr(number_of_nodes, edge_u, edge_v)
         return cls(indptr, indices, ids=ids)
 
     def thaw(self) -> "Graph":

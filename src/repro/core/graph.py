@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.core.errors import GraphError, NodeNotFoundError
 from repro.core.rng import RandomSource
@@ -58,7 +59,13 @@ class Graph:
     True
     """
 
-    __slots__ = ("_adjacency", "_neighbor_lists", "_number_of_edges", "_total_degree")
+    __slots__ = (
+        "_adjacency",
+        "_neighbor_lists",
+        "_number_of_edges",
+        "_total_degree",
+        "_csr_cache",
+    )
 
     def __init__(self, number_of_nodes: int = 0) -> None:
         if number_of_nodes < 0:
@@ -74,6 +81,9 @@ class Graph:
         }
         self._number_of_edges = 0
         self._total_degree = 0
+        # Prebuilt CSRGraph snapshot from a bulk constructor; makes
+        # freeze() free and is dropped on any mutation.
+        self._csr_cache = None
 
     # ------------------------------------------------------------------ #
     # Node operations
@@ -93,6 +103,7 @@ class Graph:
         if node not in self._adjacency:
             self._adjacency[node] = set()
             self._neighbor_lists[node] = []
+            self._csr_cache = None
         return node
 
     def add_nodes(self, count: int) -> List[NodeId]:
@@ -107,6 +118,7 @@ class Graph:
             self.remove_edge(node, neighbor)
         del self._adjacency[node]
         del self._neighbor_lists[node]
+        self._csr_cache = None
 
     def has_node(self, node: NodeId) -> bool:
         """Return ``True`` if ``node`` is in the graph."""
@@ -154,6 +166,7 @@ class Graph:
         self._neighbor_lists[v].append(u)
         self._number_of_edges += 1
         self._total_degree += 2
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
@@ -168,6 +181,7 @@ class Graph:
         self._neighbor_lists[v].remove(u)
         self._number_of_edges -= 1
         self._total_degree -= 2
+        self._csr_cache = None
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         """Return ``True`` if the undirected edge ``(u, v)`` exists."""
@@ -317,9 +331,16 @@ class Graph:
         this class's API, and unlocks the vectorized search kernels; use it
         for the generate-once / search-many phase of an experiment.  Later
         mutations of this graph do not affect the snapshot.
+
+        Graphs built by :meth:`from_edge_array` carry their frozen snapshot
+        already (the bulk constructor assembles it anyway), so freezing one
+        is free — the shared immutable instance is returned — until the
+        first mutation drops it.
         """
         from repro.core.csr import CSRGraph
 
+        if self._csr_cache is not None:
+            return self._csr_cache
         return CSRGraph.from_graph(self)
 
     def stats(self) -> GraphStats:
@@ -370,6 +391,93 @@ class Graph:
         graph = cls(number_of_nodes)
         for u, v in edges:
             graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_edge_array(
+        cls,
+        nodes: "int | Iterable[NodeId]",
+        edge_u: "np.ndarray",
+        edge_v: "np.ndarray",
+        edges_are_rows: bool = False,
+    ) -> "Graph":
+        """Bulk-build a graph from ordered edge arrays (no per-edge Python).
+
+        ``nodes`` is either a node count (dense ids ``0..N-1``) or an
+        iterable of node ids in insertion order (e.g. a DAPA overlay's join
+        order).  ``edge_u[i]``/``edge_v[i]`` are the endpoints of the
+        ``i``-th edge, in the order incremental construction would have
+        added them; the resulting per-node neighbor lists — the library's
+        defined draw order — are identical to ``add_edge``-ing each pair in
+        sequence.  With ``edges_are_rows`` the endpoints are positions into
+        the node sequence instead of ids — the generator kernels emit rows
+        directly, which skips the id-to-row translation loop for non-dense
+        graphs.  Edges must be simple: self-loops and duplicates raise
+        :class:`~repro.core.errors.GraphError`.
+
+        This is the ingestion path for the generator kernels of
+        :mod:`repro.kernels.generators`: they emit edge arrays, and this
+        constructor turns them into a graph in a handful of vectorized
+        operations — assembling the frozen
+        :class:`~repro.core.csr.CSRGraph` snapshot directly along the way,
+        so a ``freeze()`` under the ``csr`` backend costs nothing until the
+        first mutation.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> g = Graph.from_edge_array(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        >>> g.number_of_edges
+        3
+        >>> g.neighbors(1)
+        [0, 2]
+        """
+        from repro.core.csr import CSRGraph
+
+        edge_u = np.ascontiguousarray(edge_u, dtype=np.int64)
+        edge_v = np.ascontiguousarray(edge_v, dtype=np.int64)
+        if isinstance(nodes, (int, np.integer)):
+            ids: Optional[List[int]] = None
+            count = int(nodes)
+        else:
+            ids = [int(node) for node in nodes]
+            count = len(ids)
+            if len(set(ids)) != count:
+                raise GraphError("node ids must be unique")
+        if np.any(edge_u == edge_v):
+            raise GraphError("self-loops are not allowed")
+        if ids is None or edges_are_rows:
+            row_u, row_v = edge_u, edge_v
+        else:
+            row_of = {node: row for row, node in enumerate(ids)}
+            try:
+                row_u = np.array([row_of[int(u)] for u in edge_u], dtype=np.int64)
+                row_v = np.array([row_of[int(v)] for v in edge_v], dtype=np.int64)
+            except KeyError as error:
+                raise NodeNotFoundError(error.args[0]) from None
+        if len(edge_u):
+            low = np.minimum(row_u, row_v)
+            high = np.maximum(row_u, row_v)
+            keys = low * np.int64(count) + high
+            if len(np.unique(keys)) != len(keys):
+                raise GraphError("duplicate edges are not allowed")
+        ids_array = None if ids is None else np.array(ids, dtype=np.int64)
+        frozen = CSRGraph.from_edge_arrays(count, row_u, row_v, ids=ids_array)
+        indptr, indices = frozen._indptr, frozen._indices
+
+        graph = cls()
+        id_list = ids if ids is not None else list(range(count))
+        neighbor_values = indices if ids_array is None else ids_array[indices]
+        flat = neighbor_values.tolist()
+        lists = {
+            node: flat[indptr[row] : indptr[row + 1]]
+            for row, node in enumerate(id_list)
+        }
+        graph._neighbor_lists = lists
+        graph._adjacency = {node: set(values) for node, values in lists.items()}
+        graph._number_of_edges = len(edge_u)
+        graph._total_degree = 2 * len(edge_u)
+        graph._csr_cache = frozen
         return graph
 
     @classmethod

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional, Sequence
 
+from repro.core.ambient import AmbientStack
 from repro.core.errors import ExperimentError
 from repro.engine.tasks import Task
 
@@ -107,18 +109,22 @@ class ParallelExecutor(Executor):
             raise ExperimentError("ParallelExecutor needs at least one worker")
         self.jobs = resolved
         self._pool: Optional[ProcessPoolExecutor] = None
+        # The scenario compiler may submit batches from several threads
+        # sharing this executor; lazy pool creation must happen only once.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self._pool is None:
-            try:
-                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-            except (OSError, PermissionError) as error:  # pragma: no cover
-                warnings.warn(
-                    f"cannot start worker processes ({error}); running serially",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                except (OSError, PermissionError) as error:  # pragma: no cover
+                    warnings.warn(
+                        f"cannot start worker processes ({error}); running serially",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            return self._pool
 
     def run(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
         tasks = list(tasks)
@@ -165,8 +171,8 @@ class ParallelExecutor(Executor):
 # Ambient executor / progress context
 # --------------------------------------------------------------------------- #
 _DEFAULT_EXECUTOR = SerialExecutor()
-_ACTIVE_STACK: List[Executor] = []
-_PROGRESS_STACK: List[Any] = []
+_ACTIVE_STACK: AmbientStack[Executor] = AmbientStack()
+_PROGRESS_STACK: AmbientStack[Any] = AmbientStack()
 
 
 def active_executor() -> Executor:
@@ -174,9 +180,12 @@ def active_executor() -> Executor:
 
     Defaults to a shared :class:`SerialExecutor`, so library code can always
     route realization work through ``active_executor().run(...)`` without
-    caring whether a CLI/worker-pool context is present.
+    caring whether a CLI/worker-pool context is present.  The stack is
+    thread-local: a worker thread must install its own context (the scenario
+    compiler's plan threads re-install the values captured from their
+    parent).
     """
-    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else _DEFAULT_EXECUTOR
+    return _ACTIVE_STACK.top(_DEFAULT_EXECUTOR)
 
 
 def active_progress() -> Any:
@@ -185,7 +194,7 @@ def active_progress() -> Any:
     Experiment helpers pass this to :meth:`Executor.run` so per-task timing
     events reach whatever reporter the CLI or suite installed.
     """
-    return _PROGRESS_STACK[-1] if _PROGRESS_STACK else None
+    return _PROGRESS_STACK.top(None)
 
 
 @contextmanager
@@ -199,9 +208,9 @@ def use_executor(
     maybe_progress):`` unconditionally.
     """
     if executor is not None:
-        _ACTIVE_STACK.append(executor)
+        _ACTIVE_STACK.push(executor)
     if progress is not None:
-        _PROGRESS_STACK.append(progress)
+        _PROGRESS_STACK.push(progress)
     try:
         yield active_executor()
     finally:

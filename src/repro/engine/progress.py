@@ -10,8 +10,9 @@ never pollutes machine-readable stdout).
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO
 
 __all__ = ["ExperimentTiming", "ProgressReporter"]
@@ -43,6 +44,8 @@ class ProgressReporter:
         self.timings: List[ExperimentTiming] = []
         self._open: Dict[str, ExperimentTiming] = {}
         self._started_at: Dict[str, float] = {}
+        # Plan threads sharing one scenario report task events concurrently.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Event sinks (called by executors / registry / suite scheduler)
@@ -66,10 +69,11 @@ class ProgressReporter:
 
     def task_finished(self, key: str, seconds: float) -> None:
         # Attribute the task to the innermost open experiment, if any.
-        if self._open:
-            timing = next(reversed(self._open.values()))
-            timing.tasks += 1
-            timing.task_seconds += seconds
+        with self._lock:
+            if self._open:
+                timing = next(reversed(self._open.values()))
+                timing.tasks += 1
+                timing.task_seconds += seconds
         self._emit(f"  task {key or '<anonymous>'} done in {seconds:.2f}s")
 
     # ------------------------------------------------------------------ #

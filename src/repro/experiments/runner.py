@@ -202,17 +202,18 @@ def _realize_one(
     :class:`~repro.core.graph.Graph`, the graph is frozen once here —
     before ``measure`` runs its many queries — so the whole measurement
     phase uses the vectorized snapshot.  The kernel mode travels with the
-    task the same way: installed ambiently around ``measure`` so the
-    choice survives the hop into a worker process.
+    task the same way: installed ambiently around *both* phases — ``build``
+    dispatches to the compiled generator kernels, ``measure`` to the search
+    kernels — so the choice survives the hop into a worker process.
     """
     from repro.core.backend import freeze_for_backend
     from repro.core.graph import Graph
     from repro.kernels.dispatch import use_kernels
 
-    subject = build(seed)
-    if isinstance(subject, Graph):
-        subject = freeze_for_backend(subject, backend)  # type: ignore[assignment]
     with use_kernels(kernels):
+        subject = build(seed)
+        if isinstance(subject, Graph):
+            subject = freeze_for_backend(subject, backend)  # type: ignore[assignment]
         return [float(value) for value in measure(subject, seed)]
 
 

@@ -33,6 +33,7 @@ from repro.core.errors import ConfigurationError, GenerationError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.generators.base import TopologyGenerator
+from repro.kernels.dispatch import kernel_generation_ready
 from repro.substrate.grn import GeometricRandomNetwork
 from repro.substrate.mesh import MeshNetwork
 
@@ -140,16 +141,26 @@ class DAPAGenerator(TopologyGenerator):
 
     def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
         substrate = self._resolve_substrate(rng)
+        if substrate.number_of_nodes < self.config.overlay_size:
+            raise GenerationError(
+                "substrate has fewer nodes than the requested overlay size"
+            )
+        if kernel_generation_ready(rng):
+            from repro.kernels.generators import dapa_build
+
+            return dapa_build(self.config, substrate, rng)
+        return self._grow_overlay(substrate, rng)
+
+    def _grow_overlay(
+        self, substrate: Graph, rng: RandomSource
+    ) -> Tuple[Graph, Dict[str, Any]]:
+        """The reference growth loop (dispatch-free: the parity self-check
+        replays it against the kernel tier)."""
         config = self.config
         cutoff = config.effective_cutoff()
         m = config.stubs
         target_peers = config.overlay_size
-
         substrate_nodes = substrate.nodes()
-        if len(substrate_nodes) < target_peers:
-            raise GenerationError(
-                "substrate has fewer nodes than the requested overlay size"
-            )
 
         # Overlay graph shares node ids with the substrate; only peers are
         # added to it.  `peers` tracks membership for O(1) lookups.
@@ -254,6 +265,14 @@ class DAPAGenerator(TopologyGenerator):
         Eligible means: already an overlay peer, within ``τ_sub`` substrate
         hops of ``node``, and with overlay degree strictly below the hard
         cutoff (paper Algorithm 4, lines 6-10).
+
+        Neighbors are visited in the substrate's *defined* order
+        (``iter_neighbors``, edge-insertion order), not set order: the
+        horizon's element order feeds the attachment draws, and set
+        iteration — like PF's old set-order forwarding, fixed in the CSR
+        backend PR — was the one draw consumer a compiled replay could not
+        reproduce.  This deliberately versioned the DAPA stream; the
+        cross-tier equivalence tests pin the new sequence.
         """
         max_depth = self.config.local_ttl
         visited = {node: 0}
@@ -265,7 +284,7 @@ class DAPAGenerator(TopologyGenerator):
             depth = visited[current]
             if depth >= max_depth:
                 continue
-            for neighbor in substrate.neighbor_set(current):
+            for neighbor in substrate.iter_neighbors(current):
                 if neighbor in visited:
                     continue
                 visited[neighbor] = depth + 1

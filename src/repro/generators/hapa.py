@@ -27,6 +27,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.generators.base import TopologyGenerator
+from repro.kernels.dispatch import kernel_generation_ready
 
 __all__ = ["HAPAGenerator", "generate_hapa"]
 
@@ -78,7 +79,15 @@ class HAPAGenerator(TopologyGenerator):
             seed=seed,
             max_hops_per_stub=max_hops_per_stub,
         )
-        if hard_cutoff is not None and hard_cutoff <= stubs:
+        # Same eager seed-clique validation as PA: the m+1-node seed clique
+        # saturates every seed node when kc == m, so any growth phase would
+        # stall immediately (n == m + 1 stays valid: the clique is the
+        # whole requested graph).
+        if (
+            hard_cutoff is not None
+            and hard_cutoff <= stubs
+            and number_of_nodes > stubs + 1
+        ):
             raise ConfigurationError(
                 "hard_cutoff must exceed stubs for a growing HAPA network"
             )
@@ -98,6 +107,13 @@ class HAPAGenerator(TopologyGenerator):
         }
 
     def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
+        if kernel_generation_ready(rng):
+            from repro.kernels.generators import hapa_build
+
+            return hapa_build(self.config, rng)
+        return self._build_reference(rng)
+
+    def _build_reference(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
         config = self.config
         n, m = config.number_of_nodes, config.stubs
         cutoff = config.effective_cutoff()

@@ -35,6 +35,7 @@ from repro.core.errors import ConfigurationError, GenerationError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.generators.base import TopologyGenerator
+from repro.kernels.dispatch import kernel_generation_ready
 
 __all__ = ["PreferentialAttachmentGenerator", "generate_pa"]
 
@@ -61,6 +62,11 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
         Optional seed for reproducible topologies.
     strategy:
         ``"roulette"`` (fast, default) or ``"attempt"`` (paper-literal).
+    strict:
+        When ``True``, a build whose result violates the model's minimum
+        degree (any stub left unfilled, which otherwise only shows up as a
+        metadata counter) raises :class:`~repro.core.errors.GenerationError`
+        instead of silently returning a degenerate topology.
 
     Examples
     --------
@@ -82,6 +88,7 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
         hard_cutoff: Optional[int] = None,
         seed: Optional[int] = None,
         strategy: str = "roulette",
+        strict: bool = False,
     ) -> None:
         self.config = PAConfig(
             number_of_nodes=number_of_nodes,
@@ -93,14 +100,20 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
             raise ConfigurationError(
                 f"unknown PA strategy {strategy!r}; expected one of {_STRATEGIES}"
             )
-        if hard_cutoff is not None and hard_cutoff < stubs + 1 and number_of_nodes > stubs + 1:
-            # The seed clique of m+1 nodes already gives every seed node degree
-            # m; a cutoff of exactly m would freeze the network immediately.
-            if hard_cutoff <= stubs:
-                raise ConfigurationError(
-                    "hard_cutoff must exceed stubs for a growing PA network"
-                )
+        # The seed clique of m+1 nodes already gives every seed node degree
+        # m; a cutoff of exactly m would freeze the network immediately.
+        # (n == m + 1 is the degenerate-but-valid case: the complete graph
+        # itself, with no growth phase for the cutoff to block.)
+        if (
+            hard_cutoff is not None
+            and hard_cutoff <= stubs
+            and number_of_nodes > stubs + 1
+        ):
+            raise ConfigurationError(
+                "hard_cutoff must exceed stubs for a growing PA network"
+            )
         self.strategy = strategy
+        self.strict = strict
         self.seed = seed
 
     # ------------------------------------------------------------------ #
@@ -118,8 +131,28 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
 
     def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
         if self.strategy == "roulette":
-            return self._build_roulette(rng)
-        return self._build_attempt(rng)
+            if kernel_generation_ready(rng):
+                from repro.kernels.generators import pa_roulette_build
+
+                graph, metadata = pa_roulette_build(self.config, rng)
+            else:
+                graph, metadata = self._build_roulette(rng)
+        else:
+            graph, metadata = self._build_attempt(rng)
+        minimum = self.config.stubs
+        metadata["min_degree_violations"] = sum(
+            1 for degree in graph.degree_sequence() if degree < minimum
+        )
+        if self.strict and (
+            metadata["unfilled_stubs"] or metadata["min_degree_violations"]
+        ):
+            raise GenerationError(
+                f"PA build left {metadata['unfilled_stubs']} stub(s) unfilled "
+                f"({metadata['min_degree_violations']} node(s) below the "
+                f"minimum degree m={minimum}); relax the cutoff or pass "
+                "strict=False to accept the degenerate topology"
+            )
+        return graph, metadata
 
     # ------------------------------------------------------------------ #
     # Fast strategy: stub-list roulette selection
@@ -136,6 +169,21 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
         for u, v in graph.edges():
             stub_list.append(u)
             stub_list.append(v)
+        # Saturated-entry bookkeeping: the stub list retains entries of
+        # nodes that have reached the cutoff (removing them would change
+        # which slot every later draw lands on), so under tight cutoffs a
+        # pick can become *doomed* — every slot points at a saturated or
+        # already-linked node.  ``entries[x]`` counts x's slots and
+        # ``dead_entries`` the slots on saturated nodes; together they let
+        # ``_pick_roulette`` detect a doomed pick up front instead of
+        # burning ``_MAX_REJECTIONS_PER_STUB`` draws discovering it.
+        entries = [0] * n
+        for node in stub_list:
+            entries[node] += 1
+        dead_entries = 0
+        for node in range(graph.number_of_nodes):
+            if graph.degree(node) >= cutoff:
+                dead_entries += entries[node]
 
         rejected_attempts = 0
         unfilled_stubs = 0
@@ -144,19 +192,30 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
             graph.add_node(new_node)
             chosen: List[int] = []
             for _ in range(m):
-                target = self._pick_roulette(graph, stub_list, new_node, cutoff, rng)
+                target, rejections = self._pick_roulette(
+                    graph, stub_list, new_node, cutoff, rng,
+                    entries, dead_entries, chosen,
+                )
+                rejected_attempts += rejections
                 if target is None:
                     unfilled_stubs += 1
                     continue
-                rejected_attempts += target[1]
-                graph.add_edge(new_node, target[0])
-                chosen.append(target[0])
+                graph.add_edge(new_node, target)
+                if graph.degree(target) == cutoff:
+                    dead_entries += entries[target]
+                chosen.append(target)
             # Update the stub list only after all of this node's stubs are
             # placed so the node does not preferentially attach to itself's
             # earlier targets more than their degree warrants.
             for neighbor in chosen:
                 stub_list.append(neighbor)
+                entries[neighbor] += 1
+                if graph.degree(neighbor) >= cutoff:
+                    dead_entries += 1
                 stub_list.append(new_node)
+                entries[new_node] += 1
+                if graph.degree(new_node) >= cutoff:
+                    dead_entries += 1
 
         metadata = {
             "rejected_attempts": rejected_attempts,
@@ -172,14 +231,31 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
         new_node: int,
         cutoff: int,
         rng: RandomSource,
-    ) -> Optional[Tuple[int, int]]:
+        entries: List[int],
+        dead_entries: int,
+        chosen: List[int],
+    ) -> Tuple[Optional[int], int]:
         """Pick an eligible target by degree-proportional roulette selection.
 
-        Returns ``(target, rejections)`` or ``None`` when no eligible node
-        exists (every non-neighbor is saturated).
+        Returns ``(target, rejections)``; ``target`` is ``None`` when no
+        eligible node exists (every candidate is saturated or already
+        linked).  ``rejections`` counts the draws burned before success —
+        including the draws of a failed loop that fell back to the scan,
+        which the caller now always accounts for.
         """
-        rejections = 0
         neighbor_set = graph.neighbor_set(new_node)
+        # Live-entry audit: slots pointing at an unsaturated node that is
+        # not already a neighbor (the new node has no slots yet).  Zero
+        # live slots means the rejection loop *and* the fallback scan are
+        # both doomed — any node with degree > 0 below the cutoff would
+        # still have live slots — so bail out without consuming a draw.
+        live = len(stub_list) - dead_entries
+        for node in chosen:
+            if graph.degree(node) < cutoff:
+                live -= entries[node]
+        if live <= 0:
+            return None, 0
+        rejections = 0
         while rejections < _MAX_REJECTIONS_PER_STUB:
             candidate = stub_list[rng.randint(0, len(stub_list) - 1)]
             if (
@@ -189,7 +265,10 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
             ):
                 return candidate, rejections
             rejections += 1
-        # Extremely unlikely path: fall back to an explicit scan.
+        # Extremely unlikely path: fall back to an explicit scan.  The
+        # ``degree > 0`` filter keeps the draw degree-proportional (a
+        # zero-degree node has no stub slots either, so the loop above
+        # could never have selected it).
         eligible = [
             node
             for node in graph.nodes()
@@ -199,7 +278,7 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
             and graph.degree(node) > 0
         ]
         if not eligible:
-            return None
+            return None, rejections
         weights = [graph.degree(node) for node in eligible]
         return eligible[rng.weighted_index(weights)], rejections
 
@@ -226,7 +305,15 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
                     acceptance = rng.random()
                     total_degree = graph.total_degree
                     if total_degree == 0:
-                        break
+                        # Unreachable through a validated configuration (the
+                        # seed clique always has edges); a silent break here
+                        # would grow an edgeless graph one isolated node at
+                        # a time, so fail loudly instead.
+                        raise GenerationError(
+                            "preferential attachment needs at least one "
+                            "existing edge to define attachment "
+                            "probabilities; the seed graph is edgeless"
+                        )
                     if (
                         not graph.has_edge(new_node, candidate)
                         and acceptance < graph.degree(candidate) / total_degree
@@ -252,6 +339,7 @@ def generate_pa(
     hard_cutoff: Optional[int] = None,
     seed: Optional[int] = None,
     strategy: str = "roulette",
+    strict: bool = False,
     rng: Optional[RandomSource] = None,
 ) -> Graph:
     """Generate a preferential-attachment topology and return the graph.
@@ -271,5 +359,6 @@ def generate_pa(
         hard_cutoff=hard_cutoff,
         seed=seed,
         strategy=strategy,
+        strict=strict,
     )
     return generator.generate_graph(rng)

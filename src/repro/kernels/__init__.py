@@ -1,14 +1,16 @@
-"""JIT kernel tier: compiled stochastic search kernels below the CSR backend.
+"""JIT kernel tier: compiled search and generation kernels below the CSR backend.
 
-The third execution tier of the search stack (after the ``adj`` reference
-backend and the frozen ``csr`` backend): :mod:`repro.kernels.search`
-JIT-compiles the NF/PF/RW query loops over the CSR ``indptr``/``indices``
-arrays while consuming the *exact* CPython Mersenne-Twister draw sequence
-(:mod:`repro.kernels.mt19937`), so results — and RNG stream positions —
-are bit-for-bit identical to the Python implementations.
-:mod:`repro.kernels.dispatch` owns tier selection: capability probing
-(numba + a parity self-check) and the ambient ``--kernels
-{auto,python,jit}`` mode.
+The third execution tier of the stack (after the ``adj`` reference backend
+and the frozen ``csr`` backend): :mod:`repro.kernels.search` JIT-compiles
+the NF/PF/RW query loops over the CSR ``indptr``/``indices`` arrays, and
+:mod:`repro.kernels.generators` the PA/HAPA/DAPA growth loops and CM stub
+matching over preallocated degree/stub arrays — both while consuming the
+*exact* CPython Mersenne-Twister draw sequence
+(:mod:`repro.kernels.mt19937`), so results — graphs, curves, and RNG
+stream positions — are bit-for-bit identical to the Python
+implementations.  :mod:`repro.kernels.dispatch` owns tier selection:
+capability probing (numba + a parity self-check covering both kernel
+families) and the ambient ``--kernels {auto,python,jit}`` mode.
 
 This package import is deliberately light: numba (when installed) is only
 imported on the first kernel-eligible query, never at import time.
@@ -18,6 +20,7 @@ from repro.kernels.dispatch import (
     DEFAULT_KERNELS,
     KERNEL_MODES,
     active_kernels,
+    kernel_generation_ready,
     kernel_query_ready,
     kernel_self_check,
     kernel_tier,
@@ -32,6 +35,7 @@ __all__ = [
     "DEFAULT_KERNELS",
     "KERNEL_MODES",
     "active_kernels",
+    "kernel_generation_ready",
     "kernel_query_ready",
     "kernel_self_check",
     "kernel_tier",

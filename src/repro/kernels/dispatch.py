@@ -29,8 +29,9 @@ and consulted by the search classes via :func:`kernel_query_ready`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
+from repro.core.ambient import AmbientStack
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
 
@@ -45,6 +46,7 @@ __all__ = [
     "kernel_tier",
     "resolve_kernels",
     "kernel_query_ready",
+    "kernel_generation_ready",
     "kernels_runtime",
 ]
 
@@ -54,7 +56,7 @@ KERNEL_MODES = ("auto", "python", "jit")
 #: The mode callers get when nothing is selected.
 DEFAULT_KERNELS = "auto"
 
-_ACTIVE_STACK: List[str] = []
+_ACTIVE_STACK: AmbientStack[str] = AmbientStack()
 
 #: Cached probe results (per process): numba importability, self-check
 #: verdict, and the self-check failure reason for diagnostics.
@@ -74,8 +76,12 @@ def normalize_kernels(name: Optional[str]) -> str:
 
 
 def active_kernels() -> str:
-    """Return the mode installed by the innermost :func:`use_kernels`."""
-    return _ACTIVE_STACK[-1] if _ACTIVE_STACK else DEFAULT_KERNELS
+    """Return the mode installed by the innermost :func:`use_kernels`.
+
+    Thread-local like the backend stack; worker threads re-install the mode
+    captured from their parent.
+    """
+    return _ACTIVE_STACK.top(DEFAULT_KERNELS)
 
 
 @contextmanager
@@ -87,7 +93,7 @@ def use_kernels(name: Optional[str]) -> Iterator[str]:
     optional override unconditionally.
     """
     if name is not None:
-        _ACTIVE_STACK.append(normalize_kernels(name))
+        _ACTIVE_STACK.push(normalize_kernels(name))
     try:
         yield active_kernels()
     finally:
@@ -168,6 +174,101 @@ def _parity_self_check() -> "tuple[bool, str]":
             return False, f"{name} kernel diverged from the reference"
         if rng_ref.random() != rng_kernel.random():
             return False, f"{name} kernel left the stream at a different position"
+    return _generation_parity_check()
+
+
+def _graphs_identical(reference, subject) -> bool:
+    """Same nodes in order, same edges in the same neighbor order."""
+    import numpy as np
+
+    if reference.nodes() != subject.nodes():
+        return False
+    frozen_reference, frozen_subject = reference.freeze(), subject.freeze()
+    return bool(
+        np.array_equal(frozen_reference._indptr, frozen_subject._indptr)
+        and np.array_equal(frozen_reference._indices, frozen_subject._indices)
+    )
+
+
+def _generation_parity_check() -> "tuple[bool, str]":
+    """The generation probe: every generator kernel family (PA growth, CM
+    stub matching, HAPA hop-and-attempt, DAPA discovery) must reproduce
+    its reference builder — edges, neighbor order, metadata counters, and
+    final stream position — on small topologies.
+
+    Runs the *installed* kernel functions, like the search probes; a
+    miscompiled or drifted generator kernel demotes ``auto`` to ``python``
+    for the whole process.  The reference side goes through the
+    dispatch-free ``_build_*``/``_grow_overlay``/``_stub_matching`` bodies
+    (calling the dispatching ``_build`` here would recurse into this very
+    check).
+    """
+    from repro.core.graph import Graph
+    from repro.generators.pa import PreferentialAttachmentGenerator
+    from repro.kernels import generators as generator_kernels
+
+    pa = PreferentialAttachmentGenerator(48, stubs=2, hard_cutoff=5)
+    rng_ref = RandomSource(seed=53)
+    rng_kernel = RandomSource(seed=53)
+    graph_ref, meta_ref = pa._build_roulette(rng_ref)
+    graph_kernel, meta_kernel = generator_kernels.pa_roulette_build(
+        pa.config, rng_kernel
+    )
+    if not _graphs_identical(graph_ref, graph_kernel) or meta_ref != meta_kernel:
+        return False, "pa generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "pa generation kernel left the stream at a different position"
+
+    from repro.generators.cm import ConfigurationModelGenerator
+
+    sequence = [2, 3, 2, 1, 2, 2, 3, 1]
+    rng_ref = RandomSource(seed=71)
+    rng_kernel = RandomSource(seed=71)
+    cm_ref = ConfigurationModelGenerator._stub_matching(sequence, rng_ref)
+    cm_kernel = generator_kernels.cm_stub_matching_build(sequence, rng_kernel)
+    if not _graphs_identical(cm_ref[0], cm_kernel[0]) or cm_ref[1:] != cm_kernel[1:]:
+        return False, "cm generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "cm generation kernel left the stream at a different position"
+
+    from repro.generators.hapa import HAPAGenerator
+
+    hapa = HAPAGenerator(40, stubs=2, hard_cutoff=5)
+    rng_ref = RandomSource(seed=37)
+    rng_kernel = RandomSource(seed=37)
+    graph_ref, meta_ref = hapa._build_reference(rng_ref)
+    graph_kernel, meta_kernel = generator_kernels.hapa_build(
+        hapa.config, rng_kernel
+    )
+    if not _graphs_identical(graph_ref, graph_kernel) or meta_ref != meta_kernel:
+        return False, "hapa generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "hapa generation kernel left the stream at a different position"
+
+    from repro.generators.dapa import DAPAGenerator
+
+    ring = 30
+    substrate = Graph.from_edges(
+        ring,
+        [(index, (index + 1) % ring) for index in range(ring)]
+        + [(index, (index + 7) % ring) for index in range(ring)],
+    )
+    dapa = DAPAGenerator(
+        overlay_size=15, stubs=2, hard_cutoff=4, local_ttl=2,
+        substrate_graph=substrate,
+    )
+    rng_ref = RandomSource(seed=29)
+    rng_kernel = RandomSource(seed=29)
+    graph_ref, meta_ref = dapa._grow_overlay(substrate, rng_ref)
+    graph_kernel, meta_kernel = generator_kernels.dapa_build(
+        dapa.config, substrate, rng_kernel
+    )
+    meta_ref.pop("substrate_graph", None)
+    meta_kernel.pop("substrate_graph", None)
+    if not _graphs_identical(graph_ref, graph_kernel) or meta_ref != meta_kernel:
+        return False, "dapa generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "dapa generation kernel left the stream at a different position"
     return True, ""
 
 
@@ -239,6 +340,20 @@ def kernel_query_ready(rng: object) -> bool:
     instrumented sources) keep the reference path, because the kernels
     consume the Mersenne-Twister stream directly and would bypass any
     overridden draw methods.
+    """
+    if type(rng) is not RandomSource:
+        return False
+    return resolve_kernels() == "jit"
+
+
+def kernel_generation_ready(rng: object) -> bool:
+    """Should a topology build with this RNG go to the generator kernels?
+
+    Same contract as :func:`kernel_query_ready`: the resolved tier must be
+    ``jit`` and ``rng`` must be a plain :class:`~repro.core.rng.RandomSource`
+    — subclasses keep the reference growth loops, because the kernels
+    consume the Mersenne-Twister stream directly and would bypass any
+    overridden draw methods (e.g. counting sources in the tests).
     """
     if type(rng) is not RandomSource:
         return False

@@ -157,6 +157,56 @@ def run_series_plan(plan: SeriesPlan, scale: ExperimentScale) -> List[Series]:
     return get_measurement_kind(plan.kind)(plan, scale)
 
 
+def _run_plans(
+    plans: List[SeriesPlan], scale: ExperimentScale
+) -> List[List[Series]]:
+    """Run every compiled plan, distributing them across the suite's workers.
+
+    A scenario used to execute its series plans strictly one after another,
+    so a multi-panel spec run under ``--jobs J`` serialized at every
+    series boundary: each series fans its realization tasks into the shared
+    process pool and then *barriers* on them, leaving workers idle whenever
+    a series has fewer realizations than workers.  Here the plans
+    themselves are spread over a thread pool (the realization tasks still
+    execute in the shared process pool — threads only overlap the
+    submit/collect phases), so one scenario's panels fill the pool
+    together.
+
+    Results are byte-identical to the serial order: every series draws
+    from its own SHA-256 per-(label, index) seed stream, results come back
+    per plan in submission order, and the list returned here is in plan
+    order.  Each worker thread re-installs the ambient
+    executor/progress/backend/kernels captured from the caller (the
+    ambient stacks are thread-local).
+    """
+    from repro.engine.executor import active_executor, active_progress, use_executor
+
+    executor = active_executor()
+    jobs = int(getattr(executor, "jobs", 1) or 1)
+    if jobs <= 1 or len(plans) <= 1:
+        return [run_series_plan(plan, scale) for plan in plans]
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.backend import active_backend, use_backend
+    from repro.kernels.dispatch import active_kernels, use_kernels
+
+    progress = active_progress()
+    backend = active_backend()
+    kernels = active_kernels()
+
+    def run_one(plan: SeriesPlan) -> List[Series]:
+        with use_executor(executor, progress), use_backend(backend), \
+                use_kernels(kernels):
+            return run_series_plan(plan, scale)
+
+    with ThreadPoolExecutor(
+        max_workers=min(len(plans), jobs),
+        thread_name_prefix="repro-plan",
+    ) as pool:
+        return list(pool.map(run_one, plans))
+
+
 def _compute_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> ExperimentResult:
     """Compile and execute ``spec`` under the ambient executor/backend."""
     result = ExperimentResult(
@@ -166,8 +216,9 @@ def _compute_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> ExperimentR
         notes=spec.notes,
     )
     seen_labels = set()
-    for plan in compile_scenario(spec, scale):
-        for series in run_series_plan(plan, scale):
+    plans = compile_scenario(spec, scale)
+    for plan, series_list in zip(plans, _run_plans(plans, scale)):
+        for series in series_list:
             # Composite kinds emit their own labels, which the compile-time
             # guard cannot see — collisions would silently shadow a curve.
             if series.label in seen_labels:

@@ -21,7 +21,7 @@ Determinism contract — identical to the pre-scenario figure harness:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.degree_distribution import degree_distribution
 from repro.analysis.powerlaw import fit_power_law
@@ -34,10 +34,11 @@ from repro.engine.executor import active_executor, active_progress
 from repro.engine.tasks import Task
 from repro.experiments.results import Series
 from repro.experiments.runner import ExperimentScale, realization_seeds
-from repro.generators.cm import generate_cm
-from repro.generators.dapa import generate_dapa
-from repro.generators.hapa import generate_hapa
-from repro.generators.pa import generate_pa
+from repro.generators.base import GenerationResult
+from repro.generators.cm import ConfigurationModelGenerator
+from repro.generators.dapa import DAPAGenerator
+from repro.generators.hapa import HAPAGenerator
+from repro.generators.pa import PreferentialAttachmentGenerator
 from repro.scenarios.spec import canonical_algorithm
 from repro.search.metrics import (
     SearchCurve,
@@ -52,6 +53,7 @@ __all__ = [
     "RealizationSpec",
     "resolve_scale",
     "build_graph",
+    "build_graph_result",
     "cutoff_grid",
     "dapa_tau_sub_grid",
     "dapa_cutoff_grid",
@@ -108,6 +110,64 @@ def dapa_cutoff_grid(scale: ExperimentScale) -> List[Optional[int]]:
 # --------------------------------------------------------------------------- #
 # Topology construction
 # --------------------------------------------------------------------------- #
+def build_graph_result(
+    model: str,
+    scale: ExperimentScale,
+    seed: int,
+    stubs: int = 1,
+    hard_cutoff: Optional[int] = None,
+    exponent: float = 3.0,
+    tau_sub: int = 4,
+    for_search: bool = False,
+) -> GenerationResult:
+    """Build one realization of ``model``, keeping the generator's metadata.
+
+    ``for_search`` selects the (smaller) search network size the paper uses
+    for Figs. 6–12 instead of the degree-distribution size of Figs. 1–4.
+    The metadata (``unfilled_stubs``, ``nodes_below_min_degree``, ...) is
+    what the degree-distribution series surface in figure outputs so silent
+    model violations stay visible.
+    """
+    nodes = scale.search_nodes if for_search else scale.nodes
+    if model == "pa":
+        generator: Any = PreferentialAttachmentGenerator(
+            nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed
+        )
+    elif model == "cm":
+        generator = ConfigurationModelGenerator(
+            nodes,
+            exponent=exponent,
+            min_degree=stubs,
+            hard_cutoff=hard_cutoff,
+            seed=seed,
+        )
+    elif model == "hapa":
+        if scale.name != "paper" and not for_search:
+            nodes = min(nodes, HAPA_NONPAPER_NODE_CAP)
+        generator = HAPAGenerator(
+            nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed
+        )
+    elif model == "dapa":
+        overlay = scale.search_nodes if for_search else min(scale.nodes, scale.substrate_nodes // 2)
+        substrate = GRNConfig(
+            number_of_nodes=max(scale.substrate_nodes, 2 * overlay),
+            target_mean_degree=10.0,
+            dimensions=2,
+            seed=seed,
+        )
+        generator = DAPAGenerator(
+            overlay_size=overlay,
+            stubs=stubs,
+            hard_cutoff=hard_cutoff,
+            local_ttl=tau_sub,
+            substrate_config=substrate,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    return generator.generate()
+
+
 def build_graph(
     model: str,
     scale: ExperimentScale,
@@ -118,43 +178,17 @@ def build_graph(
     tau_sub: int = 4,
     for_search: bool = False,
 ) -> Graph:
-    """Build one realization of ``model`` with the given parameters.
-
-    ``for_search`` selects the (smaller) search network size the paper uses
-    for Figs. 6–12 instead of the degree-distribution size of Figs. 1–4.
-    """
-    nodes = scale.search_nodes if for_search else scale.nodes
-    if model == "pa":
-        return generate_pa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
-    if model == "cm":
-        return generate_cm(
-            nodes,
-            exponent=exponent,
-            min_degree=stubs,
-            hard_cutoff=hard_cutoff,
-            seed=seed,
-        )
-    if model == "hapa":
-        if scale.name != "paper" and not for_search:
-            nodes = min(nodes, HAPA_NONPAPER_NODE_CAP)
-        return generate_hapa(nodes, stubs=stubs, hard_cutoff=hard_cutoff, seed=seed)
-    if model == "dapa":
-        overlay = scale.search_nodes if for_search else min(scale.nodes, scale.substrate_nodes // 2)
-        substrate = GRNConfig(
-            number_of_nodes=max(scale.substrate_nodes, 2 * overlay),
-            target_mean_degree=10.0,
-            dimensions=2,
-            seed=seed,
-        )
-        return generate_dapa(
-            overlay_size=overlay,
-            stubs=stubs,
-            hard_cutoff=hard_cutoff,
-            local_ttl=tau_sub,
-            substrate_config=substrate,
-            seed=seed,
-        )
-    raise ValueError(f"unknown model {model!r}")
+    """Build one realization of ``model`` and return only the graph."""
+    return build_graph_result(
+        model,
+        scale,
+        seed,
+        stubs=stubs,
+        hard_cutoff=hard_cutoff,
+        exponent=exponent,
+        tau_sub=tau_sub,
+        for_search=for_search,
+    ).graph
 
 
 # --------------------------------------------------------------------------- #
@@ -183,26 +217,69 @@ class RealizationSpec:
     backend: str = "adj"
     kernels: str = "auto"
 
+    def build_result(self) -> GenerationResult:
+        """Build one realization under this spec's kernel tier.
+
+        The kernel mode is installed around *generation* too (not just the
+        measurement phase), so a ``--kernels jit`` run constructs its
+        topologies on the compiled generator kernels — byte-identically to
+        the Python growth loops.
+        """
+        with use_kernels(self.kernels):
+            return build_graph_result(
+                self.model,
+                self.scale,
+                self.seed,
+                stubs=self.stubs,
+                hard_cutoff=self.hard_cutoff,
+                exponent=self.exponent,
+                tau_sub=self.tau_sub,
+                for_search=self.for_search,
+            )
+
     def build(self) -> Graph:
-        return build_graph(
-            self.model,
-            self.scale,
-            self.seed,
-            stubs=self.stubs,
-            hard_cutoff=self.hard_cutoff,
-            exponent=self.exponent,
-            tau_sub=self.tau_sub,
-            for_search=self.for_search,
-        )
+        return self.build_result().graph
 
     def build_for_measurement(self) -> GraphLike:
-        """Build the topology and freeze it when the ``csr`` backend is on."""
+        """Build the topology and freeze it when the ``csr`` backend is on.
+
+        Kernel-built graphs carry their CSR arrays already, so the freeze
+        is a direct :class:`~repro.core.csr.CSRGraph` assembly rather than
+        a per-node re-walk of the adjacency.
+        """
         return freeze_for_backend(self.build(), self.backend)
 
 
-def _realize_degree_sequence(spec: RealizationSpec) -> List[int]:
-    """Task body: one realization's degree sequence (Figs. 1–4 and sweeps)."""
-    return list(spec.build().degree_sequence())
+#: Generator-metadata counters surfaced (summed over realizations) in the
+#: degree-distribution series, so silent model violations — unfilled stubs,
+#: nodes below the prescribed minimum degree — are visible in figure
+#: outputs instead of vanishing with the worker process.
+_GENERATION_COUNTERS = (
+    "unfilled_stubs",
+    "min_degree_violations",
+    "nodes_below_min_degree",
+    "isolated_nodes",
+)
+
+
+def _realize_degree_sequence(spec: RealizationSpec) -> Dict[str, Any]:
+    """Task body: one realization's degree sequence (Figs. 1–4 and sweeps).
+
+    Returns the degrees together with the generator's health counters; the
+    series builder pools the former and aggregates the latter.
+    """
+    result = spec.build_result()
+    generation: Dict[str, Any] = {
+        name: int(result.metadata[name])
+        for name in _GENERATION_COUNTERS
+        if name in result.metadata
+    }
+    if "reached_target" in result.metadata:
+        generation["reached_target"] = bool(result.metadata["reached_target"])
+    return {
+        "degrees": list(result.graph.degree_sequence()),
+        "generation": generation,
+    }
 
 
 def _realize_search_curve(
@@ -218,11 +295,11 @@ def _realize_search_curve(
     is instantiated through the search registry.  NF-family algorithms
     default their ``k_min`` to the topology's stub count.
     """
-    graph = spec.build_for_measurement()
     queries = spec.scale.queries
     query_rng = spec.seed + 977
     extra = dict(params)
     with use_kernels(spec.kernels):
+        graph = spec.build_for_measurement()
         if algorithm == "rw":
             extra.setdefault("k_min", spec.stubs)
             return normalized_walk_curve(
@@ -244,8 +321,15 @@ def _degree_sequence_rows(
     hard_cutoff: Optional[int],
     exponent: float,
     tau_sub: int,
-) -> List[List[int]]:
-    """One degree sequence per realization, fanned through the active executor."""
+) -> List[Dict[str, Any]]:
+    """One degree sequence (+ generation counters) per realization.
+
+    The ambient backend and kernel mode are captured into each task, like
+    the search tasks always did, so ``--kernels jit`` reaches the topology
+    builds inside worker processes.
+    """
+    backend = active_backend()
+    kernels = active_kernels()
     tasks = [
         Task(
             fn=_realize_degree_sequence,
@@ -258,6 +342,8 @@ def _degree_sequence_rows(
                     hard_cutoff=hard_cutoff,
                     exponent=exponent,
                     tau_sub=tau_sub,
+                    backend=backend,
+                    kernels=kernels,
                 ),
             ),
             key=f"degrees:{label}[{index}]",
@@ -265,6 +351,22 @@ def _degree_sequence_rows(
         for index, seed in enumerate(realization_seeds(scale, label))
     ]
     return active_executor().run(tasks, active_progress())
+
+
+def _pool_degree_rows(
+    rows: Sequence[Dict[str, Any]],
+) -> "tuple[List[int], Dict[str, Any]]":
+    """Pool per-realization degrees; sum the generation counters across rows."""
+    pooled: List[int] = []
+    generation: Dict[str, Any] = {}
+    for row in rows:
+        pooled.extend(row["degrees"])
+        for name, value in row["generation"].items():
+            if isinstance(value, bool):
+                generation[name] = generation.get(name, True) and value
+            else:
+                generation[name] = generation.get(name, 0) + value
+    return pooled, generation
 
 
 # --------------------------------------------------------------------------- #
@@ -280,11 +382,11 @@ def degree_distribution_series(
     tau_sub: int = 4,
 ) -> Series:
     """P(k) for one parameter combination, pooled over all realizations."""
-    pooled_degrees: List[int] = []
-    for row in _degree_sequence_rows(
-        model, label, scale, stubs, hard_cutoff, exponent, tau_sub
-    ):
-        pooled_degrees.extend(row)
+    pooled_degrees, generation = _pool_degree_rows(
+        _degree_sequence_rows(
+            model, label, scale, stubs, hard_cutoff, exponent, tau_sub
+        )
+    )
     distribution = degree_distribution(pooled_degrees)
     return Series(
         label=label,
@@ -298,6 +400,7 @@ def degree_distribution_series(
             "tau_sub": tau_sub,
             "realizations": scale.realizations,
             "max_degree": max(pooled_degrees) if pooled_degrees else 0,
+            "generation": generation,
         },
     )
 
@@ -320,11 +423,11 @@ def exponent_vs_cutoff_series(
     exponents: List[float] = []
     used_cutoffs: List[int] = []
     for cutoff in cutoffs:
-        pooled: List[int] = []
-        for row in _degree_sequence_rows(
-            model, f"{label}-kc{cutoff}", scale, stubs, cutoff, exponent, tau_sub
-        ):
-            pooled.extend(row)
+        pooled, _generation = _pool_degree_rows(
+            _degree_sequence_rows(
+                model, f"{label}-kc{cutoff}", scale, stubs, cutoff, exponent, tau_sub
+            )
+        )
         try:
             fit = fit_power_law(
                 pooled, k_min=max(1, stubs), exclude_cutoff_spike=True

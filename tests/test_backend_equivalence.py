@@ -390,3 +390,85 @@ class TestKernelTierExperiments:
         assert [series.as_dict() for series in adj.series] == [
             series.as_dict() for series in jit.series
         ]
+
+
+class TestGenerationTierEquivalence:
+    """Topology *generation* over kernel tiers: byte-identical graphs.
+
+    The generator kernels (repro.kernels.generators) extend the tier
+    contract upstream of the search phase: for every construction family,
+    a jit build must emit the same nodes and edges in the same insertion
+    order (pinned through the frozen CSR arrays), and consume exactly the
+    reference's draws — so a full realization (generate + search) is
+    byte-identical end to end on every tier.  The per-family draw counts
+    and deeper edge cases live in tests/test_kernels_generators.py.
+    """
+
+    BUILDERS = {
+        "pa": lambda rng: generate_pa(300, stubs=2, hard_cutoff=10, rng=rng),
+        "cm": lambda rng: generate_cm(
+            300, exponent=2.5, min_degree=2, hard_cutoff=20, rng=rng
+        ),
+        "hapa": lambda rng: generate_hapa(200, stubs=1, hard_cutoff=8, rng=rng),
+        "dapa": lambda rng: generate_dapa(
+            150, stubs=2, hard_cutoff=10, local_ttl=4, rng=rng
+        ),
+    }
+
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
+    @pytest.mark.parametrize("model", GENERATORS)
+    def test_generation_byte_identical_across_tiers(self, model, kernels):
+        import numpy as np
+
+        reference_rng = RandomSource(seed=909)
+        tier_rng = RandomSource(seed=909)
+        with use_kernels("python"):
+            reference = self.BUILDERS[model](reference_rng)
+        with use_kernels(kernels):
+            subject = self.BUILDERS[model](tier_rng)
+        assert reference.nodes() == subject.nodes()
+        frozen_reference = reference.freeze()
+        frozen_subject = subject.freeze()
+        assert np.array_equal(frozen_reference._indptr, frozen_subject._indptr)
+        assert np.array_equal(frozen_reference._indices, frozen_subject._indices)
+        # Identical stream position: nothing downstream can shift seeds.
+        assert reference_rng.random() == tier_rng.random()
+
+    @pytest.mark.parametrize("kernels", KERNEL_TIERS)
+    def test_generate_then_search_end_to_end(self, kernels):
+        """One realization generated *and* searched on a single stream per
+        tier must agree field for field."""
+        results = {}
+        for tier in ("python", kernels):
+            rng = RandomSource(seed=4242)
+            with use_kernels(tier):
+                graph = generate_pa(250, stubs=2, hard_cutoff=12, rng=rng)
+                subject = freeze_for_backend(graph, "csr" if tier == "jit" else "adj")
+                results[tier] = NormalizedFloodingSearch(k_min=2).run(
+                    subject, 0, 6, rng=rng, target=17
+                )
+        _assert_identical(results["python"], results[kernels])
+
+    def test_fig1_jit_generation_byte_identical(self, smoke_scale):
+        """A whole degree-distribution experiment (generation-dominated)
+        under kernels='jit' — the generator tier's acceptance bar."""
+        python_result = run_experiment("fig1", scale=smoke_scale, kernels="python")
+        jit_result = run_experiment("fig1", scale=smoke_scale, kernels="jit")
+        assert [series.as_dict() for series in python_result.series] == [
+            series.as_dict() for series in jit_result.series
+        ]
+
+    def test_fig1_jit_generation_parallel_byte_identical(self, smoke_scale):
+        """The kernels choice must reach generation inside worker
+        processes (captured into each degree-sequence RealizationSpec)."""
+        from dataclasses import replace
+
+        scale = replace(smoke_scale, realizations=2)
+        python_result = run_experiment("fig1", scale=scale, kernels="python")
+        with ParallelExecutor(jobs=2) as executor:
+            jit_result = run_experiment(
+                "fig1", scale=scale, kernels="jit", executor=executor
+            )
+        assert [series.as_dict() for series in python_result.series] == [
+            series.as_dict() for series in jit_result.series
+        ]

@@ -296,3 +296,138 @@ class TestEngineCLI:
         from repro.cli import build_parser
 
         assert "suite" in build_parser().format_help()
+
+
+class TestAmbientStackThreadLocality:
+    """The ambient context stacks must isolate threads (plan distribution)."""
+
+    def test_push_in_one_thread_invisible_in_another(self):
+        import threading
+
+        from repro.core.ambient import AmbientStack
+
+        stack: AmbientStack = AmbientStack()
+        stack.push("outer")
+        seen = {}
+
+        def worker():
+            seen["before"] = stack.top("default")
+            stack.push("inner")
+            seen["after"] = stack.top("default")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen == {"before": "default", "after": "inner"}
+        assert stack.top("default") == "outer"
+
+    def test_use_executor_is_thread_local(self):
+        import threading
+
+        from repro.engine.executor import active_executor, use_executor
+
+        serial = SerialExecutor()
+        results = {}
+
+        def worker():
+            results["ambient"] = active_executor()
+
+        with use_executor(serial):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert active_executor() is serial
+        # The worker thread saw the default, not the caller's context.
+        assert results["ambient"] is not serial
+
+
+class TestScenarioPlanDistribution:
+    """A multi-panel scenario must parallelize under --jobs, byte-identically.
+
+    Panels used to serialize: each series barriers on its own realization
+    batch, idling the pool.  _run_plans spreads the compiled plans over a
+    thread pool (tasks still execute in the shared process pool), and the
+    result must be byte-identical to the serial order.
+    """
+
+    def _spec(self):
+        from repro.scenarios import ScenarioSpec
+
+        return ScenarioSpec.from_dict({
+            "id": "panel-dist",
+            "title": "panel distribution probe",
+            "topology": {"stubs": 1, "hard_cutoff": 10},
+            "panels": [
+                {"topology": {"model": "pa"},
+                 "series": [{"label": "pa P(k)",
+                             "measurement": {"kind": "degree-distribution"}}]},
+                {"topology": {"model": "cm", "exponent": 2.5},
+                 "series": [{"label": "cm P(k)",
+                             "measurement": {"kind": "degree-distribution"}}]},
+                {"topology": {"model": "pa"},
+                 "series": [{"label": "pa NF",
+                             "measurement": {"kind": "search-curve",
+                                             "algorithm": "nf"}}]},
+            ],
+        })
+
+    def test_jobs_byte_identical_to_serial(self, smoke_scale):
+        from repro.scenarios import run_scenario
+
+        serial = run_scenario(self._spec(), scale=smoke_scale)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = run_scenario(
+                self._spec(), scale=smoke_scale, executor=executor
+            )
+        assert [series.as_dict() for series in serial.series] == [
+            series.as_dict() for series in parallel.series
+        ]
+
+    def test_plans_actually_distribute_across_threads(self, smoke_scale, monkeypatch):
+        import threading
+
+        from repro.scenarios import compile as compile_module
+        from repro.scenarios import run_scenario
+
+        seen_threads = []
+        original = compile_module.run_series_plan
+
+        def recording(plan, scale):
+            seen_threads.append(threading.current_thread().name)
+            return original(plan, scale)
+
+        monkeypatch.setattr(compile_module, "run_series_plan", recording)
+        with ParallelExecutor(jobs=2) as executor:
+            run_scenario(self._spec(), scale=smoke_scale, executor=executor)
+        assert len(seen_threads) == 3
+        assert all(name.startswith("repro-plan") for name in seen_threads)
+
+    def test_serial_executor_keeps_plans_in_process(self, smoke_scale, monkeypatch):
+        import threading
+
+        from repro.scenarios import compile as compile_module
+        from repro.scenarios import run_scenario
+
+        seen_threads = []
+        original = compile_module.run_series_plan
+
+        def recording(plan, scale):
+            seen_threads.append(threading.current_thread().name)
+            return original(plan, scale)
+
+        monkeypatch.setattr(compile_module, "run_series_plan", recording)
+        run_scenario(self._spec(), scale=smoke_scale)
+        assert seen_threads == [threading.main_thread().name] * 3
+
+    def test_suite_jobs_distributes_scenario_panels(self, smoke_scale):
+        """`repro suite --jobs` path: run_suite with a shared pool must
+        reproduce the serial suite byte for byte for a multi-panel
+        experiment (fig1 has three cutoff series)."""
+        serial_report = run_suite(["fig1"], scale=smoke_scale)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel_report = run_suite(["fig1"], scale=smoke_scale, executor=executor)
+        serial_result = serial_report.results()["fig1"]
+        parallel_result = parallel_report.results()["fig1"]
+        assert [series.as_dict() for series in serial_result.series] == [
+            series.as_dict() for series in parallel_result.series
+        ]

@@ -475,7 +475,7 @@ class TestResolutionAndCompilation:
 
         def fake_rows(model, label, scale, stubs, hard_cutoff, exponent, tau_sub):
             seen.append((model, exponent))
-            return [[1, 2, 2, 3, 5, 8]]
+            return [{"degrees": [1, 2, 2, 3, 5, 8], "generation": {}}]
 
         monkeypatch.setattr(measure, "_degree_sequence_rows", fake_rows)
         spec = ScenarioSpec.from_dict(_minimal({
