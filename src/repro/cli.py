@@ -25,6 +25,18 @@ Subcommands
     Generate a topology and run a search-efficiency measurement on it.
 ``repro churn --peers 200 --duration 100 --cutoff 8``
     Run a join/leave (churn) simulation and print the topology time series.
+``repro bench --quick --json --compare BENCH_prev.json``
+    Run the pinned benchmark suite and write/compare a schema-versioned
+    ``BENCH_<date>_<sha>.json`` performance-trajectory file.
+``repro cache stats --cache .repro-cache``
+    Print result-store entry count, total bytes, and the persisted hit/miss
+    counters of the last run.
+
+Every run-style subcommand (``figure``/``suite``/``run``/``generate``/
+``search``) also takes ``--trace <out.json>`` (write a schema-versioned
+trace of spans/counters/histograms) and ``--metrics`` (print a telemetry
+summary to stderr); with either flag the ambient telemetry collector is
+enabled for the run, otherwise instrumentation is a no-op.
 """
 
 from __future__ import annotations
@@ -62,6 +74,11 @@ from repro.search.flooding import FloodingSearch
 from repro.search.metrics import normalized_walk_curve, search_curve
 from repro.search.normalized_flooding import NormalizedFloodingSearch
 from repro.simulation.churn import ChurnConfig, ChurnProcess
+from repro.telemetry.collector import (
+    TelemetryCollector,
+    telemetry_clock,
+    use_telemetry,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -69,6 +86,17 @@ __all__ = ["main", "build_parser"]
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace``/``--metrics`` flags of every run-style command."""
+    parser.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
+                        help="enable telemetry and write the trace (spans, "
+                             "counters, histograms, per-task records) to "
+                             "this JSON file")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable telemetry and print a summary of spans "
+                             "and counters to stderr after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -116,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a machine-readable JSON payload "
                              "(experiment id, cache-hit flag, full series) "
                              "instead of the text table")
+    _add_telemetry_args(figure)
 
     # suite
     suite = subparsers.add_parser(
@@ -148,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a machine-readable JSON report (per-"
                             "experiment results, timings, cache-hit flags) "
                             "instead of the summary table")
+    _add_telemetry_args(suite)
 
     # run (declarative scenarios)
     run_cmd = subparsers.add_parser(
@@ -195,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print a machine-readable JSON payload "
                               "(scenario id, spec hash, cache-hit flag, "
                               "full series) instead of the text table")
+    _add_telemetry_args(run_cmd)
 
     # scenarios (introspection)
     scenarios_cmd = subparsers.add_parser(
@@ -231,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also fit a power-law exponent to the result")
     generate.add_argument("--out", type=Path, default=None,
                           help="write the edge list to this path")
+    _add_telemetry_args(generate)
 
     # search
     search = subparsers.add_parser("search", help="measure search efficiency")
@@ -251,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["auto", "python", "jit"],
                         help="execution tier for generation and search loops "
                              "(identical results; 'jit' is faster with numba)")
+    _add_telemetry_args(search)
 
     # churn
     churn = subparsers.add_parser("churn", help="run a join/leave simulation")
@@ -262,6 +295,45 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--cutoff", type=int, default=None)
     churn.add_argument("--stubs", type=int, default=2)
     churn.add_argument("--seed", type=int, default=None)
+
+    # bench
+    bench = subparsers.add_parser(
+        "bench", help="run the pinned benchmark suite (perf trajectory)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes for CI/tests instead of paper scale")
+    bench.add_argument("--only", nargs="*", default=None, metavar="PREFIX",
+                       help="run only benchmarks whose id starts with one of "
+                            "these prefixes (e.g. generate/pa store)")
+    bench.add_argument("--out", type=Path, default=None,
+                       help="trajectory file to write (default: "
+                            "BENCH_<date>_<sha7>.json in the current "
+                            "directory)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="do not write a trajectory file (print only)")
+    bench.add_argument("--compare", type=Path, default=None, metavar="BASELINE",
+                       help="compare against a previous BENCH_*.json; exits "
+                            "non-zero when any shared benchmark regressed "
+                            "beyond --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="maximum accepted relative slowdown for "
+                            "--compare (default: 0.25 = 25%%)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full trajectory payload (and the "
+                            "comparison, if any) as JSON on stdout")
+
+    # cache
+    cache = subparsers.add_parser(
+        "cache", help="inspect a result-store directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, total bytes, and last-run hit/miss counters"
+    )
+    cache_stats.add_argument("--cache", type=Path, required=True,
+                             help="result-store directory to inspect")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="print the stats as JSON")
 
     return parser
 
@@ -287,11 +359,61 @@ def _save_result(result, out_dir: Path, to_stderr: bool = False) -> None:
     )
 
 
+def _telemetry_collector(args: argparse.Namespace) -> Optional[TelemetryCollector]:
+    """A fresh collector when ``--trace``/``--metrics`` asked for one, else
+    ``None`` (the ambient stays the zero-overhead null collector)."""
+    if getattr(args, "trace", None) is not None or getattr(args, "metrics", False):
+        return TelemetryCollector()
+    return None
+
+
+def _telemetry_report(
+    args: argparse.Namespace,
+    collector: Optional[TelemetryCollector],
+    wall_seconds: float,
+    store: Optional[ResultStore] = None,
+) -> dict:
+    """Write ``--trace``, print ``--metrics``, and return the ``--json`` block.
+
+    The block is always present in run-style JSON payloads so consumers can
+    rely on its shape; with telemetry disabled it carries only the wall time,
+    the kernel provenance (cached probe state — reading it never triggers a
+    compile), and the cache counters.
+    """
+    from repro.kernels.dispatch import probe_status
+
+    block: dict = {
+        "enabled": collector is not None,
+        "wall_seconds": wall_seconds,
+        "kernels": {
+            "requested": getattr(args, "kernels", None),
+            "probe": probe_status(),
+        },
+        "cache": store.stats() if store is not None else None,
+    }
+    if collector is None:
+        return block
+    export = collector.export()
+    block["trace"] = export
+    if args.trace is not None:
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        args.trace.write_text(json.dumps(
+            dict(export, wall_seconds=wall_seconds), indent=2, sort_keys=True
+        ))
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        for line in collector.summary_lines():
+            print(line, file=sys.stderr)
+    return block
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
     store = ResultStore(args.cache) if args.cache is not None else None
     progress = ProgressReporter(stream=sys.stderr if args.progress else None)
-    with executor_from_jobs(args.jobs) as executor:
+    collector = _telemetry_collector(args)
+    started = telemetry_clock()
+    with use_telemetry(collector), executor_from_jobs(args.jobs) as executor:
         result, from_cache = run_experiment_cached(
             args.experiment,
             scale=scale,
@@ -302,12 +424,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             backend=args.backend,
             kernels=args.kernels,
         )
+    wall_seconds = telemetry_clock() - started
+    if store is not None:
+        store.save_stats()
+    telemetry_block = _telemetry_report(args, collector, wall_seconds, store)
     if args.json:
         print(json.dumps(
             {
                 "experiment_id": result.experiment_id,
                 "from_cache": from_cache,
                 "result": result.as_dict(),
+                "telemetry": telemetry_block,
             },
             indent=2,
             sort_keys=True,
@@ -333,7 +460,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             entry.result.save_json(args.out / f"{entry.experiment_id}.json")
             entry.result.save_csv(args.out / f"{entry.experiment_id}.csv")
 
-    with executor_from_jobs(args.jobs) as executor:
+    collector = _telemetry_collector(args)
+    started = telemetry_clock()
+    with use_telemetry(collector), executor_from_jobs(args.jobs) as executor:
         report = run_suite(
             args.only,
             scale=scale,
@@ -345,10 +474,16 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             backend=args.backend,
             kernels=args.kernels,
         )
+    wall_seconds = telemetry_clock() - started
+    if store is not None:
+        store.save_stats()
+    telemetry_block = _telemetry_report(args, collector, wall_seconds, store)
     if args.out is not None:
         print(f"wrote {2 * len(report.entries)} files under {args.out}", file=sys.stderr)
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        payload = report.as_dict()
+        payload["telemetry"] = telemetry_block
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.summary())
     return 0
@@ -387,7 +522,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
     store = ResultStore(args.cache) if args.cache is not None else None
     progress = ProgressReporter(stream=sys.stderr if args.progress else None)
-    with executor_from_jobs(args.jobs) as executor:
+    collector = _telemetry_collector(args)
+    started = telemetry_clock()
+    with use_telemetry(collector), executor_from_jobs(args.jobs) as executor:
         if is_builtin:
             # Built-in ids go through the experiment registry so the cache
             # entry is the same one `repro figure <id>` / `repro suite` use
@@ -414,6 +551,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 kernels=args.kernels,
             )
+    wall_seconds = telemetry_clock() - started
+    if store is not None:
+        store.save_stats()
+    telemetry_block = _telemetry_report(args, collector, wall_seconds, store)
     comparison = None
     if args.compare is not None:
         comparison = _compare_against_baseline(result, args.compare, args.tolerance)
@@ -422,6 +563,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "spec_hash": spec.spec_hash(),
         "from_cache": from_cache,
         "result": result.as_dict(),
+        "telemetry": telemetry_block,
     }
     if comparison is not None:
         payload["comparison"] = comparison
@@ -571,8 +713,13 @@ def _build_generator(args: argparse.Namespace):
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
-    with use_kernels(args.kernels):
+    collector = _telemetry_collector(args)
+    started = telemetry_clock()
+    with use_telemetry(collector), use_kernels(args.kernels):
         result = generator.generate()
+    # The stdout payload stays exactly as before (CI diffs it byte-wise
+    # across backends/tiers); the trace file and stderr carry the telemetry.
+    _telemetry_report(args, collector, telemetry_clock() - started)
     summary = result.summary()
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.fit:
@@ -595,7 +742,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     generator = _build_generator(args)
     ttl_values = list(range(1, args.ttl + 1))
-    with use_kernels(args.kernels):
+    collector = _telemetry_collector(args)
+    started = telemetry_clock()
+    with use_telemetry(collector), use_kernels(args.kernels):
         graph = freeze_for_backend(generator.generate_graph(), args.backend)
         if args.algorithm == "fl":
             curve = search_curve(
@@ -615,6 +764,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 graph, ttl_values, k_min=args.stubs, queries=args.queries,
                 rng=args.seed,
             )
+    # Stdout stays the bare curve payload (CI diffs it across backends);
+    # the trace file and stderr carry the telemetry.
+    _telemetry_report(args, collector, telemetry_clock() - started)
     print(json.dumps(curve.as_dict(), indent=2, sort_keys=True))
     return 0
 
@@ -634,6 +786,107 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.telemetry.bench import (
+        bench_filename,
+        compare_benchmarks,
+        run_benchmarks,
+    )
+
+    def report_progress(bench_id: str, seconds: float) -> None:
+        print(f"  {bench_id:<28} {seconds:9.3f}s", file=sys.stderr)
+
+    payload = run_benchmarks(
+        quick=args.quick, only=args.only, progress=report_progress
+    )
+
+    out_path: Optional[Path] = None
+    if not args.no_write:
+        out_path = args.out if args.out is not None else Path(bench_filename())
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {out_path}", file=sys.stderr)
+
+    comparison = None
+    if args.compare is not None:
+        try:
+            baseline = json.loads(args.compare.read_text())
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot load bench baseline {str(args.compare)!r}: {error}"
+            ) from None
+        try:
+            comparison = compare_benchmarks(payload, baseline, args.tolerance)
+        except ValueError as error:
+            raise ReproError(str(error)) from None
+
+    if args.json:
+        out = dict(payload)
+        if comparison is not None:
+            out["comparison"] = comparison
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        width = max((len(entry["id"]) for entry in payload["benchmarks"]), default=5)
+        for entry in payload["benchmarks"]:
+            print(f"{entry['id']:<{width}}  {entry['seconds']:9.3f}s")
+        if comparison is not None:
+            print(f"\ncompared against {args.compare} "
+                  f"(tolerance {comparison['tolerance']:.0%}):")
+            for row in comparison["rows"]:
+                verdict = "REGRESSED" if row["regressed"] else "ok"
+                print(
+                    f"  {row['id']:<{width}}  "
+                    f"{row['baseline_seconds']:9.3f}s -> "
+                    f"{row['current_seconds']:9.3f}s  "
+                    f"x{row['ratio']:.2f}  {verdict}"
+                )
+
+    if comparison is not None and not comparison["ok"]:
+        if comparison["shared"] == 0:
+            print(
+                f"error: no shared benchmarks between this run and "
+                f"{args.compare} (nothing compared fails the gate)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"error: {comparison['regressions']} benchmark(s) regressed "
+                f"beyond tolerance {args.tolerance:.0%} vs {args.compare}",
+                file=sys.stderr,
+            )
+        return 3
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command != "stats":
+        raise ReproError("usage: repro cache stats --cache DIR")
+    store = ResultStore(args.cache)
+    disk = store.disk_stats()
+    last_run = store.last_run_stats()
+    if args.json:
+        print(json.dumps(
+            {"root": str(store.root), "disk": disk, "last_run": last_run},
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"cache root:   {store.root}")
+    print(f"entries:      {disk['entries']}")
+    print(f"total bytes:  {disk['total_bytes']}")
+    if last_run is None:
+        print("last run:     no recorded run (stores write last-run.json "
+              "after figure/suite/run)")
+    else:
+        print(
+            f"last run:     {last_run.get('hits', 0)} hits, "
+            f"{last_run.get('misses', 0)} misses, "
+            f"{last_run.get('bytes_read', 0)} bytes read, "
+            f"{last_run.get('bytes_written', 0)} bytes written"
+        )
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "figure": _cmd_figure,
@@ -643,6 +896,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "search": _cmd_search,
     "churn": _cmd_churn,
+    "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 

@@ -113,5 +113,8 @@ def freeze_for_backend(graph: GraphLike, backend: Optional[str] = None) -> Graph
     thawed, because freezing loses nothing the search phase needs.
     """
     if normalize_backend(backend) == "csr" and isinstance(graph, Graph):
-        return graph.freeze()
+        from repro.telemetry.collector import active_telemetry
+
+        with active_telemetry().span("freeze"):
+            return graph.freeze()
     return graph

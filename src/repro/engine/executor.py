@@ -34,6 +34,11 @@ from typing import Any, Iterator, List, Optional, Sequence
 from repro.core.ambient import AmbientStack
 from repro.core.errors import ExperimentError
 from repro.engine.tasks import Task
+from repro.telemetry.collector import (
+    TelemetryCollector,
+    active_telemetry,
+    use_telemetry,
+)
 
 __all__ = [
     "Executor",
@@ -51,6 +56,21 @@ def _call_task(task: Task) -> "tuple[Any, float]":
     started = time.perf_counter()
     value = task.run()
     return value, time.perf_counter() - started
+
+
+def _call_task_traced(task: Task) -> "tuple[Any, float, dict]":
+    """Run one task under a fresh collector; ship its trace with the result.
+
+    The collector is created *inside* the call so the same function works in
+    the parent process and in pool workers — the worker's ambient stack is
+    empty, and the exported payload (plain dicts) is what crosses the pickle
+    boundary, never the collector itself.
+    """
+    collector = TelemetryCollector()
+    started = time.perf_counter()
+    with use_telemetry(collector):
+        value = task.run()
+    return value, time.perf_counter() - started, collector.export()
 
 
 class Executor:
@@ -73,9 +93,14 @@ class Executor:
         self.close()
 
     def _run_serially(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
+        telemetry = active_telemetry()
         results: List[Any] = []
         for task in tasks:
-            value, seconds = _call_task(task)
+            if telemetry.enabled:
+                value, seconds, payload = _call_task_traced(task)
+                telemetry.merge_task(task.key, seconds, payload)
+            else:
+                value, seconds = _call_task(task)
             if progress is not None:
                 progress.task_finished(task.key, seconds)
             results.append(value)
@@ -143,16 +168,25 @@ class ParallelExecutor(Executor):
         pool = self._ensure_pool()
         if pool is None:  # pragma: no cover - pool creation refused by the OS
             return self._run_serially(tasks, progress)
-        futures: List[Future] = [pool.submit(_call_task, task) for task in tasks]
+        telemetry = active_telemetry()
+        call = _call_task_traced if telemetry.enabled else _call_task
+        futures: List[Future] = [pool.submit(call, task) for task in tasks]
         results: List[Any] = []
+        # Merging in submission order (not completion order) makes a traced
+        # parallel run's exported payload identical to the serial one.
         for task, future in zip(tasks, futures):
             try:
-                value, seconds = future.result()
+                outcome = future.result()
             except (pickle.PicklingError, TypeError, AttributeError):
                 # This task could not cross the process boundary (or failed
                 # with the same error class); rerun it locally so a genuine
                 # task error still surfaces from an in-process call.
-                value, seconds = _call_task(task)
+                outcome = call(task)
+            if telemetry.enabled:
+                value, seconds, payload = outcome
+                telemetry.merge_task(task.key, seconds, payload)
+            else:
+                value, seconds = outcome
             if progress is not None:
                 progress.task_finished(task.key, seconds)
             results.append(value)

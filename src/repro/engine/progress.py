@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO
 
+from repro.telemetry.collector import telemetry_clock
+
 __all__ = ["ExperimentTiming", "ProgressReporter"]
 
 
@@ -44,6 +46,9 @@ class ProgressReporter:
         self.timings: List[ExperimentTiming] = []
         self._open: Dict[str, ExperimentTiming] = {}
         self._started_at: Dict[str, float] = {}
+        # Reporter-lifetime clock for the throughput rate in task lines.
+        self._born_at = telemetry_clock()
+        self._tasks_seen = 0
         # Plan threads sharing one scenario report task events concurrently.
         self._lock = threading.Lock()
 
@@ -74,7 +79,17 @@ class ProgressReporter:
                 timing = next(reversed(self._open.values()))
                 timing.tasks += 1
                 timing.task_seconds += seconds
-        self._emit(f"  task {key or '<anonymous>'} done in {seconds:.2f}s")
+            self._tasks_seen += 1
+            tasks_seen = self._tasks_seen
+        elapsed = telemetry_clock() - self._born_at
+        # With --jobs the elapsed wall time can be far below the sum of task
+        # seconds; the rate is realizations per wall second, which is the
+        # throughput number a long parallel suite run is watched for.
+        rate = tasks_seen / elapsed if elapsed > 0 else 0.0
+        self._emit(
+            f"  task {key or '<anonymous>'} done in {seconds:.2f}s "
+            f"[elapsed {elapsed:.1f}s, {rate:.2f} tasks/s]"
+        )
 
     # ------------------------------------------------------------------ #
     # Aggregates

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ExperimentError
 from repro.experiments.results import ExperimentResult
+from repro.telemetry.collector import active_telemetry
 
 __all__ = ["ResultStore"]
 
@@ -64,6 +65,8 @@ class ResultStore:
             ) from error
         self.hits = 0
         self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -115,19 +118,27 @@ class ResultStore:
         extra: Optional[Dict[str, Any]] = None,
     ) -> Optional[ExperimentResult]:
         """Return the cached result, or ``None`` on a miss (counted)."""
+        telemetry = active_telemetry()
         path = self.path_for(self.key_for(experiment_id, scale, extra)) / "result.json"
-        if not path.exists():
-            self.misses += 1
-            return None
-        try:
-            result = ExperimentResult.load_json(path)
-        except (OSError, ValueError, KeyError):
-            # A truncated write (e.g. an interrupted run) must not poison
-            # future runs; treat it as a miss and recompute.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
+        with telemetry.span("store"):
+            if not path.exists():
+                self.misses += 1
+                telemetry.count("store.misses")
+                return None
+            try:
+                result = ExperimentResult.load_json(path)
+            except (OSError, ValueError, KeyError):
+                # A truncated write (e.g. an interrupted run) must not poison
+                # future runs; treat it as a miss and recompute.
+                self.misses += 1
+                telemetry.count("store.misses")
+                return None
+            self.hits += 1
+            telemetry.count("store.hits")
+            size = path.stat().st_size
+            self.bytes_read += size
+            telemetry.count("store.bytes_read", size)
+            return result
 
     def put(
         self,
@@ -137,21 +148,29 @@ class ResultStore:
         extra: Optional[Dict[str, Any]] = None,
     ) -> Path:
         """Persist ``result`` (JSON + CSV + meta) and return its directory."""
+        telemetry = active_telemetry()
         key = self.key_for(experiment_id, scale, extra)
         directory = self.path_for(key)
-        directory.mkdir(parents=True, exist_ok=True)
-        result.save_csv(directory / "result.csv")
-        meta = {
-            "key": key,
-            "store_schema": STORE_SCHEMA_VERSION,
-            "experiment_id": experiment_id,
-            "scale": scale.as_dict(),
-            "extra": extra or {},
-            "created_at": time.time(),
-        }
-        (directory / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
-        # result.json lands last: its presence marks the entry as complete.
-        result.save_json(directory / "result.json")
+        with telemetry.span("store"):
+            directory.mkdir(parents=True, exist_ok=True)
+            result.save_csv(directory / "result.csv")
+            meta = {
+                "key": key,
+                "store_schema": STORE_SCHEMA_VERSION,
+                "experiment_id": experiment_id,
+                "scale": scale.as_dict(),
+                "extra": extra or {},
+                "created_at": time.time(),
+            }
+            (directory / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
+            # result.json lands last: its presence marks the entry as complete.
+            result.save_json(directory / "result.json")
+            written = sum(
+                (directory / name).stat().st_size
+                for name in ("result.json", "result.csv", "meta.json")
+            )
+            self.bytes_written += written
+            telemetry.count("store.bytes_written", written)
         return directory
 
     def fetch_or_run(
@@ -189,7 +208,48 @@ class ResultStore:
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters for this store instance plus the disk entry count."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self.entries())}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.entries()),
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and total on-disk bytes of every completed entry."""
+        entries = 0
+        total_bytes = 0
+        for meta_path in self.root.glob("*/*/meta.json"):
+            directory = meta_path.parent
+            if not (directory / "result.json").exists():
+                continue
+            entries += 1
+            for artifact in directory.iterdir():
+                if artifact.is_file():
+                    total_bytes += artifact.stat().st_size
+        return {"entries": entries, "total_bytes": total_bytes}
+
+    def save_stats(self) -> Path:
+        """Persist this instance's counters as the store's last-run record.
+
+        ``repro figure|suite|run`` call this after completing, which is what
+        ``repro cache stats`` reads back as "the last run's hit/miss line".
+        """
+        path = self.root / "last-run.json"
+        payload = dict(self.stats(), saved_at=time.time())
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def last_run_stats(self) -> Optional[Dict[str, Any]]:
+        """Return the persisted last-run counters, or ``None`` if absent."""
+        path = self.root / "last-run.json"
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except ValueError:  # pragma: no cover - corrupted record
+            return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r})"

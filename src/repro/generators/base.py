@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource, ensure_source
+from repro.telemetry.collector import active_telemetry
 
 __all__ = ["GenerationResult", "TopologyGenerator"]
 
@@ -97,9 +98,24 @@ class TopologyGenerator(abc.ABC):
             is used; otherwise a fresh unseeded source is created.
         """
         source = self._resolve_rng(rng)
+        telemetry = active_telemetry()
         started = time.perf_counter()
-        graph, metadata = self._build(source)
+        with telemetry.span("generate"):
+            graph, metadata = self._build(source)
         elapsed = time.perf_counter() - started
+        if telemetry.enabled:
+            telemetry.count(f"generate.{self.model_name}")
+            # The builders already tally their rejection/starvation events in
+            # the metadata; fold the interesting ones into the trace counters.
+            for field_name, counter in (
+                ("rejected_attempts", "generate.rejections"),
+                ("unfilled_stubs", "generate.unfilled_stubs"),
+                ("removed_self_loops", "generate.removed_self_loops"),
+                ("removed_multi_edges", "generate.removed_multi_edges"),
+            ):
+                value = metadata.get(field_name)
+                if isinstance(value, (int, float)) and value:
+                    telemetry.count(counter, value)
         return GenerationResult(
             graph=graph,
             model=self.model_name,

@@ -28,12 +28,19 @@ and consulted by the search classes via :func:`kernel_query_ready`.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from repro.core.ambient import AmbientStack
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
+from repro.telemetry.collector import (
+    NULL_TELEMETRY,
+    active_telemetry,
+    telemetry_clock,
+    use_telemetry,
+)
 
 __all__ = [
     "KERNEL_MODES",
@@ -48,6 +55,7 @@ __all__ = [
     "kernel_query_ready",
     "kernel_generation_ready",
     "kernels_runtime",
+    "probe_status",
 ]
 
 #: Registered kernel modes, as accepted by ``--kernels`` / ``REPRO_KERNELS``.
@@ -291,12 +299,27 @@ def _reference_rw(graph, rng):
 
 
 def kernel_self_check() -> bool:
-    """Return (and cache) the parity self-check verdict for this process."""
+    """Return (and cache) the parity self-check verdict for this process.
+
+    The first run is also where numba compiles every kernel, so its wall
+    time is recorded (``_PROBE["self_check_seconds"]``, and a
+    ``kernel-compile`` span when a telemetry collector is active) — that is
+    the "compile tax" the trace and the runtime provenance surface.
+    """
     if "self_check" not in _PROBE:
-        try:
-            passed, reason = _parity_self_check()
-        except Exception as error:  # kernel import/compile failure
-            passed, reason = False, f"{type(error).__name__}: {error}"
+        with active_telemetry().span("kernel-compile"):
+            started = telemetry_clock()
+            try:
+                # The probe's reference queries are infrastructure, not
+                # workload: mute telemetry so they don't pollute the
+                # search/generation counters and histograms.  The
+                # kernel-compile span above still charges the probe's wall
+                # time to the active collector.
+                with use_telemetry(NULL_TELEMETRY):
+                    passed, reason = _parity_self_check()
+            except Exception as error:  # kernel import/compile failure
+                passed, reason = False, f"{type(error).__name__}: {error}"
+            _PROBE["self_check_seconds"] = telemetry_clock() - started
         _PROBE["self_check"] = passed
         _PROBE["self_check_failure"] = reason
     return bool(_PROBE["self_check"])
@@ -308,12 +331,41 @@ def self_check_failure() -> str:
     return str(_PROBE.get("self_check_failure", ""))
 
 
+#: One-time-per-process guard for tier-fallback warnings, so a suite with
+#: thousands of queries reports its effective tier exactly once.
+_TIER_WARNINGS: "set[str]" = set()
+
+
+def _warn_tier(key: str, message: str) -> None:
+    if key in _TIER_WARNINGS:
+        return
+    _TIER_WARNINGS.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
 def kernel_tier() -> str:
     """The tier ``auto`` resolves to: ``jit`` only when numba imports and
-    the parity self-check passes, else ``python``."""
-    if numba_available() and kernel_self_check():
-        return "jit"
-    return "python"
+    the parity self-check passes, else ``python``.
+
+    The fallback is no longer silent: the first resolution that demotes
+    ``auto`` to ``python`` says why (numba missing, or the parity
+    self-check failed) with a one-line :class:`RuntimeWarning`.
+    """
+    if not numba_available():
+        _warn_tier(
+            "auto-no-numba",
+            "kernels: auto resolved to the python tier (numba is not "
+            "installed; pip install numba for compiled kernels)",
+        )
+        return "python"
+    if not kernel_self_check():
+        _warn_tier(
+            "auto-self-check",
+            "kernels: auto resolved to the python tier (jit self-check "
+            f"failed: {self_check_failure()})",
+        )
+        return "python"
+    return "jit"
 
 
 def resolve_kernels(mode: Optional[str] = None) -> str:
@@ -329,7 +381,14 @@ def resolve_kernels(mode: Optional[str] = None) -> str:
         return "python"
     if requested == "auto":
         return kernel_tier()
-    return "jit" if kernel_self_check() else "python"
+    if kernel_self_check():
+        return "jit"
+    _warn_tier(
+        "jit-self-check",
+        "kernels: explicit jit request fell back to the python tier "
+        f"(self-check failed: {self_check_failure()})",
+    )
+    return "python"
 
 
 def kernel_query_ready(rng: object) -> bool:
@@ -343,7 +402,11 @@ def kernel_query_ready(rng: object) -> bool:
     """
     if type(rng) is not RandomSource:
         return False
-    return resolve_kernels() == "jit"
+    ready = resolve_kernels() == "jit"
+    telemetry = active_telemetry()
+    if telemetry.enabled:
+        telemetry.count(f"kernels.search.{'jit' if ready else 'python'}")
+    return ready
 
 
 def kernel_generation_ready(rng: object) -> bool:
@@ -357,7 +420,11 @@ def kernel_generation_ready(rng: object) -> bool:
     """
     if type(rng) is not RandomSource:
         return False
-    return resolve_kernels() == "jit"
+    ready = resolve_kernels() == "jit"
+    telemetry = active_telemetry()
+    if telemetry.enabled:
+        telemetry.count(f"kernels.generation.{'jit' if ready else 'python'}")
+    return ready
 
 
 def kernels_runtime() -> str:
@@ -370,3 +437,20 @@ def kernels_runtime() -> str:
     if NUMBA_AVAILABLE:
         return f"jit (numba {NUMBA_VERSION})"
     return "jit (interpreted fallback; install numba for compiled kernels)"
+
+
+def probe_status() -> Dict[str, object]:
+    """The cached probe state, *without* triggering the probe.
+
+    Reports (JSON-friendly) whether numba import / self-check have run this
+    process and what they concluded, plus the self-check wall time (the
+    numba compile tax).  Telemetry reports use this so that rendering a
+    ``--json`` block never pays for a kernel compilation the run itself
+    did not need.
+    """
+    return {
+        "numba": _PROBE.get("numba"),
+        "self_check": _PROBE.get("self_check"),
+        "self_check_failure": _PROBE.get("self_check_failure", ""),
+        "self_check_seconds": _PROBE.get("self_check_seconds"),
+    }

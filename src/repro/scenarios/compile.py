@@ -190,14 +190,18 @@ def _run_plans(
 
     from repro.core.backend import active_backend, use_backend
     from repro.kernels.dispatch import active_kernels, use_kernels
+    from repro.telemetry.collector import active_telemetry, use_telemetry
 
     progress = active_progress()
     backend = active_backend()
     kernels = active_kernels()
+    # The collector is thread-safe; every plan thread records into the same
+    # instance the caller installed (or the shared null collector).
+    telemetry = active_telemetry()
 
     def run_one(plan: SeriesPlan) -> List[Series]:
         with use_executor(executor, progress), use_backend(backend), \
-                use_kernels(kernels):
+                use_kernels(kernels), use_telemetry(telemetry):
             return run_series_plan(plan, scale)
 
     with ThreadPoolExecutor(

@@ -27,6 +27,7 @@ from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.core.types import NodeId
 from repro.search.base import QueryResult, SearchAlgorithm
+from repro.telemetry.collector import active_telemetry
 
 __all__ = ["FloodingSearch", "flood"]
 
@@ -78,6 +79,7 @@ class FloodingSearch(SearchAlgorithm):
 
         cumulative_hits = base_hits
         cumulative_messages = 0
+        telemetry = active_telemetry()
 
         for hop in range(1, ttl + 1):
             next_frontier: deque = deque()
@@ -95,6 +97,8 @@ class FloodingSearch(SearchAlgorithm):
                         found_at = hop
                     next_frontier.append((neighbor, node))
             frontier = next_frontier
+            if telemetry.enabled:
+                telemetry.observe("search.frontier", len(frontier))
             hits_per_ttl.append(cumulative_hits)
             messages_per_ttl.append(cumulative_messages)
             if not frontier:
@@ -125,6 +129,15 @@ class FloodingSearch(SearchAlgorithm):
         """Whole flooding curve from the vectorized BFS kernel."""
         base_hits = 1 if self.count_source_as_hit else 0
         levels, hits, messages = flood_curve(graph, graph._row_of(source), ttl)
+
+        telemetry = active_telemetry()
+        if telemetry.enabled:
+            # The kernel returns cumulative new-node counts per hop; their
+            # deltas are exactly the per-hop BFS frontier sizes.
+            previous = 0
+            for cumulative in hits:
+                telemetry.observe("search.frontier", int(cumulative) - previous)
+                previous = int(cumulative)
 
         hits_per_ttl = [base_hits] + [base_hits + int(h) for h in hits]
         messages_per_ttl = [0] + [int(m) for m in messages]

@@ -27,6 +27,7 @@ from repro.core.csr import CSRGraph, batch_flood_curves
 from repro.core.errors import SearchError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource, ensure_source
+from repro.telemetry.collector import active_telemetry
 from repro.core.types import NodeId
 from repro.kernels.dispatch import kernel_query_ready
 from repro.search.base import SearchAlgorithm
@@ -168,54 +169,65 @@ def search_curve(
         sources = select_sources(graph, queries, random_source.spawn("sources"))
     query_rng = random_source.spawn("queries")
 
-    if type(algorithm) is FloodingSearch and isinstance(graph, CSRGraph):
-        # Batched CSR fast path: one vectorized kernel call covers the whole
-        # query batch.  Flooding is deterministic (``query_rng`` is never
-        # drawn from), so the results — and the RNG stream position — are
-        # identical to the per-query loop below.
-        rows = []
-        for source_node in sources:
-            # Same validation (and the same SearchError) the generic path
-            # gets from algorithm.run() — backends must match on the error
-            # path too.
-            algorithm._validate(graph, source_node, max_ttl)
-            rows.append(graph._row_of(source_node))
-        batch_hits, batch_messages = batch_flood_curves(graph, rows, max_ttl)
-        base_hits = 1 if algorithm.count_source_as_hit else 0
-        columns = np.array(ttl_list)
-        # Force C order: the reduction order of mean/std must match the
-        # row-major matrices of the generic path bit-for-bit.
-        hits_matrix = (batch_hits[:, columns] + base_hits).astype(float, order="C")
-        messages_matrix = batch_messages[:, columns].astype(float, order="C")
-    elif (
-        isinstance(graph, CSRGraph)
-        and len(sources) > 0
-        and type(algorithm) in (
-            NormalizedFloodingSearch,
-            ProbabilisticFloodingSearch,
-            RandomWalkSearch,
-        )
-        and kernel_query_ready(query_rng)
-    ):
-        # Batched kernel-tier fast path (throughput mode): the whole query
-        # batch runs back-to-back inside one compiled call, consuming
-        # ``query_rng``'s stream in query order — draw-identical to the
-        # per-query loop below, without its per-call overhead.
-        batch_hits, batch_messages = _stochastic_batch_curves(
-            graph, algorithm, sources, max_ttl, query_rng
-        )
-        columns = np.array(ttl_list)
-        hits_matrix = batch_hits[:, columns].astype(float, order="C")
-        messages_matrix = batch_messages[:, columns].astype(float, order="C")
-    else:
-        hits_matrix = np.zeros((len(sources), len(ttl_list)))
-        messages_matrix = np.zeros((len(sources), len(ttl_list)))
-        for row, source_node in enumerate(sources):
-            result = algorithm.run(graph, source_node, max_ttl, rng=query_rng)
-            for column, ttl in enumerate(ttl_list):
-                hits_matrix[row, column] = result.hits_at(ttl)
-                messages_matrix[row, column] = result.messages_at(ttl)
+    telemetry = active_telemetry()
+    with telemetry.span("search"):
+        if type(algorithm) is FloodingSearch and isinstance(graph, CSRGraph):
+            # Batched CSR fast path: one vectorized kernel call covers the whole
+            # query batch.  Flooding is deterministic (``query_rng`` is never
+            # drawn from), so the results — and the RNG stream position — are
+            # identical to the per-query loop below.
+            rows = []
+            for source_node in sources:
+                # Same validation (and the same SearchError) the generic path
+                # gets from algorithm.run() — backends must match on the error
+                # path too.
+                algorithm._validate(graph, source_node, max_ttl)
+                rows.append(graph._row_of(source_node))
+            batch_hits, batch_messages = batch_flood_curves(graph, rows, max_ttl)
+            base_hits = 1 if algorithm.count_source_as_hit else 0
+            columns = np.array(ttl_list)
+            # Force C order: the reduction order of mean/std must match the
+            # row-major matrices of the generic path bit-for-bit.
+            hits_matrix = (batch_hits[:, columns] + base_hits).astype(float, order="C")
+            messages_matrix = batch_messages[:, columns].astype(float, order="C")
+        elif (
+            isinstance(graph, CSRGraph)
+            and len(sources) > 0
+            and type(algorithm) in (
+                NormalizedFloodingSearch,
+                ProbabilisticFloodingSearch,
+                RandomWalkSearch,
+            )
+            and kernel_query_ready(query_rng)
+        ):
+            # Batched kernel-tier fast path (throughput mode): the whole query
+            # batch runs back-to-back inside one compiled call, consuming
+            # ``query_rng``'s stream in query order — draw-identical to the
+            # per-query loop below, without its per-call overhead.
+            batch_hits, batch_messages = _stochastic_batch_curves(
+                graph, algorithm, sources, max_ttl, query_rng
+            )
+            columns = np.array(ttl_list)
+            hits_matrix = batch_hits[:, columns].astype(float, order="C")
+            messages_matrix = batch_messages[:, columns].astype(float, order="C")
+        else:
+            hits_matrix = np.zeros((len(sources), len(ttl_list)))
+            messages_matrix = np.zeros((len(sources), len(ttl_list)))
+            for row, source_node in enumerate(sources):
+                result = algorithm.run(graph, source_node, max_ttl, rng=query_rng)
+                for column, ttl in enumerate(ttl_list):
+                    hits_matrix[row, column] = result.hits_at(ttl)
+                    messages_matrix[row, column] = result.messages_at(ttl)
 
+    if telemetry.enabled:
+        telemetry.count("search.queries", len(sources))
+        telemetry.count(
+            f"search.queries.{algorithm.algorithm_name}", len(sources)
+        )
+        # Total messages across the batch at the largest TTL measured.
+        telemetry.count(
+            "search.messages.total", float(messages_matrix[:, -1].sum())
+        )
     return SearchCurve(
         algorithm=algorithm.algorithm_name,
         ttl_values=ttl_list,
@@ -303,44 +315,52 @@ def normalized_walk_curve(
     nf_search = NormalizedFloodingSearch(k_min=k_min)
     rw_search = RandomWalkSearch(walkers=walkers)
 
-    if (
-        isinstance(graph, CSRGraph)
-        and len(sources) > 0
-        and kernel_query_ready(nf_rng)
-        and kernel_query_ready(rw_rng)
-    ):
-        # Batched kernel-tier fast path: all NF budget measurements run in
-        # one compiled call on ``nf_rng``, then all (per-query-budgeted)
-        # walks in one call on ``rw_rng``.  Each stream is consumed in the
-        # same query order as the interleaved reference loop, so results
-        # and both stream positions are identical.
-        from repro.kernels.search import nf_curve_batch, rw_curve_batch
+    telemetry = active_telemetry()
+    with telemetry.span("search"):
+        if (
+            isinstance(graph, CSRGraph)
+            and len(sources) > 0
+            and kernel_query_ready(nf_rng)
+            and kernel_query_ready(rw_rng)
+        ):
+            # Batched kernel-tier fast path: all NF budget measurements run in
+            # one compiled call on ``nf_rng``, then all (per-query-budgeted)
+            # walks in one call on ``rw_rng``.  Each stream is consumed in the
+            # same query order as the interleaved reference loop, so results
+            # and both stream positions are identical.
+            from repro.kernels.search import nf_curve_batch, rw_curve_batch
 
-        for source_node in sources:
-            nf_search._validate(graph, source_node, max_ttl)
-        branching = k_min if k_min is not None else max(1, graph.min_degree())
-        _nf_hits, nf_messages = nf_curve_batch(
-            graph, sources, max_ttl, nf_rng, branching, False
-        )
-        budgets = np.maximum(nf_messages[:, np.array(ttl_list)], 1)
-        walk_ttls = budgets.max(axis=1)
-        walk_hits, walk_messages = rw_curve_batch(
-            graph, sources, walk_ttls, rw_rng, walkers, False, False
-        )
-        rows = np.arange(len(sources))[:, np.newaxis]
-        hits_matrix = walk_hits[rows, budgets].astype(float, order="C")
-        messages_matrix = walk_messages[rows, budgets].astype(float, order="C")
-    else:
-        hits_matrix = np.zeros((len(sources), len(ttl_list)))
-        messages_matrix = np.zeros((len(sources), len(ttl_list)))
-        for row, source_node in enumerate(sources):
-            nf_result = nf_search.run(graph, source_node, max_ttl, rng=nf_rng)
-            budgets = [max(1, nf_result.messages_at(ttl)) for ttl in ttl_list]
-            walk_result = rw_search.run(graph, source_node, max(budgets), rng=rw_rng)
-            for column, budget in enumerate(budgets):
-                hits_matrix[row, column] = walk_result.hits_at(budget)
-                messages_matrix[row, column] = walk_result.messages_at(budget)
+            for source_node in sources:
+                nf_search._validate(graph, source_node, max_ttl)
+            branching = k_min if k_min is not None else max(1, graph.min_degree())
+            _nf_hits, nf_messages = nf_curve_batch(
+                graph, sources, max_ttl, nf_rng, branching, False
+            )
+            budgets = np.maximum(nf_messages[:, np.array(ttl_list)], 1)
+            walk_ttls = budgets.max(axis=1)
+            walk_hits, walk_messages = rw_curve_batch(
+                graph, sources, walk_ttls, rw_rng, walkers, False, False
+            )
+            rows = np.arange(len(sources))[:, np.newaxis]
+            hits_matrix = walk_hits[rows, budgets].astype(float, order="C")
+            messages_matrix = walk_messages[rows, budgets].astype(float, order="C")
+        else:
+            hits_matrix = np.zeros((len(sources), len(ttl_list)))
+            messages_matrix = np.zeros((len(sources), len(ttl_list)))
+            for row, source_node in enumerate(sources):
+                nf_result = nf_search.run(graph, source_node, max_ttl, rng=nf_rng)
+                budgets = [max(1, nf_result.messages_at(ttl)) for ttl in ttl_list]
+                walk_result = rw_search.run(graph, source_node, max(budgets), rng=rw_rng)
+                for column, budget in enumerate(budgets):
+                    hits_matrix[row, column] = walk_result.hits_at(budget)
+                    messages_matrix[row, column] = walk_result.messages_at(budget)
 
+    if telemetry.enabled:
+        telemetry.count("search.queries", len(sources))
+        telemetry.count("search.queries.rw", len(sources))
+        telemetry.count(
+            "search.messages.total", float(messages_matrix[:, -1].sum())
+        )
     return SearchCurve(
         algorithm="rw",
         ttl_values=ttl_list,

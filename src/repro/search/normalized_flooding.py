@@ -30,6 +30,7 @@ from repro.core.rng import RandomSource
 from repro.core.types import NodeId
 from repro.kernels.dispatch import kernel_query_ready
 from repro.search.base import QueryResult, SearchAlgorithm
+from repro.telemetry.collector import active_telemetry
 
 __all__ = ["NormalizedFloodingSearch", "normalized_flood"]
 
@@ -109,6 +110,7 @@ class NormalizedFloodingSearch(SearchAlgorithm):
 
         cumulative_hits = base_hits
         cumulative_messages = 0
+        telemetry = active_telemetry()
 
         # Hop 1: the source sends to `branching` random neighbors (or all of
         # them when it has fewer than `branching`).
@@ -126,6 +128,8 @@ class NormalizedFloodingSearch(SearchAlgorithm):
                     frontier.append((neighbor, source))
             hits_per_ttl.append(cumulative_hits)
             messages_per_ttl.append(cumulative_messages)
+            if telemetry.enabled:
+                telemetry.observe("search.frontier", len(frontier))
 
         for hop in range(2, ttl + 1):
             next_frontier: deque = deque()
@@ -149,6 +153,8 @@ class NormalizedFloodingSearch(SearchAlgorithm):
             frontier = next_frontier
             hits_per_ttl.append(cumulative_hits)
             messages_per_ttl.append(cumulative_messages)
+            if telemetry.enabled:
+                telemetry.observe("search.frontier", len(frontier))
             if not frontier:
                 for _ in range(hop + 1, ttl + 1):
                     hits_per_ttl.append(cumulative_hits)

@@ -1,0 +1,28 @@
+"""Telemetry: ambient tracing/counters plus the pinned benchmark suite.
+
+The collector half (:mod:`repro.telemetry.collector`) is imported eagerly —
+it is the hot-path dependency of every execution layer and pulls in nothing
+beyond the standard library.  The benchmark half
+(:mod:`repro.telemetry.bench`) imports generators and search algorithms, so
+it stays a lazy import behind ``repro bench``.
+"""
+
+from repro.telemetry.collector import (
+    NULL_TELEMETRY,
+    TRACE_SCHEMA_VERSION,
+    NullTelemetry,
+    TelemetryCollector,
+    active_telemetry,
+    telemetry_clock,
+    use_telemetry,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "TelemetryCollector",
+    "active_telemetry",
+    "use_telemetry",
+    "telemetry_clock",
+]

@@ -1,0 +1,355 @@
+"""The pinned benchmark suite behind ``repro bench``.
+
+Runs a fixed set of micro/macro benchmarks — topology generation per
+construction family × kernel tier, NF/PF/RW/FL search curves at fig9/fig11
+scale, and a :class:`~repro.engine.store.ResultStore` round-trip — and
+emits a schema-versioned payload suitable for committing as a
+``BENCH_<date>_<sha>.json`` trajectory file at the repo root.
+
+:func:`compare_benchmarks` is the regression gate: given a current payload
+and a stored baseline it flags every shared benchmark whose wall time grew
+beyond a relative tolerance, which the CLI turns into a non-zero exit code
+(and CI turns into a failed ``bench`` job).
+
+Timings are wall-clock and therefore machine-dependent; trajectory files
+record the interpreter, platform, and numba provenance so cross-machine
+comparisons can be discounted, and the CI gate runs with a deliberately
+generous tolerance.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "run_benchmarks",
+    "compare_benchmarks",
+    "bench_filename",
+]
+
+#: Bump when the payload layout or the benchmark set changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Base seed for every benchmark topology/query stream (pinned so two runs
+#: on one machine time identical work).
+BENCH_SEED = 20070611
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return "unknown"
+
+
+def bench_filename(date: Optional[str] = None, sha: Optional[str] = None) -> str:
+    """Default trajectory file name: ``BENCH_<YYYYMMDD>_<sha7>.json``."""
+    if date is None:
+        date = time.strftime("%Y%m%d")
+    if sha is None:
+        sha = _git_sha()
+    return f"BENCH_{date}_{sha[:7]}.json"
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark bodies
+# --------------------------------------------------------------------------- #
+def _make_generator(model: str, nodes: int, seed: int):
+    from repro.core.config import GRNConfig
+    from repro.generators.cm import ConfigurationModelGenerator
+    from repro.generators.dapa import DAPAGenerator
+    from repro.generators.hapa import HAPAGenerator
+    from repro.generators.pa import PreferentialAttachmentGenerator
+
+    if model == "pa":
+        return PreferentialAttachmentGenerator(
+            nodes, stubs=2, hard_cutoff=40, seed=seed
+        )
+    if model == "cm":
+        return ConfigurationModelGenerator(
+            nodes, exponent=2.6, min_degree=2, hard_cutoff=40, seed=seed
+        )
+    if model == "hapa":
+        return HAPAGenerator(nodes, stubs=2, hard_cutoff=40, seed=seed)
+    if model == "dapa":
+        substrate = GRNConfig(
+            number_of_nodes=2 * nodes,
+            target_mean_degree=10.0,
+            dimensions=2,
+            seed=seed,
+        )
+        return DAPAGenerator(
+            overlay_size=nodes,
+            stubs=2,
+            hard_cutoff=40,
+            local_ttl=4,
+            substrate_config=substrate,
+            seed=seed,
+        )
+    raise ValueError(f"unknown bench model {model!r}")
+
+
+def _time_call(fn: Callable[[], Any], repeats: int, warmup: bool) -> float:
+    """Best-of-``repeats`` wall time; an optional untimed warm-up call first.
+
+    The warm-up absorbs one-time costs (numba kernel compilation, lazy
+    imports) so the recorded number is the steady-state cost the trajectory
+    tracks; compile time is surfaced separately via the dispatch probe.
+    """
+    if warmup:
+        fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _generation_cases(quick: bool, tiers: Sequence[str]) -> List[Dict[str, Any]]:
+    from repro.kernels.dispatch import use_kernels
+
+    sizes = {
+        "pa": 1500 if quick else 10_000,
+        "cm": 1500 if quick else 10_000,
+        "hapa": 500 if quick else 2000,
+        "dapa": 300 if quick else 2000,
+    }
+    cases: List[Dict[str, Any]] = []
+    for model, nodes in sizes.items():
+        for tier in tiers:
+            def build(model: str = model, nodes: int = nodes, tier: str = tier) -> None:
+                generator = _make_generator(model, nodes, BENCH_SEED)
+                with use_kernels(tier):
+                    generator.generate()
+
+            cases.append(
+                {
+                    "id": f"generate/{model}/{tier}",
+                    "fn": build,
+                    "warmup": tier == "jit",
+                    "meta": {"nodes": nodes, "tier": tier, "model": model},
+                }
+            )
+    return cases
+
+
+def _search_cases(quick: bool, tiers: Sequence[str]) -> List[Dict[str, Any]]:
+    from repro.kernels.dispatch import use_kernels
+    from repro.search.flooding import FloodingSearch
+    from repro.search.metrics import normalized_walk_curve, search_curve
+    from repro.search.normalized_flooding import NormalizedFloodingSearch
+    from repro.search.probabilistic_flooding import ProbabilisticFloodingSearch
+
+    nodes = 400 if quick else 1500
+    queries = 10 if quick else 40
+    ttl = list(range(2, 9, 2))
+    fl_ttl = list(range(1, 11))
+    # One frozen fig9-style PA topology shared by every search benchmark, so
+    # the numbers isolate the query loops from generation cost.
+    graph = _make_generator("pa", nodes, BENCH_SEED).generate_graph().freeze()
+
+    runners: Dict[str, Callable[[str], Any]] = {
+        "nf": lambda tier: search_curve(
+            graph, NormalizedFloodingSearch(k_min=2), ttl,
+            queries=queries, rng=BENCH_SEED,
+        ),
+        "pf": lambda tier: search_curve(
+            graph, ProbabilisticFloodingSearch(0.5), ttl,
+            queries=queries, rng=BENCH_SEED,
+        ),
+        "rw": lambda tier: normalized_walk_curve(
+            graph, ttl, k_min=2, queries=queries, rng=BENCH_SEED,
+        ),
+        "fl": lambda tier: search_curve(
+            graph, FloodingSearch(), fl_ttl, queries=queries, rng=BENCH_SEED,
+        ),
+    }
+    cases: List[Dict[str, Any]] = []
+    for algorithm, runner in runners.items():
+        for tier in tiers:
+            # FL has no stochastic kernel tier; its CSR BFS path is shared.
+            if algorithm == "fl" and tier != "python":
+                continue
+
+            def run(runner: Callable[[str], Any] = runner, tier: str = tier) -> None:
+                with use_kernels(tier):
+                    runner(tier)
+
+            cases.append(
+                {
+                    "id": f"search/{algorithm}/{tier}",
+                    "fn": run,
+                    "warmup": tier == "jit",
+                    "meta": {
+                        "nodes": nodes,
+                        "queries": queries,
+                        "tier": tier,
+                        "algorithm": algorithm,
+                    },
+                }
+            )
+    return cases
+
+
+def _store_cases(quick: bool) -> List[Dict[str, Any]]:
+    from repro.engine.store import ResultStore
+    from repro.experiments.results import ExperimentResult, Series
+    from repro.experiments.runner import ExperimentScale
+
+    rounds = 5 if quick else 20
+
+    def roundtrip() -> None:
+        result = ExperimentResult("bench", "store round-trip probe")
+        for index in range(4):
+            result.add(
+                Series(
+                    label=f"series-{index}",
+                    x=list(range(200)),
+                    y=[float(value) for value in range(200)],
+                    metadata={"index": index},
+                )
+            )
+        scale = ExperimentScale.smoke()
+        with tempfile.TemporaryDirectory() as root:
+            store = ResultStore(root)
+            for round_index in range(rounds):
+                store.put(f"bench-{round_index}", scale, result)
+                fetched = store.get(f"bench-{round_index}", scale)
+                assert fetched is not None
+
+    return [
+        {
+            "id": "store/roundtrip",
+            "fn": roundtrip,
+            "warmup": False,
+            "meta": {"rounds": rounds, "series": 4, "points": 200},
+        }
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Suite driver
+# --------------------------------------------------------------------------- #
+def run_benchmarks(
+    quick: bool = False,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str, float], None]] = None,
+) -> Dict[str, Any]:
+    """Run the pinned suite and return the trajectory payload.
+
+    Parameters
+    ----------
+    quick:
+        Use the small sizes (CI / test mode) instead of fig1/fig9 scale.
+    only:
+        Optional id-prefix filter (e.g. ``["generate/pa", "store"]``).
+    progress:
+        Optional callback invoked with ``(benchmark_id, seconds)`` as each
+        benchmark finishes.
+    """
+    from repro.kernels._compat import NUMBA_AVAILABLE, NUMBA_VERSION
+    from repro.kernels.dispatch import kernel_tier, kernels_runtime
+
+    tiers: List[str] = ["python"]
+    if kernel_tier() == "jit":
+        tiers.append("jit")
+
+    cases = _generation_cases(quick, tiers) + _search_cases(quick, tiers) + _store_cases(quick)
+    if only:
+        prefixes = tuple(only)
+        cases = [case for case in cases if str(case["id"]).startswith(prefixes)]
+
+    repeats = 1 if quick else 2
+    benchmarks: List[Dict[str, Any]] = []
+    for case in cases:
+        seconds = _time_call(case["fn"], repeats=repeats, warmup=bool(case["warmup"]))
+        benchmarks.append(
+            {
+                "id": case["id"],
+                "seconds": seconds,
+                "repeats": repeats,
+                "meta": dict(case["meta"]),
+            }
+        )
+        if progress is not None:
+            progress(str(case["id"]), seconds)
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "date": time.strftime("%Y%m%d"),
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numba": NUMBA_VERSION if NUMBA_AVAILABLE else None,
+        "kernels_runtime": kernels_runtime(),
+        "quick": bool(quick),
+        "seed": BENCH_SEED,
+        "benchmarks": benchmarks,
+    }
+
+
+def compare_benchmarks(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> Dict[str, Any]:
+    """Diff two trajectory payloads; flag relative wall-time regressions.
+
+    A shared benchmark regresses when ``current > baseline * (1 +
+    tolerance)``.  Benchmarks present on only one side are reported but do
+    not fail the gate (tier availability legitimately differs across
+    machines); an *empty* shared set fails closed — nothing compared is a
+    broken comparison, not a pass.
+    """
+    if baseline.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline bench schema {baseline.get('schema')!r} is not "
+            f"readable by this build (expects {BENCH_SCHEMA_VERSION})"
+        )
+    current_by_id = {entry["id"]: entry for entry in current.get("benchmarks", [])}
+    baseline_by_id = {entry["id"]: entry for entry in baseline.get("benchmarks", [])}
+    shared = sorted(set(current_by_id) & set(baseline_by_id))
+    rows: List[Dict[str, Any]] = []
+    regressions = 0
+    for bench_id in shared:
+        new_seconds = float(current_by_id[bench_id]["seconds"])
+        old_seconds = float(baseline_by_id[bench_id]["seconds"])
+        ratio = new_seconds / old_seconds if old_seconds > 0 else float("inf")
+        regressed = new_seconds > old_seconds * (1.0 + tolerance)
+        regressions += int(regressed)
+        rows.append(
+            {
+                "id": bench_id,
+                "baseline_seconds": old_seconds,
+                "current_seconds": new_seconds,
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+        )
+    return {
+        "tolerance": tolerance,
+        "ok": bool(shared) and regressions == 0,
+        "regressions": regressions,
+        "shared": len(shared),
+        "only_in_current": sorted(set(current_by_id) - set(baseline_by_id)),
+        "only_in_baseline": sorted(set(baseline_by_id) - set(current_by_id)),
+        "rows": rows,
+    }

@@ -1,0 +1,345 @@
+"""Structured tracing and counters for the execution layers.
+
+The telemetry subsystem is *ambient*, like the executor/backend/kernel
+contexts: instrumented code fetches the active collector with
+:func:`active_telemetry` and records into it — spans (named wall-clock
+sections such as ``generate``/``freeze``/``search``/``store``/
+``kernel-compile``), monotonic counters (RNG rejections, cache hits,
+dispatched kernel tiers), and histograms (BFS frontier sizes).
+
+Zero overhead when disabled is the design constraint: the default ambient
+value is the :data:`NULL_TELEMETRY` singleton whose methods are no-ops and
+whose :meth:`~NullTelemetry.span` returns one shared, reusable context
+manager — instrumenting a hot loop costs an attribute read and a branch,
+and allocates nothing (pinned by ``tests/test_telemetry.py``).
+
+Collectors survive process boundaries by value, not by reference: the
+engine's executors run each task under a fresh worker-side collector,
+ship its :meth:`~TelemetryCollector.export` payload back with the result,
+and merge it into the parent collector in submission order
+(:meth:`~TelemetryCollector.merge_task`) — so a parallel run's merged trace
+matches a serial run's exactly, minus wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.ambient import AmbientStack
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "TelemetryCollector",
+    "active_telemetry",
+    "use_telemetry",
+    "telemetry_clock",
+]
+
+#: Bump when the exported trace layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: The clock every telemetry consumer shares (monotonic, sub-microsecond).
+telemetry_clock = time.perf_counter
+
+
+class _NullSpan:
+    """A reusable no-op context manager (one shared instance, no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled collector: every operation is a no-op.
+
+    Hot loops are instrumented against this interface; with telemetry off
+    (the default) the calls reduce to attribute reads and immediate
+    returns, allocating nothing.
+    """
+
+    __slots__ = ()
+
+    #: Instrumented code branches on this before doing any per-event work.
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+#: The process-wide disabled collector (ambient default).
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Span:
+    """Context manager recording one timed section into its collector."""
+
+    __slots__ = ("_collector", "_name", "_started")
+
+    def __init__(self, collector: "TelemetryCollector", name: str) -> None:
+        self._collector = collector
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = telemetry_clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._collector._record_span(
+            self._name, telemetry_clock() - self._started
+        )
+
+
+class TelemetryCollector:
+    """An enabled collector aggregating spans, counters, and histograms.
+
+    Thread-safe: scenario plan threads (and the executor's merge of worker
+    payloads) may record concurrently into one collector.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: Dict[str, Dict[str, float]] = {}
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+        self.tasks: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str) -> _Span:
+        """Return a context manager timing one ``name`` section."""
+        return _Span(self, name)
+
+    def _record_span(self, name: str, seconds: float) -> None:
+        with self._lock:
+            entry = self.spans.get(name)
+            if entry is None:
+                entry = {"count": 0, "seconds": 0.0}
+                self.spans[name] = entry
+            entry["count"] += 1
+            entry["seconds"] += seconds
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the monotonic counter ``name``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``.
+
+        Histograms keep summary statistics (count/total/min/max), which is
+        what the reports surface; full per-observation storage would defeat
+        the low-overhead contract.
+        """
+        with self._lock:
+            entry = self.histograms.get(name)
+            if entry is None:
+                self.histograms[name] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+                return
+            entry["count"] += 1
+            entry["total"] += value
+            if value < entry["min"]:
+                entry["min"] = value
+            if value > entry["max"]:
+                entry["max"] = value
+
+    # ------------------------------------------------------------------ #
+    # Export / merge (the process-boundary contract)
+    # ------------------------------------------------------------------ #
+    def export(self) -> Dict[str, Any]:
+        """Return the JSON-friendly trace payload (schema-versioned).
+
+        The per-task records are stable-sorted by key: the scenario
+        compiler's plan threads merge their batches into a shared collector
+        in whatever interleaving the scheduler produced, and sorting makes
+        the exported trace deterministic — a parallel run's trace matches
+        the serial one.
+        """
+        with self._lock:
+            return {
+                "schema": TRACE_SCHEMA_VERSION,
+                "spans": {
+                    name: {"count": int(entry["count"]), "seconds": entry["seconds"]}
+                    for name, entry in self.spans.items()
+                },
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: dict(entry) for name, entry in self.histograms.items()
+                },
+                "tasks": [
+                    dict(task)
+                    for task in sorted(self.tasks, key=lambda task: task["key"])
+                ],
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TelemetryCollector":
+        """Rebuild a collector from an exported payload (round-trip safe)."""
+        schema = payload.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema {schema!r} "
+                f"(this build reads version {TRACE_SCHEMA_VERSION})"
+            )
+        collector = cls()
+        for name, entry in payload.get("spans", {}).items():
+            collector.spans[name] = {
+                "count": int(entry["count"]),
+                "seconds": float(entry["seconds"]),
+            }
+        for name, value in payload.get("counters", {}).items():
+            collector.counters[name] = value
+        for name, entry in payload.get("histograms", {}).items():
+            collector.histograms[name] = dict(entry)
+        collector.tasks = [dict(task) for task in payload.get("tasks", [])]
+        return collector
+
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold an exported payload (e.g. from a worker) into this collector."""
+        for name, entry in payload.get("spans", {}).items():
+            with self._lock:
+                target = self.spans.get(name)
+                if target is None:
+                    target = {"count": 0, "seconds": 0.0}
+                    self.spans[name] = target
+                target["count"] += entry["count"]
+                target["seconds"] += entry["seconds"]
+        for name, value in payload.get("counters", {}).items():
+            self.count(name, value)
+        for name, entry in payload.get("histograms", {}).items():
+            with self._lock:
+                target = self.histograms.get(name)
+                if target is None:
+                    self.histograms[name] = dict(entry)
+                    continue
+                target["count"] += entry["count"]
+                target["total"] += entry["total"]
+                target["min"] = min(target["min"], entry["min"])
+                target["max"] = max(target["max"], entry["max"])
+        with self._lock:
+            self.tasks.extend(dict(task) for task in payload.get("tasks", []))
+
+    def merge_task(
+        self, key: str, seconds: float, payload: Dict[str, Any]
+    ) -> None:
+        """Merge one completed task's trace and keep its per-task record.
+
+        The per-task records are the trace file's per-realization view:
+        every realization task appears with its wall time and the named
+        spans that account for it.
+        """
+        self.merge(payload)
+        with self._lock:
+            self.tasks.append(
+                {
+                    "key": key,
+                    "seconds": seconds,
+                    "spans": {
+                        name: {"count": int(entry["count"]), "seconds": entry["seconds"]}
+                        for name, entry in payload.get("spans", {}).items()
+                    },
+                }
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reporting helpers
+    # ------------------------------------------------------------------ #
+    def span_seconds(self, name: str) -> float:
+        """Total seconds recorded under span ``name`` (0.0 when absent)."""
+        entry = self.spans.get(name)
+        return float(entry["seconds"]) if entry else 0.0
+
+    def summary_lines(self) -> List[str]:
+        """Render a compact human-readable summary (the ``--metrics`` view)."""
+        lines: List[str] = []
+        if self.spans:
+            lines.append("spans:")
+            width = max(len(name) for name in self.spans)
+            for name in sorted(self.spans):
+                entry = self.spans[name]
+                lines.append(
+                    f"  {name:<{width}}  {entry['seconds']:9.3f}s  "
+                    f"x{int(entry['count'])}"
+                )
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                rendered = f"{value:.3f}" if isinstance(value, float) and value != int(value) else f"{int(value)}"
+                lines.append(f"  {name:<{width}}  {rendered}")
+        if self.histograms:
+            lines.append("histograms:")
+            width = max(len(name) for name in self.histograms)
+            for name in sorted(self.histograms):
+                entry = self.histograms[name]
+                count = int(entry["count"])
+                mean = entry["total"] / count if count else 0.0
+                lines.append(
+                    f"  {name:<{width}}  n={count} mean={mean:.1f} "
+                    f"min={entry['min']:.0f} max={entry['max']:.0f}"
+                )
+        if not lines:
+            lines.append("telemetry: nothing recorded")
+        return lines
+
+
+# --------------------------------------------------------------------------- #
+# Ambient context
+# --------------------------------------------------------------------------- #
+_ACTIVE_STACK: AmbientStack["NullTelemetry | TelemetryCollector"] = AmbientStack()
+
+
+def active_telemetry() -> "NullTelemetry | TelemetryCollector":
+    """Return the innermost installed collector (default: the null one).
+
+    Thread-local like every ambient stack: worker threads re-install the
+    collector captured from their parent (see
+    :func:`repro.scenarios.compile._run_plans`).
+    """
+    return _ACTIVE_STACK.top(NULL_TELEMETRY)
+
+
+@contextmanager
+def use_telemetry(
+    collector: "Optional[NullTelemetry | TelemetryCollector]",
+) -> Iterator["NullTelemetry | TelemetryCollector"]:
+    """Install ``collector`` for the ``with`` body (``None`` keeps the ambient).
+
+    Mirrors :func:`repro.core.backend.use_backend` so call sites can pass an
+    optional collector unconditionally.
+    """
+    if collector is not None:
+        _ACTIVE_STACK.push(collector)
+    try:
+        yield active_telemetry()
+    finally:
+        if collector is not None:
+            _ACTIVE_STACK.pop()

@@ -171,7 +171,10 @@ class TestResultStore:
         loaded = store.get("fake", smoke_scale)
         assert loaded is not None
         assert _result_json(loaded) == _result_json(self._result())
-        assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+        assert stats["bytes_read"] > 0
+        assert stats["bytes_written"] > 0
 
     def test_key_depends_on_scale_seed_and_extra(self, smoke_scale):
         base = ResultStore.key_for("fig9", smoke_scale)
