@@ -292,6 +292,59 @@ class TestGeneratorKernelBenchmarks:
             f"jit {jit_seconds * 1e3:.1f} ms)"
         )
 
+    def test_attempt_pa_generation_jit_speedup_at_least_3x(self):
+        # The paper-literal attempt strategy is rejection-heavy (two draws
+        # per attempt), which makes its Python loop the slowest build per
+        # node of all the families — and the kernel win correspondingly
+        # large.  Same >= 3x bar as the roulette build.
+        from repro.kernels import use_kernels
+
+        def build(mode):
+            with use_kernels(mode):
+                return generate_pa(
+                    4_000, stubs=self.STUBS, hard_cutoff=self.CUTOFF,
+                    seed=7, strategy="attempt",
+                )
+
+        python_graph = build("python")
+        jit_graph = build("jit")
+        assert python_graph == jit_graph
+
+        python_seconds = _best_of(3, lambda: build("python"))
+        jit_seconds = _best_of(3, lambda: build("jit"))
+        speedup = python_seconds / jit_seconds
+        assert speedup >= 3.0, (
+            f"jit attempt-PA generation speedup regressed: {speedup:.2f}x "
+            f"(python {python_seconds * 1e3:.1f} ms, "
+            f"jit {jit_seconds * 1e3:.1f} ms)"
+        )
+
+    def test_grn_substrate_build_jit_speedup_at_least_3x(self):
+        # The substrate build a jit DAPA realization runs before its
+        # overlay can grow: the array path must beat the dict-based cell
+        # sweep by the same >= 3x the other kernels deliver.
+        from repro.kernels import use_kernels
+        from repro.substrate.grn import generate_grn
+
+        def build(mode, seed=7):
+            with use_kernels(mode):
+                return generate_grn(
+                    20_000, target_mean_degree=10.0, torus=True, seed=seed
+                )
+
+        python_graph = build("python")
+        jit_graph = build("jit")
+        assert python_graph == jit_graph
+
+        python_seconds = _best_of(3, lambda: build("python"))
+        jit_seconds = _best_of(3, lambda: build("jit"))
+        speedup = python_seconds / jit_seconds
+        assert speedup >= 3.0, (
+            f"jit GRN substrate build speedup regressed: {speedup:.2f}x "
+            f"(python {python_seconds * 1e3:.1f} ms, "
+            f"jit {jit_seconds * 1e3:.1f} ms)"
+        )
+
     def test_cm_generation_jit_matches_and_does_not_regress(self):
         from repro.kernels import use_kernels
 

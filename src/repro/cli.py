@@ -133,11 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "served from cache")
     figure.add_argument("--kernels", default="auto",
                         choices=["auto", "python", "jit"],
-                        help="execution tier for topology generation and "
-                             "the stochastic search loops: 'jit' compiles "
-                             "them with numba (identical results), 'auto' "
-                             "picks jit when numba is installed, 'python' "
-                             "forces the reference loops")
+                        help="execution tier for topology generation "
+                             "(substrate builds included), the stochastic "
+                             "search loops, and batched protocol queries: "
+                             "'jit' compiles them with numba (identical "
+                             "results), 'auto' picks jit when numba is "
+                             "installed, 'python' forces the reference loops")
     figure.add_argument("--progress", action="store_true",
                         help="stream per-task progress to stderr")
     figure.add_argument("--json", action="store_true",

@@ -25,10 +25,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import PAConfig
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, GenerationError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
 from repro.generators.base import TopologyGenerator
+from repro.kernels.dispatch import kernel_generation_ready
 
 __all__ = ["NonlinearPreferentialAttachmentGenerator", "generate_nonlinear_pa"]
 
@@ -48,6 +49,11 @@ class NonlinearPreferentialAttachmentGenerator(TopologyGenerator):
         Maximum degree ``kc`` (``None`` for no cutoff).
     seed:
         Optional RNG seed.
+    strict:
+        When ``True``, a build whose result violates the model's minimum
+        degree (any stub left unfilled, which otherwise only shows up as a
+        metadata counter) raises :class:`~repro.core.errors.GenerationError`
+        instead of silently returning a degenerate topology.
 
     Examples
     --------
@@ -70,6 +76,7 @@ class NonlinearPreferentialAttachmentGenerator(TopologyGenerator):
         exponent_alpha: float = 1.0,
         hard_cutoff: Optional[int] = None,
         seed: Optional[int] = None,
+        strict: bool = False,
     ) -> None:
         self.config = PAConfig(
             number_of_nodes=number_of_nodes,
@@ -79,11 +86,20 @@ class NonlinearPreferentialAttachmentGenerator(TopologyGenerator):
         )
         if exponent_alpha < 0.0:
             raise ConfigurationError("exponent_alpha must be non-negative")
-        if hard_cutoff is not None and hard_cutoff <= stubs:
+        # Same carve-out as linear PA: the seed clique of m+1 nodes already
+        # gives every seed node degree m, so a cutoff of exactly m would
+        # freeze the network immediately — unless n == m + 1, the complete
+        # graph itself, which has no growth phase for the cutoff to block.
+        if (
+            hard_cutoff is not None
+            and hard_cutoff <= stubs
+            and number_of_nodes > stubs + 1
+        ):
             raise ConfigurationError(
                 "hard_cutoff must exceed stubs for a growing network"
             )
         self.exponent_alpha = exponent_alpha
+        self.strict = strict
         self.seed = seed
 
     def parameters(self) -> Dict[str, Any]:
@@ -97,6 +113,28 @@ class NonlinearPreferentialAttachmentGenerator(TopologyGenerator):
         }
 
     def _build(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
+        if kernel_generation_ready(rng):
+            from repro.kernels.generators import nlpa_build
+
+            graph, metadata = nlpa_build(self.config, self.exponent_alpha, rng)
+        else:
+            graph, metadata = self._build_reference(rng)
+        minimum = self.config.stubs
+        metadata["min_degree_violations"] = sum(
+            1 for degree in graph.degree_sequence() if degree < minimum
+        )
+        if self.strict and (
+            metadata["unfilled_stubs"] or metadata["min_degree_violations"]
+        ):
+            raise GenerationError(
+                f"nlpa build left {metadata['unfilled_stubs']} stub(s) unfilled "
+                f"({metadata['min_degree_violations']} node(s) below the "
+                f"minimum degree m={minimum}); relax the cutoff or pass "
+                "strict=False to accept the degenerate topology"
+            )
+        return graph, metadata
+
+    def _build_reference(self, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
         config = self.config
         n, m, alpha = config.number_of_nodes, config.stubs, self.exponent_alpha
         cutoff = config.effective_cutoff()
@@ -109,18 +147,26 @@ class NonlinearPreferentialAttachmentGenerator(TopologyGenerator):
             # Weighted selection over all eligible existing nodes.  The kernel
             # k^alpha cannot use the stub-list trick (weights are not integer
             # degree counts), so an explicit weighted draw is used; eligible
-            # lists are rebuilt per stub because degrees change.
+            # lists are rebuilt per stub because degrees change.  Isolated
+            # nodes stay eligible: under the alpha -> 0 uniform-attachment
+            # limit their weight is k**0 == 1 like everyone else's, and for
+            # alpha > 0 their zero weight simply never wins the draw —
+            # excluding them (as this loop once did) silently biased the
+            # uniform limit and made degree-0 nodes permanently unreachable.
             for _ in range(m):
                 eligible: List[int] = []
                 weights: List[float] = []
                 neighbor_set = graph.neighbor_set(new_node)
                 for node in range(new_node):
                     degree = graph.degree(node)
-                    if node in neighbor_set or degree >= cutoff or degree == 0:
+                    if node in neighbor_set or degree >= cutoff:
                         continue
                     eligible.append(node)
                     weights.append(float(degree) ** alpha)
-                if not eligible:
+                # An all-zero-weight eligible set (alpha > 0, every eligible
+                # node isolated) cannot be drawn from; it counts as an
+                # unfilled stub and consumes no draw, like the empty set.
+                if not eligible or sum(weights) <= 0.0:
                     unfilled_stubs += 1
                     continue
                 target = eligible[rng.weighted_index(weights)]
@@ -139,6 +185,7 @@ def generate_nonlinear_pa(
     exponent_alpha: float = 1.0,
     hard_cutoff: Optional[int] = None,
     seed: Optional[int] = None,
+    strict: bool = False,
     rng: Optional[RandomSource] = None,
 ) -> Graph:
     """Generate a nonlinear-PA topology and return the graph.
@@ -155,5 +202,6 @@ def generate_nonlinear_pa(
         exponent_alpha=exponent_alpha,
         hard_cutoff=hard_cutoff,
         seed=seed,
+        strict=strict,
     )
     return generator.generate_graph(rng)

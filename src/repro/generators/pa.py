@@ -16,7 +16,9 @@ Two selection strategies are provided:
     uniform random existing node and accept it with probability
     ``k_node / k_total`` if it is not yet a neighbor and is below the cutoff.
     Faithful but O(N) expected attempts per stub — use it for small networks
-    and for validating the fast strategy.
+    and for validating the fast strategy.  Under the ``jit`` kernel tier the
+    loop runs compiled (:func:`repro.kernels.generators.pa_attempt_build`),
+    draw-identical to the Python body.
 
 ``"roulette"`` (default)
     Degree-proportional selection via a stub list (each node appears once per
@@ -138,7 +140,12 @@ class PreferentialAttachmentGenerator(TopologyGenerator):
             else:
                 graph, metadata = self._build_roulette(rng)
         else:
-            graph, metadata = self._build_attempt(rng)
+            if kernel_generation_ready(rng):
+                from repro.kernels.generators import pa_attempt_build
+
+                graph, metadata = pa_attempt_build(self.config, rng)
+            else:
+                graph, metadata = self._build_attempt(rng)
         minimum = self.config.stubs
         metadata["min_degree_violations"] = sum(
             1 for degree in graph.degree_sequence() if degree < minimum

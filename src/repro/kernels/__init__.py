@@ -2,15 +2,17 @@
 
 The third execution tier of the stack (after the ``adj`` reference backend
 and the frozen ``csr`` backend): :mod:`repro.kernels.search` JIT-compiles
-the NF/PF/RW query loops over the CSR ``indptr``/``indices`` arrays, and
-:mod:`repro.kernels.generators` the PA/HAPA/DAPA growth loops and CM stub
-matching over preallocated degree/stub arrays — both while consuming the
-*exact* CPython Mersenne-Twister draw sequence
-(:mod:`repro.kernels.mt19937`), so results — graphs, curves, and RNG
-stream positions — are bit-for-bit identical to the Python
-implementations.  :mod:`repro.kernels.dispatch` owns tier selection:
-capability probing (numba + a parity self-check covering both kernel
-families) and the ambient ``--kernels {auto,python,jit}`` mode.
+the NF/PF/RW query loops over the CSR ``indptr``/``indices`` arrays,
+:mod:`repro.kernels.generators` the PA (both strategies) / nonlinear-PA /
+HAPA / DAPA growth loops and CM stub matching over preallocated
+degree/stub arrays, :mod:`repro.kernels.substrate` the GRN cell-grid sweep
+and ER skip loop, and :mod:`repro.kernels.simulation` the protocol's
+batched Gnutella queries — all while consuming the *exact* CPython
+Mersenne-Twister draw sequence (:mod:`repro.kernels.mt19937`), so results
+— graphs, curves, and RNG stream positions — are bit-for-bit identical to
+the Python implementations.  :mod:`repro.kernels.dispatch` owns tier
+selection: capability probing (numba + a parity self-check covering every
+kernel family) and the ambient ``--kernels {auto,python,jit}`` mode.
 
 This package import is deliberately light: numba (when installed) is only
 imported on the first kernel-eligible query, never at import time.
@@ -23,6 +25,7 @@ from repro.kernels.dispatch import (
     kernel_generation_ready,
     kernel_query_ready,
     kernel_self_check,
+    kernel_simulation_ready,
     kernel_tier,
     kernels_runtime,
     normalize_kernels,
@@ -38,6 +41,7 @@ __all__ = [
     "kernel_generation_ready",
     "kernel_query_ready",
     "kernel_self_check",
+    "kernel_simulation_ready",
     "kernel_tier",
     "kernels_runtime",
     "normalize_kernels",

@@ -23,7 +23,10 @@ The probes are lazy (first kernel-eligible query, not package import) and
 cached for the process, so ``repro --help`` never pays for a numba import.
 The ambient mode is installed with :func:`use_kernels` — the CLI's
 ``--kernels`` flag and the engine's per-task capture both go through it —
-and consulted by the search classes via :func:`kernel_query_ready`.
+and consulted by the search classes via :func:`kernel_query_ready`, the
+topology generators and substrate builders via
+:func:`kernel_generation_ready`, and the protocol's batched query path via
+:func:`kernel_simulation_ready`.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ __all__ = [
     "resolve_kernels",
     "kernel_query_ready",
     "kernel_generation_ready",
+    "kernel_simulation_ready",
     "kernels_runtime",
     "probe_status",
 ]
@@ -182,7 +186,13 @@ def _parity_self_check() -> "tuple[bool, str]":
             return False, f"{name} kernel diverged from the reference"
         if rng_ref.random() != rng_kernel.random():
             return False, f"{name} kernel left the stream at a different position"
-    return _generation_parity_check()
+    passed, reason = _generation_parity_check()
+    if not passed:
+        return passed, reason
+    passed, reason = _substrate_parity_check()
+    if not passed:
+        return passed, reason
+    return _simulation_parity_check()
 
 
 def _graphs_identical(reference, subject) -> bool:
@@ -199,8 +209,9 @@ def _graphs_identical(reference, subject) -> bool:
 
 
 def _generation_parity_check() -> "tuple[bool, str]":
-    """The generation probe: every generator kernel family (PA growth, CM
-    stub matching, HAPA hop-and-attempt, DAPA discovery) must reproduce
+    """The generation probe: every generator kernel family (PA growth in
+    both the roulette and paper-literal attempt strategies, nonlinear PA,
+    CM stub matching, HAPA hop-and-attempt, DAPA discovery) must reproduce
     its reference builder — edges, neighbor order, metadata counters, and
     final stream position — on small topologies.
 
@@ -277,6 +288,129 @@ def _generation_parity_check() -> "tuple[bool, str]":
         return False, "dapa generation kernel diverged from the reference"
     if rng_ref.random() != rng_kernel.random():
         return False, "dapa generation kernel left the stream at a different position"
+
+    pa_attempt = PreferentialAttachmentGenerator(
+        40, stubs=2, hard_cutoff=6, strategy="attempt"
+    )
+    rng_ref = RandomSource(seed=59)
+    rng_kernel = RandomSource(seed=59)
+    graph_ref, meta_ref = pa_attempt._build_attempt(rng_ref)
+    graph_kernel, meta_kernel = generator_kernels.pa_attempt_build(
+        pa_attempt.config, rng_kernel
+    )
+    if not _graphs_identical(graph_ref, graph_kernel) or meta_ref != meta_kernel:
+        return False, "pa attempt generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, (
+            "pa attempt generation kernel left the stream at a different position"
+        )
+
+    from repro.generators.nonlinear_pa import NonlinearPreferentialAttachmentGenerator
+
+    nlpa = NonlinearPreferentialAttachmentGenerator(
+        40, stubs=2, exponent_alpha=0.8, hard_cutoff=6
+    )
+    rng_ref = RandomSource(seed=61)
+    rng_kernel = RandomSource(seed=61)
+    graph_ref, meta_ref = nlpa._build_reference(rng_ref)
+    graph_kernel, meta_kernel = generator_kernels.nlpa_build(
+        nlpa.config, nlpa.exponent_alpha, rng_kernel
+    )
+    if not _graphs_identical(graph_ref, graph_kernel) or meta_ref != meta_kernel:
+        return False, "nlpa generation kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "nlpa generation kernel left the stream at a different position"
+    return True, ""
+
+
+def _substrate_parity_check() -> "tuple[bool, str]":
+    """The substrate probe: the GRN cell-grid sweep — in the plain unit box
+    and on a small-grid torus, where the ±1 offsets wrap onto the same
+    neighbor cell and the dedupe logic matters — and the ER skip loop must
+    reproduce their dict-based reference builders: edges, neighbor order,
+    positions, and final stream position.
+    """
+    from repro.kernels import substrate as substrate_kernels
+    from repro.substrate.grn import GeometricRandomNetwork
+    from repro.substrate.random_graph import ErdosRenyiNetwork
+
+    grn_cases = (
+        ("grn", dict(number_of_nodes=60, radius=0.2)),
+        ("grn-torus", dict(number_of_nodes=25, radius=0.6, torus=True)),
+    )
+    for name, kwargs in grn_cases:
+        builder = GeometricRandomNetwork(**kwargs)
+        rng_ref = RandomSource(seed=67)
+        rng_kernel = RandomSource(seed=67)
+        graph_ref = builder._build_reference(rng_ref)
+        positions_ref = dict(builder.positions)
+        graph_kernel, positions = substrate_kernels.grn_build_arrays(
+            builder.config, rng_kernel
+        )
+        positions_kernel = {
+            node: tuple(row) for node, row in enumerate(positions.tolist())
+        }
+        if (
+            not _graphs_identical(graph_ref, graph_kernel)
+            or positions_ref != positions_kernel
+        ):
+            return False, f"{name} substrate kernel diverged from the reference"
+        if rng_ref.random() != rng_kernel.random():
+            return False, (
+                f"{name} substrate kernel left the stream at a different position"
+            )
+
+    er = ErdosRenyiNetwork(80, edge_probability=0.07)
+    rng_ref = RandomSource(seed=73)
+    rng_kernel = RandomSource(seed=73)
+    graph_ref = er._build_reference(rng_ref, 0.07)
+    graph_kernel = substrate_kernels.er_build(80, 0.07, rng_kernel)
+    if not _graphs_identical(graph_ref, graph_kernel):
+        return False, "er substrate kernel diverged from the reference"
+    if rng_ref.random() != rng_kernel.random():
+        return False, "er substrate kernel left the stream at a different position"
+    return True, ""
+
+
+def _simulation_parity_check() -> "tuple[bool, str]":
+    """The batched-query probe: for each forwarding policy the compiled
+    batch kernel must reproduce the pure-Python batch reference — per-query
+    counters, first-hit hops, provider lists, and final stream position —
+    on a probe overlay with multiple sources and providers.
+    """
+    import numpy as np
+
+    from repro.core.graph import Graph
+    from repro.kernels.simulation import gnutella_query_batch
+    from repro.simulation.protocol import batch_query_reference
+
+    graph = Graph.from_edges(
+        12,
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 6), (2, 7),
+            (3, 8), (4, 9), (5, 10), (6, 7), (8, 9), (10, 11), (1, 3), (2, 4),
+        ],
+    )
+    frozen = graph.freeze()
+    provider_mask = np.zeros(12, dtype=np.bool_)
+    provider_mask[7] = True
+    provider_mask[11] = True
+    sources = [0, 4, 11]
+    for policy in ("fl", "nf", "rw"):
+        rng_ref = RandomSource(seed=83)
+        rng_kernel = RandomSource(seed=83)
+        expected = batch_query_reference(
+            frozen, sources, 4, policy, 2, 2, provider_mask, rng_ref
+        )
+        actual = gnutella_query_batch(
+            frozen, sources, 4, policy, 2, 2, provider_mask, rng_kernel
+        )
+        if expected != actual:
+            return False, f"{policy} batch query kernel diverged from the reference"
+        if rng_ref.random() != rng_kernel.random():
+            return False, (
+                f"{policy} batch query kernel left the stream at a different position"
+            )
     return True, ""
 
 
@@ -424,6 +558,24 @@ def kernel_generation_ready(rng: object) -> bool:
     telemetry = active_telemetry()
     if telemetry.enabled:
         telemetry.count(f"kernels.generation.{'jit' if ready else 'python'}")
+    return ready
+
+
+def kernel_simulation_ready(rng: object) -> bool:
+    """Should a batched protocol query with this RNG go to the batch kernel?
+
+    Same contract as :func:`kernel_query_ready`: the resolved tier must be
+    ``jit`` and ``rng`` must be a plain :class:`~repro.core.rng.RandomSource`
+    — subclasses keep the pure-Python batch reference, because the kernel
+    consumes the Mersenne-Twister stream directly and would bypass any
+    overridden draw methods.
+    """
+    if type(rng) is not RandomSource:
+        return False
+    ready = resolve_kernels() == "jit"
+    telemetry = active_telemetry()
+    if telemetry.enabled:
+        telemetry.count(f"kernels.simulation.{'jit' if ready else 'python'}")
     return ready
 
 

@@ -7,7 +7,9 @@ through Python dict-of-sets operations, and CM shuffles a 2E-entry stub
 list one draw at a time.  This module ports those loops to the same
 kernel tier: each ``_*_kernel`` function replays one reference generator —
 :class:`~repro.generators.pa.PreferentialAttachmentGenerator` (roulette
-strategy), :class:`~repro.generators.hapa.HAPAGenerator`,
+*and* paper-literal attempt strategies),
+:class:`~repro.generators.nonlinear_pa.NonlinearPreferentialAttachmentGenerator`,
+:class:`~repro.generators.hapa.HAPAGenerator`,
 :class:`~repro.generators.dapa.DAPAGenerator`, and
 :class:`~repro.generators.cm.ConfigurationModelGenerator` (stub matching)
 — over preallocated NumPy degree/stub/adjacency arrays while consuming
@@ -24,7 +26,8 @@ Two layers live here, mirroring :mod:`repro.kernels.search`:
   with :func:`repro.kernels._compat.maybe_njit` (compiled under numba,
   interpreted otherwise, identical values either way);
 * the Python-facing builders (:func:`pa_roulette_build`,
-  :func:`hapa_build`, :func:`dapa_build`, :func:`cm_stub_matching_build`)
+  :func:`pa_attempt_build`, :func:`nlpa_build`, :func:`hapa_build`,
+  :func:`dapa_build`, :func:`cm_stub_matching_build`)
   — they replicate the reference's Python-side draws (seed sampling, the
   CM degree sequence) on the real :class:`~repro.core.rng.RandomSource`,
   splice the stream into a kernel state vector, run the kernel, splice the
@@ -51,6 +54,8 @@ from repro.kernels.mt19937 import mt_randbelow, mt_random
 
 __all__ = [
     "pa_roulette_build",
+    "pa_attempt_build",
+    "nlpa_build",
     "hapa_build",
     "dapa_build",
     "cm_stub_matching_build",
@@ -257,6 +262,193 @@ def pa_roulette_build(config: Any, rng: RandomSource) -> Tuple[Graph, Dict[str, 
         "rejected_attempts": int(rejected_attempts),
         "unfilled_stubs": int(unfilled_stubs),
         "strategy": "roulette",
+    }
+    return graph, metadata
+
+
+# --------------------------------------------------------------------------- #
+# PA: attempt-strategy growth (paper §III-B, Algorithm 1 literal)
+# --------------------------------------------------------------------------- #
+@maybe_njit
+def _pa_attempt_kernel(
+    state, n, m, cutoff, start_node, max_rejections,
+    degrees, total_degree, edge_u, edge_v,
+):
+    """Grow nodes ``start_node..n-1``; returns the metadata counters.
+
+    Statement-for-statement replay of
+    ``PreferentialAttachmentGenerator._build_attempt``: per attempt one
+    uniform candidate draw then one acceptance draw, accepted when the
+    candidate is not yet a neighbor, passes the ``k/k_total`` coin, and is
+    below the cutoff.  The new node's only neighbors are this round's
+    targets, so the reference's ``has_edge`` check reduces to a scan of
+    ``chosen``.  The fourth return value flags the reference's edgeless
+    seed-graph guard (raised as ``GenerationError`` by the wrapper).
+    """
+    edge_count = 0
+    rejected_attempts = 0
+    unfilled_stubs = 0
+    chosen = np.empty(m, dtype=np.int64)
+    for new_node in range(start_node, n):
+        chosen_count = 0
+        for _stub in range(m):
+            placed = False
+            attempts = 0
+            while not placed and attempts < max_rejections:
+                attempts += 1
+                candidate = mt_randbelow(state, new_node)
+                acceptance = mt_random(state)
+                if total_degree == 0:
+                    return edge_count, rejected_attempts, unfilled_stubs, 1
+                if (
+                    not _contains(chosen, chosen_count, candidate)
+                    and acceptance < degrees[candidate] / total_degree
+                    and degrees[candidate] < cutoff
+                ):
+                    edge_u[edge_count] = new_node
+                    edge_v[edge_count] = candidate
+                    edge_count += 1
+                    degrees[candidate] += 1
+                    degrees[new_node] += 1
+                    total_degree += 2
+                    chosen[chosen_count] = candidate
+                    chosen_count += 1
+                    placed = True
+            rejected_attempts += attempts - 1
+            if not placed:
+                unfilled_stubs += 1
+    return edge_count, rejected_attempts, unfilled_stubs, 0
+
+
+def pa_attempt_build(config: Any, rng: RandomSource) -> Tuple[Graph, Dict[str, Any]]:
+    """Kernel-tier replacement for ``_build_attempt``; same draws, same graph."""
+    from repro.core.errors import GenerationError
+
+    n, m = config.number_of_nodes, config.stubs
+    cutoff = config.effective_cutoff()
+    seed_n = min(m + 1, n)
+    seed_graph = Graph.complete(seed_n)
+
+    degrees = np.zeros(n, dtype=np.int64)
+    for node in seed_graph.nodes():
+        degrees[node] = seed_graph.degree(node)
+    total_degree = seed_graph.total_degree
+    growth = m * max(0, n - seed_n)
+    edge_u = np.zeros(growth, dtype=np.int64)
+    edge_v = np.zeros(growth, dtype=np.int64)
+
+    state = rng.export_mt_state()
+    edge_count, rejected_attempts, unfilled_stubs, edgeless = _pa_attempt_kernel(
+        state, n, m, cutoff, seed_n, _PA_MAX_REJECTIONS,
+        degrees, total_degree, edge_u, edge_v,
+    )
+    rng.import_mt_state(state)
+    if edgeless:
+        raise GenerationError(
+            "preferential attachment needs at least one existing edge to "
+            "define attachment probabilities; the seed graph is edgeless"
+        )
+
+    seed_edges = seed_graph.edges()
+    seed_u = np.array([pair[0] for pair in seed_edges], dtype=np.int64)
+    seed_v = np.array([pair[1] for pair in seed_edges], dtype=np.int64)
+    graph = Graph.from_edge_array(
+        n,
+        np.concatenate([seed_u, edge_u[:edge_count]]),
+        np.concatenate([seed_v, edge_v[:edge_count]]),
+    )
+    metadata = {
+        "rejected_attempts": int(rejected_attempts),
+        "unfilled_stubs": int(unfilled_stubs),
+        "strategy": "attempt",
+    }
+    return graph, metadata
+
+
+# --------------------------------------------------------------------------- #
+# NLPA: nonlinear preferential attachment, Π(k) ∝ k^α (extension)
+# --------------------------------------------------------------------------- #
+@maybe_njit
+def _nlpa_kernel(state, n, m, alpha, cutoff, start_node, degrees, edge_u, edge_v):
+    """Grow nodes ``start_node..n-1``; returns ``(edge_count, unfilled)``.
+
+    Replays ``NonlinearPreferentialAttachmentGenerator._build``: per stub
+    one pass over ``0..new_node-1`` accumulating ``degree**alpha`` weights
+    in node order (float-for-float the reference's ``sum(weights)``), then
+    one ``rng.weighted_index`` draw — threshold compare and last-index
+    fallback included.  A stub whose eligible set is empty *or* carries
+    zero total weight (every eligible node isolated under ``alpha > 0``)
+    consumes no draw, exactly like the reference's guard.
+    """
+    edge_count = 0
+    unfilled_stubs = 0
+    chosen = np.empty(m, dtype=np.int64)
+    for new_node in range(start_node, n):
+        chosen_count = 0
+        for _stub in range(m):
+            total = 0.0
+            eligible_count = 0
+            for node in range(new_node):
+                if degrees[node] >= cutoff or _contains(chosen, chosen_count, node):
+                    continue
+                total += degrees[node] ** alpha
+                eligible_count += 1
+            if eligible_count == 0 or total <= 0.0:
+                unfilled_stubs += 1
+                continue
+            threshold = mt_random(state) * total
+            cumulative = 0.0
+            target = -1
+            last_eligible = -1
+            for node in range(new_node):
+                if degrees[node] >= cutoff or _contains(chosen, chosen_count, node):
+                    continue
+                cumulative += degrees[node] ** alpha
+                last_eligible = node
+                if threshold < cumulative:
+                    target = node
+                    break
+            if target < 0:
+                target = last_eligible
+            edge_u[edge_count] = new_node
+            edge_v[edge_count] = target
+            edge_count += 1
+            degrees[target] += 1
+            degrees[new_node] += 1
+            chosen[chosen_count] = target
+            chosen_count += 1
+    return edge_count, unfilled_stubs
+
+
+def nlpa_build(
+    config: Any, alpha: float, rng: RandomSource
+) -> Tuple[Graph, Dict[str, Any]]:
+    """Kernel-tier replacement for the nlpa ``_build``; same draws, same graph."""
+    n, m = config.number_of_nodes, config.stubs
+    cutoff = config.effective_cutoff()
+    seed_n = min(m + 1, n)
+
+    degrees = np.zeros(n, dtype=np.int64)
+    degrees[:seed_n] = seed_n - 1
+    growth = m * max(0, n - seed_n)
+    edge_u = np.zeros(growth, dtype=np.int64)
+    edge_v = np.zeros(growth, dtype=np.int64)
+
+    state = rng.export_mt_state()
+    edge_count, unfilled_stubs = _nlpa_kernel(
+        state, n, m, float(alpha), cutoff, seed_n, degrees, edge_u, edge_v
+    )
+    rng.import_mt_state(state)
+
+    seed_u, seed_v = _seed_clique_edges(seed_n)
+    graph = Graph.from_edge_array(
+        n,
+        np.concatenate([seed_u, edge_u[:edge_count]]),
+        np.concatenate([seed_v, edge_v[:edge_count]]),
+    )
+    metadata = {
+        "exponent_alpha": float(alpha),
+        "unfilled_stubs": int(unfilled_stubs),
     }
     return graph, metadata
 

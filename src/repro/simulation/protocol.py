@@ -19,12 +19,30 @@ reverse path / a direct connection; the reverse-path traffic is accounted in
 The protocol produces :class:`QueryStats` that mirror the paper's metrics —
 peers reached, messages used — plus content-level metrics (items found, time
 to first hit) that the example applications use.
+
+Batched queries
+---------------
+:meth:`GnutellaProtocol.query_batch` runs many queries over a *frozen*
+snapshot of the overlay using synchronous FIFO semantics instead of the
+event heap: deliveries are processed in send order over the snapshot's CSR
+``indptr``/``indices`` rows (insertion order, *not* the live peers' sorted
+neighbor tables), and ``first_hit_time`` reports the hop count of the first
+provider delivery rather than a latency timestamp.  The batch is therefore
+*not* draw-for-draw comparable to the event-driven :meth:`~GnutellaProtocol.query`
+(whose every ``send`` draws a latency sample), but it is byte-identical
+between its own two tiers — the pure-Python
+:func:`batch_query_reference` below and the compiled kernel in
+:mod:`repro.kernels.simulation` — and it leaves per-peer counters untouched.
+The overlay must stay static for the duration of the batch.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.core.rng import RandomSource, ensure_source
@@ -32,7 +50,7 @@ from repro.core.types import NodeId
 from repro.simulation.messages import Query, QueryHit, next_message_id
 from repro.simulation.network import P2PNetwork
 
-__all__ = ["GnutellaProtocol", "QueryStats"]
+__all__ = ["GnutellaProtocol", "QueryStats", "batch_query_reference"]
 
 _POLICIES = ("fl", "nf", "rw")
 
@@ -104,6 +122,104 @@ class QueryStats:
             "success": self.success,
             "first_hit_time": self.first_hit_time,
         }
+
+
+def batch_query_reference(
+    frozen,
+    source_rows: Sequence[int],
+    ttl: int,
+    policy: str,
+    branching: int,
+    walkers: int,
+    provider_mask: np.ndarray,
+    rng: RandomSource,
+) -> Tuple[List[int], List[int], List[int], List[int], List[List[int]]]:
+    """Pure-Python batched queries over a frozen overlay's CSR rows.
+
+    This is the reference body for the compiled kernel in
+    :mod:`repro.kernels.simulation`: same FIFO delivery order, same draws,
+    same results.  Everything is in *row* space — ``source_rows`` and the
+    returned provider lists index rows of ``frozen``.  Returns
+    ``(peers_reached, query_messages, hit_messages, first_hit_hop,
+    providers)`` per query, with ``first_hit_hop == -1`` when no provider
+    answered.
+    """
+    indptr = frozen._indptr
+    indices = frozen._indices
+    reached_out: List[int] = []
+    query_messages_out: List[int] = []
+    hit_messages_out: List[int] = []
+    first_hit_out: List[int] = []
+    providers_out: List[List[int]] = []
+    for source in source_rows:
+        source = int(source)
+        seen = {source}
+        reached = 0
+        query_messages = 0
+        hit_messages = 0
+        first_hit = -1
+        providers: List[int] = []
+        queue: "deque[Tuple[int, int, int]]" = deque()
+
+        neighbors = [int(row) for row in indices[indptr[source] : indptr[source + 1]]]
+        if neighbors:
+            if policy == "fl":
+                recipients = neighbors
+            elif policy == "nf":
+                if len(neighbors) <= branching:
+                    recipients = neighbors
+                else:
+                    recipients = rng.sample(neighbors, branching)
+            else:  # random walk: min(walkers, degree) independent walkers
+                recipients = [
+                    neighbors[rng.randint(0, len(neighbors) - 1)]
+                    for _ in range(min(walkers, len(neighbors)))
+                ]
+            for recipient in recipients:
+                queue.append((recipient, source, ttl))
+                query_messages += 1
+
+        while queue:
+            node, previous, message_ttl = queue.popleft()
+            first_time = node not in seen
+            if first_time:
+                seen.add(node)
+                reached += 1
+                if provider_mask[node]:
+                    hit_messages += 1
+                    providers.append(node)
+                    if first_hit < 0:
+                        first_hit = ttl - message_ttl + 1
+            if not first_time:
+                continue
+            if message_ttl - 1 < 1:
+                continue
+            neighbors = [
+                int(row)
+                for row in indices[indptr[node] : indptr[node + 1]]
+                if int(row) != previous
+            ]
+            if not neighbors:
+                continue
+            if policy == "fl":
+                recipients = neighbors
+            elif policy == "nf":
+                if len(neighbors) <= branching:
+                    recipients = neighbors
+                else:
+                    recipients = rng.sample(neighbors, branching)
+            else:
+                recipients = [neighbors[rng.randint(0, len(neighbors) - 1)]]
+            for recipient in recipients:
+                queue.append((recipient, node, message_ttl - 1))
+                query_messages += 1
+
+        reached_out.append(reached)
+        query_messages_out.append(query_messages)
+        hit_messages_out.append(hit_messages)
+        first_hit_out.append(first_hit)
+        providers_out.append(providers)
+    return reached_out, query_messages_out, hit_messages_out, first_hit_out, providers_out
 
 
 class GnutellaProtocol:
@@ -201,6 +317,80 @@ class GnutellaProtocol:
             self.network.run()
             stats.completed_at = self.network.now
         return stats
+
+    def query_batch(
+        self,
+        sources: Sequence[NodeId],
+        keyword: str,
+        ttl: int = 5,
+        policy: Optional[str] = None,
+    ) -> List[QueryStats]:
+        """Run many queries over a frozen snapshot of the overlay.
+
+        Unlike :meth:`query`, the batch path does not go through the event
+        queue: the overlay is frozen once into CSR arrays and every query is
+        drained synchronously in FIFO send order over those rows (see the
+        module docstring for the exact semantics and how they differ from
+        the event-driven path).  ``first_hit_time`` on the returned stats is
+        the *hop count* of the first provider delivery, not a simulation
+        timestamp, and per-peer counters (``messages_forwarded``,
+        ``queries_answered``) are not updated.  When compiled kernels are
+        active the whole batch runs inside
+        :func:`repro.kernels.simulation.gnutella_query_batch` with no
+        Python per-message work; the interpreted tier produces
+        byte-identical results through :func:`batch_query_reference`.
+        """
+        if ttl < 1:
+            raise SimulationError("ttl must be at least 1")
+        active_policy = policy or self.policy
+        if active_policy not in _POLICIES:
+            raise SimulationError(f"unknown forwarding policy {active_policy!r}")
+        for source in sources:
+            self.network.peer(source)  # validates membership
+
+        frozen = self.network.graph.freeze()
+        rows = [frozen._row_of(source) for source in sources]
+        provider_mask = np.zeros(self.network.graph.number_of_nodes, dtype=np.bool_)
+        for node, peer in self.network.peers.items():
+            if peer.has_item(keyword):
+                provider_mask[frozen._row_of(node)] = True
+        branching = self._branching()
+
+        from repro.kernels.dispatch import kernel_simulation_ready
+
+        if kernel_simulation_ready(self.rng):
+            from repro.kernels.simulation import gnutella_query_batch
+
+            results = gnutella_query_batch(
+                frozen, rows, ttl, active_policy, branching, self.walkers,
+                provider_mask, self.rng,
+            )
+        else:
+            results = batch_query_reference(
+                frozen, rows, ttl, active_policy, branching, self.walkers,
+                provider_mask, self.rng,
+            )
+        reached, query_messages, hit_messages, first_hits, providers = results
+
+        stats_list: List[QueryStats] = []
+        for index, source in enumerate(sources):
+            stats = QueryStats(
+                query_id=next_message_id(),
+                source=source,
+                keyword=keyword,
+                policy=active_policy,
+                ttl=ttl,
+                peers_reached=reached[index],
+                query_messages=query_messages[index],
+                hit_messages=hit_messages[index],
+                providers={frozen._id_of(row) for row in providers[index]},
+                first_hit_time=(
+                    float(first_hits[index]) if first_hits[index] >= 0 else None
+                ),
+            )
+            self._active[stats.query_id] = stats
+            stats_list.append(stats)
+        return stats_list
 
     def stats_for(self, query_id: int) -> QueryStats:
         """Return the statistics collected for ``query_id``."""

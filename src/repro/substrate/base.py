@@ -19,6 +19,17 @@ class SubstrateNetwork(abc.ABC):
     intentionally simpler than :class:`~repro.generators.base.TopologyGenerator`:
     substrates are inputs to overlay construction, not study objects in
     themselves, so only the graph and the parameters are exposed.
+
+    Substrates sit on a jit realization's hot path (a DAPA build resolves
+    one before its overlay can grow), so the stochastic builders follow the
+    generators' two-tier contract: ``build`` consults
+    :func:`repro.kernels.dispatch.kernel_generation_ready` and either emits
+    edge arrays straight into the CSR backend through a compiled kernel
+    (:mod:`repro.kernels.substrate`) or falls back to its dict-based
+    ``_build_reference`` body — both tiers consuming the same draws and
+    producing byte-identical graphs (same edges, same neighbor order, same
+    final RNG stream position).  Deterministic substrates (the mesh) simply
+    vectorize unconditionally.
     """
 
     #: Short machine-readable name; subclasses override.

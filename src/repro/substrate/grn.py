@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.config import GRNConfig
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
+from repro.kernels.dispatch import kernel_generation_ready
 from repro.substrate.base import SubstrateNetwork
 
 __all__ = ["GeometricRandomNetwork", "generate_grn", "CRITICAL_MEAN_DEGREE_2D"]
@@ -102,6 +103,18 @@ class GeometricRandomNetwork(SubstrateNetwork):
     # Construction
     # ------------------------------------------------------------------ #
     def build(self, rng: RandomSource) -> Graph:
+        if kernel_generation_ready(rng):
+            from repro.kernels.substrate import grn_build_arrays
+
+            graph, positions = grn_build_arrays(self.config, rng)
+            self.positions = {
+                node: tuple(row) for node, row in enumerate(positions.tolist())
+            }
+            return graph
+        return self._build_reference(rng)
+
+    def _build_reference(self, rng: RandomSource) -> Graph:
+        """Pure-Python dict-based build — the kernel path's reference."""
         config = self.config
         n = config.number_of_nodes
         radius = config.effective_radius()
@@ -128,9 +141,18 @@ class GeometricRandomNetwork(SubstrateNetwork):
 
         neighbor_offsets = list(itertools.product((-1, 0, 1), repeat=dimensions))
         for key, members in cell_of.items():
+            # Torus wrapping with cells_per_side <= 2 maps the +1 and -1
+            # offsets onto the same neighbor cell; track the cells already
+            # swept from this one so each unordered cell pair is visited
+            # exactly once (duplicates used to burn redundant distance
+            # checks and no-op add_edge calls).
+            visited_neighbor_cells: set = set()
             for offset in neighbor_offsets:
                 other_key = self._offset_key(key, offset, cells_per_side, config.torus)
-                if other_key is None or other_key not in cell_of:
+                if other_key is None or other_key in visited_neighbor_cells:
+                    continue
+                visited_neighbor_cells.add(other_key)
+                if other_key not in cell_of:
                     continue
                 # Avoid visiting each unordered cell pair twice.
                 if other_key < key:

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 from repro.core.errors import ConfigurationError
 from repro.core.graph import Graph
 from repro.core.rng import RandomSource
+from repro.kernels.dispatch import kernel_generation_ready
 from repro.substrate.base import SubstrateNetwork
 
 __all__ = ["ErdosRenyiNetwork", "generate_erdos_renyi"]
@@ -86,9 +87,18 @@ class ErdosRenyiNetwork(SubstrateNetwork):
     def build(self, rng: RandomSource) -> Graph:
         n = self.number_of_nodes
         p = self.effective_probability()
-        graph = Graph(n)
         if p <= 0.0:
-            return graph
+            return Graph(n)
+        if kernel_generation_ready(rng):
+            from repro.kernels.substrate import er_build
+
+            return er_build(n, p, rng)
+        return self._build_reference(rng, p)
+
+    def _build_reference(self, rng: RandomSource, p: float) -> Graph:
+        """Pure-Python skip loop — the kernel path's reference (``p > 0``)."""
+        n = self.number_of_nodes
+        graph = Graph(n)
         # Geometric skipping (Batagelj & Brandes) keeps construction
         # O(N + E) instead of O(N^2) for the sparse graphs we build.
         import math

@@ -1,8 +1,9 @@
 """The pinned benchmark suite behind ``repro bench``.
 
 Runs a fixed set of micro/macro benchmarks — topology generation per
-construction family × kernel tier, NF/PF/RW/FL search curves at fig9/fig11
-scale, and a :class:`~repro.engine.store.ResultStore` round-trip — and
+construction family × kernel tier, a GRN substrate build per tier,
+NF/PF/RW/FL search curves at fig9/fig11 scale, and a
+:class:`~repro.engine.store.ResultStore` round-trip — and
 emits a schema-versioned payload suitable for committing as a
 ``BENCH_<date>_<sha>.json`` trajectory file at the repo root.
 
@@ -208,6 +209,31 @@ def _search_cases(quick: bool, tiers: Sequence[str]) -> List[Dict[str, Any]]:
     return cases
 
 
+def _substrate_cases(quick: bool, tiers: Sequence[str]) -> List[Dict[str, Any]]:
+    from repro.kernels.dispatch import use_kernels
+    from repro.substrate.grn import GeometricRandomNetwork
+
+    nodes = 2000 if quick else 20_000
+    cases: List[Dict[str, Any]] = []
+    for tier in tiers:
+        def build(nodes: int = nodes, tier: str = tier) -> None:
+            builder = GeometricRandomNetwork(
+                nodes, target_mean_degree=10.0, torus=True, seed=BENCH_SEED
+            )
+            with use_kernels(tier):
+                builder.generate_graph()
+
+        cases.append(
+            {
+                "id": f"substrate-grn/{tier}",
+                "fn": build,
+                "warmup": tier == "jit",
+                "meta": {"nodes": nodes, "tier": tier, "substrate": "grn"},
+            }
+        )
+    return cases
+
+
 def _store_cases(quick: bool) -> List[Dict[str, Any]]:
     from repro.engine.store import ResultStore
     from repro.experiments.results import ExperimentResult, Series
@@ -271,7 +297,12 @@ def run_benchmarks(
     if kernel_tier() == "jit":
         tiers.append("jit")
 
-    cases = _generation_cases(quick, tiers) + _search_cases(quick, tiers) + _store_cases(quick)
+    cases = (
+        _generation_cases(quick, tiers)
+        + _substrate_cases(quick, tiers)
+        + _search_cases(quick, tiers)
+        + _store_cases(quick)
+    )
     if only:
         prefixes = tuple(only)
         cases = [case for case in cases if str(case["id"]).startswith(prefixes)]

@@ -1,11 +1,12 @@
 """Cross-tier equivalence for the generator kernels (repro.kernels.generators).
 
 The generator kernel tier's contract mirrors the search kernels': for every
-construction family (PA roulette, CM stub matching, HAPA, DAPA), a ``jit``
-build must produce a graph *byte-identical* to the Python growth loop —
-same node insertion order, same edges in the same per-node neighbor order
-(pinned through the frozen CSR arrays), same metadata counters — and leave
-the shared RNG stream at exactly the position the reference would have
+construction family (PA in both strategies, nonlinear PA, CM stub matching,
+HAPA, DAPA) and every stochastic substrate (GRN, ER), a ``jit`` build must
+produce a graph *byte-identical* to the Python growth loop — same node
+insertion order, same edges in the same per-node neighbor order (pinned
+through the frozen CSR arrays), same metadata counters — and leave the
+shared RNG stream at exactly the position the reference would have
 reached, with the reference's draw-call counts pinned so neither tier can
 ever silently shift the seeds of anything running afterwards.
 
@@ -29,8 +30,15 @@ from repro.generators import pa as pa_module
 from repro.generators.cm import ConfigurationModelGenerator, generate_cm
 from repro.generators.dapa import generate_dapa
 from repro.generators.hapa import HAPAGenerator, generate_hapa
+from repro.generators.nonlinear_pa import (
+    NonlinearPreferentialAttachmentGenerator,
+    generate_nonlinear_pa,
+)
 from repro.generators.pa import PreferentialAttachmentGenerator, generate_pa
 from repro.kernels.dispatch import use_kernels
+from repro.substrate.grn import GeometricRandomNetwork, generate_grn
+from repro.substrate.mesh import MeshNetwork
+from repro.substrate.random_graph import generate_erdos_renyi
 
 
 class _CountingSource(RandomSource):
@@ -74,6 +82,12 @@ class _CountingSource(RandomSource):
 #: equivalence suite uses), callable with an explicit RandomSource.
 BUILDERS = {
     "pa": lambda rng: generate_pa(300, stubs=2, hard_cutoff=10, rng=rng),
+    "pa-attempt": lambda rng: generate_pa(
+        300, stubs=2, hard_cutoff=10, strategy="attempt", rng=rng
+    ),
+    "nlpa": lambda rng: generate_nonlinear_pa(
+        300, stubs=2, exponent_alpha=0.8, hard_cutoff=10, rng=rng
+    ),
     "cm": lambda rng: generate_cm(
         300, exponent=2.5, min_degree=2, hard_cutoff=20, rng=rng
     ),
@@ -89,6 +103,8 @@ BUILDERS = {
 #: algorithm change alters these, update them in the same commit.
 PINNED_DRAWS = {
     "pa": {"randint": 745},
+    "pa-attempt": {"randint": 113886, "random": 113886},
+    "nlpa": {"weighted_index": 594},
     "cm": {"shuffle": 1},
     "hapa": {"randint": 28497, "random": 18906},
     "dapa": {"spawn": 1, "sample": 1, "randint": 5297, "random": 4905},
@@ -153,6 +169,14 @@ class TestCrossTierByteIdentity:
                 if model == "pa":
                     result = PreferentialAttachmentGenerator(
                         300, stubs=2, hard_cutoff=10
+                    ).generate(RandomSource(seed=SEED))
+                elif model == "pa-attempt":
+                    result = PreferentialAttachmentGenerator(
+                        300, stubs=2, hard_cutoff=10, strategy="attempt"
+                    ).generate(RandomSource(seed=SEED))
+                elif model == "nlpa":
+                    result = NonlinearPreferentialAttachmentGenerator(
+                        300, stubs=2, exponent_alpha=0.8, hard_cutoff=10
                     ).generate(RandomSource(seed=SEED))
                 elif model == "cm":
                     result = ConfigurationModelGenerator(
@@ -331,6 +355,146 @@ class TestSeedCliqueValidation:
         )
         with pytest.raises(GenerationError, match="edgeless"):
             generator.generate(RandomSource(seed=1))
+
+
+#: One representative build per stochastic substrate family; mesh is
+#: deterministic and covered separately.  The torus case pins the
+#: wrapped-neighbor-cell dedupe (cells_per_side == 1 maps every ±1 offset
+#: onto the home cell).
+SUBSTRATE_BUILDERS = {
+    "grn": lambda rng: generate_grn(400, radius=0.1, rng=rng),
+    "grn-torus": lambda rng: generate_grn(60, radius=0.6, torus=True, rng=rng),
+    "er": lambda rng: generate_erdos_renyi(300, edge_probability=0.05, rng=rng),
+}
+
+SUBSTRATE_PINNED_DRAWS = {
+    "grn": {"random": 800},
+    "grn-torus": {"random": 120},
+    "er": {"random": 2202},
+}
+
+
+class TestSubstrateCrossTier:
+    """Substrate builders: array/kernel path vs the legacy dict path."""
+
+    @pytest.mark.parametrize("name", sorted(SUBSTRATE_BUILDERS))
+    def test_graphs_and_stream_position(self, name):
+        rng_python = RandomSource(seed=SEED)
+        rng_jit = RandomSource(seed=SEED)
+        with use_kernels("python"):
+            graph_python = SUBSTRATE_BUILDERS[name](rng_python)
+        with use_kernels("jit"):
+            graph_jit = SUBSTRATE_BUILDERS[name](rng_jit)
+        _assert_byte_identical(graph_python, graph_jit)
+        assert rng_python.random() == rng_jit.random(), (
+            f"{name}: jit substrate build left the stream at a different position"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SUBSTRATE_BUILDERS))
+    def test_pinned_draw_counts(self, name):
+        rng = _CountingSource(SEED)
+        with use_kernels("python"):
+            SUBSTRATE_BUILDERS[name](rng)
+        assert dict(rng.calls) == SUBSTRATE_PINNED_DRAWS[name]
+
+    @pytest.mark.parametrize("name", sorted(SUBSTRATE_BUILDERS))
+    def test_instrumented_sources_keep_the_reference_path(self, name):
+        rng = _CountingSource(SEED)
+        with use_kernels("jit"):
+            graph = SUBSTRATE_BUILDERS[name](rng)
+        assert dict(rng.calls) == SUBSTRATE_PINNED_DRAWS[name]
+        reference = SUBSTRATE_BUILDERS[name](RandomSource(seed=SEED))
+        _assert_byte_identical(reference, graph)
+
+    def test_grn_array_path_freeze_equals_dict_path(self):
+        # The substrate contract the simulation layer relies on: whichever
+        # tier built the substrate, freeze() hands DAPA the same CSR arrays
+        # and the same node positions.
+        builder = GeometricRandomNetwork(200, radius=0.15)
+        with use_kernels("python"):
+            dict_graph = builder.build(RandomSource(seed=7))
+        dict_positions = dict(builder.positions)
+        with use_kernels("jit"):
+            array_graph = builder.build(RandomSource(seed=7))
+        assert builder.positions == dict_positions
+        _assert_byte_identical(dict_graph, array_graph)
+
+    def test_mesh_vectorized_build_matches_reference(self):
+        cases = [
+            (5, 7, False), (5, 7, True), (2, 2, True), (2, 6, True),
+            (4, 2, True), (3, 3, True),
+        ]
+        for rows, columns, torus in cases:
+            mesh = MeshNetwork(rows, columns, torus=torus)
+            reference = mesh._build_reference()
+            vectorized = mesh.build(RandomSource(seed=1))
+            _assert_byte_identical(reference, vectorized)
+
+
+class TestNlpaBugfixes:
+    """The nlpa eligibility-bias fix and the strict/metadata hardening."""
+
+    def test_isolated_nodes_reachable_in_uniform_limit(self):
+        # alpha == 0 is uniform attachment: k**0 == 1 for everyone,
+        # *including* degree-0 nodes.  The old eligibility filter silently
+        # excluded them, biasing the uniform limit; with the fix, a node
+        # that somehow ends up isolated can still be attached to.
+        generator = NonlinearPreferentialAttachmentGenerator(
+            120, stubs=1, exponent_alpha=0.0
+        )
+        graph, metadata = generator._build_reference(RandomSource(seed=13))
+        assert metadata["unfilled_stubs"] == 0
+        assert graph.min_degree() >= 1
+
+    def test_uniform_limit_weights_are_uniform(self):
+        # Direct distribution check of the fix: under alpha == 0 every
+        # non-neighbor below the cutoff must be drawable, so across many
+        # seeds the early nodes' attachment frequencies stay comparable
+        # (the old filter would zero out freshly-degenerate nodes).
+        counts = Counter()
+        for seed in range(40):
+            graph = generate_nonlinear_pa(
+                30, stubs=1, exponent_alpha=0.0, seed=seed
+            )
+            for node in range(2):
+                counts[node] += graph.degree(node)
+        assert counts[0] > 0 and counts[1] > 0
+        ratio = counts[0] / counts[1]
+        assert 0.4 < ratio < 2.5, f"uniform limit biased: {dict(counts)}"
+
+    def test_strict_raises_on_unfilled_stubs(self):
+        # A tight cutoff starves later stubs; strict mode must refuse the
+        # degenerate topology instead of returning it silently.
+        strict = NonlinearPreferentialAttachmentGenerator(
+            60, stubs=2, exponent_alpha=1.0, hard_cutoff=3, strict=True
+        )
+        lenient = NonlinearPreferentialAttachmentGenerator(
+            60, stubs=2, exponent_alpha=1.0, hard_cutoff=3, strict=False
+        )
+        result = lenient.generate(RandomSource(seed=21))
+        # Later arrivals can heal a node whose own stub went unfilled, so
+        # min_degree_violations may come out zero; the unfilled count alone
+        # is what strict mode keys on.
+        assert result.metadata["unfilled_stubs"] > 0
+        with pytest.raises(GenerationError, match="unfilled"):
+            strict.generate(RandomSource(seed=21))
+
+    def test_strict_accepts_clean_builds(self):
+        graph = generate_nonlinear_pa(
+            150, stubs=2, exponent_alpha=0.8, hard_cutoff=20, seed=5, strict=True
+        )
+        assert graph.min_degree() >= 2
+
+    def test_cutoff_equal_to_stubs_rejected_for_growing_network(self):
+        with pytest.raises(ConfigurationError, match="exceed stubs"):
+            NonlinearPreferentialAttachmentGenerator(10, stubs=2, hard_cutoff=2)
+
+    def test_unfilled_stubs_always_in_metadata(self):
+        result = NonlinearPreferentialAttachmentGenerator(
+            80, stubs=2, exponent_alpha=1.2, hard_cutoff=30
+        ).generate(RandomSource(seed=8))
+        assert result.metadata["unfilled_stubs"] == 0
+        assert result.metadata["min_degree_violations"] == 0
 
 
 class TestCrossStrategyStatisticalGuard:

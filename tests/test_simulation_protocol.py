@@ -137,3 +137,113 @@ class TestAccounting:
         received = sum(network.peer(p).messages_received for p in network.online_peers())
         assert forwarded > 0
         assert received > 0
+
+
+class TestBatchQueries:
+    """query_batch: synchronous FIFO semantics over the frozen overlay."""
+
+    def test_batch_finds_provider(self):
+        network = build_network(peers=30, seed=23)
+        provider = network.online_peers()[-1]
+        network.peer(provider).share("song.mp3")
+        protocol = GnutellaProtocol(network, policy="fl", rng=24)
+        sources = network.online_peers()[:5]
+        stats_list = protocol.query_batch(sources, "song.mp3", ttl=12)
+        assert len(stats_list) == len(sources)
+        for stats in stats_list:
+            assert stats.success
+            assert stats.providers == {provider}
+            assert stats.hit_messages == 1
+            # first_hit_time is a hop count here, within the ttl budget.
+            assert 1.0 <= stats.first_hit_time <= 12.0
+            assert protocol.stats_for(stats.query_id) is stats
+
+    def test_batch_flooding_reaches_whole_component(self):
+        network = build_network(peers=25, seed=25)
+        protocol = GnutellaProtocol(network, policy="fl", rng=26)
+        stats_list = protocol.query_batch(network.online_peers()[:3], "x", ttl=20)
+        for stats in stats_list:
+            assert stats.peers_reached == network.peer_count - 1
+
+    def test_batch_cross_tier_identical(self):
+        from repro.kernels.dispatch import use_kernels
+
+        results = {}
+        for tier in ("python", "jit"):
+            network = build_network(peers=40, seed=27)
+            provider = network.online_peers()[7]
+            network.peer(provider).share("rare")
+            protocol = GnutellaProtocol(network, policy="nf", k_min=2, rng=28)
+            sources = network.online_peers()[:6]
+            with use_kernels(tier):
+                stats_list = protocol.query_batch(sources, "rare", ttl=6)
+            results[tier] = [
+                {
+                    key: value
+                    for key, value in stats.as_dict().items()
+                    if key != "query_id"
+                }
+                for stats in stats_list
+            ]
+            # The stream position after the batch must match across tiers.
+            results[tier].append(protocol.rng.random())
+        assert results["python"] == results["jit"]
+
+    def test_batch_random_walk_message_budget(self):
+        network = build_network(peers=30, seed=29)
+        protocol = GnutellaProtocol(network, policy="rw", walkers=3, rng=30)
+        stats_list = protocol.query_batch(network.online_peers()[:4], "x", ttl=5)
+        for stats in stats_list:
+            # Each of the <= 3 walkers sends at most one message per hop.
+            assert stats.query_messages <= 3 * 5
+
+    def test_batch_validates_inputs(self):
+        network = build_network(peers=10, seed=31)
+        protocol = GnutellaProtocol(network, rng=32)
+        source = network.online_peers()[0]
+        with pytest.raises(SimulationError):
+            protocol.query_batch([source], "x", ttl=0)
+        with pytest.raises(SimulationError):
+            protocol.query_batch([source], "x", policy="bogus")
+        with pytest.raises(SimulationError):
+            protocol.query_batch([999_999], "x")
+
+    def test_batch_leaves_peer_counters_untouched(self):
+        network = build_network(peers=20, seed=33)
+        protocol = GnutellaProtocol(network, policy="fl", rng=34)
+        protocol.query_batch(network.online_peers()[:3], "x", ttl=6)
+        assert all(
+            network.peer(p).messages_forwarded == 0
+            for p in network.online_peers()
+        )
+
+    def test_batch_reference_function_matches_method(self):
+        import numpy as np
+
+        from repro.core.rng import RandomSource
+        from repro.simulation.protocol import batch_query_reference
+
+        network = build_network(peers=20, seed=35)
+        provider = network.online_peers()[4]
+        network.peer(provider).share("doc")
+        frozen = network.graph.freeze()
+        provider_mask = np.zeros(network.peer_count, dtype=np.bool_)
+        provider_mask[frozen._row_of(provider)] = True
+        sources = network.online_peers()[:3]
+        rows = [frozen._row_of(s) for s in sources]
+
+        protocol = GnutellaProtocol(network, policy="fl", rng=36)
+        stats_list = protocol.query_batch(sources, "doc", ttl=8)
+        reached, query_messages, hit_messages, first_hits, providers = (
+            batch_query_reference(
+                frozen, rows, 8, "fl", protocol._branching(), 1, provider_mask,
+                RandomSource(seed=36),
+            )
+        )
+        for index, stats in enumerate(stats_list):
+            assert stats.peers_reached == reached[index]
+            assert stats.query_messages == query_messages[index]
+            assert stats.hit_messages == hit_messages[index]
+            assert stats.providers == {
+                frozen._id_of(row) for row in providers[index]
+            }
