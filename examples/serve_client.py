@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Drive `repro serve` end to end with nothing but the standard library.
+
+This client:
+
+1. starts a scenario service in-process on a free port (pass ``--url`` to
+   talk to an already-running ``repro serve`` instead);
+2. POSTs ``examples/scenarios/pf_on_cm.json`` with ``wait=0`` and tails the
+   live NDJSON progress stream until the computation finishes;
+3. fetches the finished result, POSTs the identical spec again, and shows
+   the second answer coming back warm from the result store;
+4. prints the service's ``/metrics`` counters.
+
+Run with:  python examples/serve_client.py [--url http://127.0.0.1:8765]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import tempfile
+from pathlib import Path
+from urllib.parse import urlsplit
+
+SPEC_PATH = Path(__file__).parent / "scenarios" / "pf_on_cm.json"
+
+
+def request(host: str, port: int, method: str, path: str, body=None):
+    """One HTTP exchange; returns (status, parsed-JSON body)."""
+    connection = http.client.HTTPConnection(host, port, timeout=600)
+    try:
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def tail_events(host: str, port: int, spec_hash: str) -> None:
+    """Stream /events line by line as the computation progresses."""
+    connection = http.client.HTTPConnection(host, port, timeout=600)
+    try:
+        connection.request("GET", f"/scenarios/{spec_hash}/events")
+        response = connection.getresponse()
+        for raw_line in response:
+            line = raw_line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.get("event", "?")
+            if kind == "task-finished":
+                print(f"    task {event.get('key')} in {event.get('seconds', 0):.2f}s")
+            else:
+                print(f"  event: {kind}")
+    finally:
+        connection.close()
+
+
+def run_demo(host: str, port: int) -> None:
+    spec_body = SPEC_PATH.read_bytes()
+
+    print(f"== health ({host}:{port})")
+    status, health = request(host, port, "GET", "/healthz")
+    print(f"  {status} {health}")
+
+    print("== cold POST (wait=0) + live event tail")
+    status, accepted = request(host, port, "POST", "/scenarios?wait=0", spec_body)
+    spec_hash = accepted["spec_hash"]
+    print(f"  {status} status={accepted['status']} spec_hash={spec_hash[:16]}…")
+    tail_events(host, port, spec_hash)
+
+    status, finished = request(host, port, "GET", f"/scenarios/{spec_hash}")
+    series = finished.get("result", {}).get("series", [])
+    print(f"  {status} status={finished['status']} series={len(series)}")
+    for entry in series:
+        print(f"    {entry['label']}: {len(entry['x'])} points")
+
+    print("== identical POST again (warm: answered from the store)")
+    status, warm = request(host, port, "POST", "/scenarios", spec_body)
+    print(f"  {status} status={warm['status']} from_cache={warm['from_cache']}")
+    identical = warm.get("result") == finished.get("result")
+    print(f"  results identical to first run: {identical}")
+
+    print("== metrics")
+    status, metrics = request(host, port, "GET", "/metrics")
+    for name, value in sorted(metrics["counters"].items()):
+        if name.startswith("serve."):
+            print(f"  {name} = {value:g}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--url", default=None,
+        help="base URL of a running `repro serve` (default: start one "
+             "in-process on a free port)",
+    )
+    args = parser.parse_args()
+
+    if args.url:
+        split = urlsplit(args.url if "//" in args.url else f"//{args.url}")
+        run_demo(split.hostname or "127.0.0.1", split.port or 8765)
+        return 0
+
+    # No server given: bring the whole stack up in-process on a free port.
+    import asyncio
+    import threading
+
+    from repro.engine.store import ResultStore
+    from repro.serve import ScenarioService, ServeHTTP
+
+    with tempfile.TemporaryDirectory() as cache_root:
+        service = ScenarioService(
+            store=ResultStore(cache_root), scale="smoke", workers=2
+        )
+        http_server = ServeHTTP(service, port=0)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(
+            target=lambda: (asyncio.set_event_loop(loop), loop.run_forever()),
+            daemon=True,
+        )
+        thread.start()
+        asyncio.run_coroutine_threadsafe(http_server.start(), loop).result(30)
+        print(f"started in-process service on port {http_server.port} "
+              f"(cache: {cache_root})")
+        try:
+            run_demo(http_server.host, http_server.port)
+        finally:
+            asyncio.run_coroutine_threadsafe(http_server.close(), loop).result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

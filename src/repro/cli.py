@@ -29,8 +29,15 @@ Subcommands
     Run the pinned benchmark suite and write/compare a schema-versioned
     ``BENCH_<date>_<sha>.json`` performance-trajectory file.
 ``repro cache stats --cache .repro-cache``
-    Print result-store entry count, total bytes, and the persisted hit/miss
-    counters of the last run.
+    Print result-store entry count, total bytes, the persisted hit/miss
+    counters of the last run, and the last ``gc`` summary.
+``repro cache gc --cache .repro-cache --max-bytes 500m --older-than 7d``
+    Evict least-recently-written result-store entries until the cache fits
+    the byte budget and/or drop entries older than the age bound.
+``repro serve --port 8765 --jobs 4 --cache .repro-cache``
+    Serve scenario specs over HTTP: warm requests are answered from the
+    result store, identical in-flight specs are deduplicated, and progress
+    streams as NDJSON (see :mod:`repro.serve`).
 
 Every run-style subcommand (``figure``/``suite``/``run``/``generate``/
 ``search``) also takes ``--trace <out.json>`` (write a schema-versioned
@@ -335,6 +342,52 @@ def build_parser() -> argparse.ArgumentParser:
                              help="result-store directory to inspect")
     cache_stats.add_argument("--json", action="store_true",
                              help="print the stats as JSON")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict cache entries LRU-by-mtime to bound a store"
+    )
+    cache_gc.add_argument("--cache", type=Path, required=True,
+                          help="result-store directory to collect")
+    cache_gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                          help="evict oldest entries until the store fits "
+                               "this budget (plain bytes or k/m/g suffix, "
+                               "e.g. 256m)")
+    cache_gc.add_argument("--older-than", default=None, metavar="AGE",
+                          help="evict entries whose result is older than "
+                               "this (seconds, or s/m/h/d suffix, e.g. 7d)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without deleting")
+    cache_gc.add_argument("--json", action="store_true",
+                          help="print the gc summary as JSON")
+
+    # serve
+    serve = subparsers.add_parser(
+        "serve", help="serve scenario specs over HTTP (see repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free port; default: 8765)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes shared by all scenario "
+                            "computations (default: 1)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="scenario computations admitted concurrently "
+                            "(default: 4)")
+    serve.add_argument(
+        "--scale", default="small", choices=["smoke", "small", "paper"],
+        help="scale preset requests run at (default: small)",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    serve.add_argument("--backend", default="adj", choices=["adj", "csr"],
+                       help="graph backend for the search phase (identical "
+                            "results; 'csr' is faster)")
+    serve.add_argument("--kernels", default="auto",
+                       choices=["auto", "python", "jit"],
+                       help="execution tier for generation and search loops "
+                            "(identical results; 'jit' is faster with numba)")
+    serve.add_argument("--cache", type=Path, default=None,
+                       help="result-store directory; warm requests are "
+                            "answered straight from disk")
 
     return parser
 
@@ -859,15 +912,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
-    if args.cache_command != "stats":
-        raise ReproError("usage: repro cache stats --cache DIR")
+def _parse_size(text: str) -> int:
+    """Parse a byte count: plain digits or a k/m/g(b) suffix (e.g. ``256m``)."""
+    raw = text.strip().lower()
+    multiplier = 1
+    for suffix, factor in (("gb", 1 << 30), ("g", 1 << 30), ("mb", 1 << 20),
+                           ("m", 1 << 20), ("kb", 1 << 10), ("k", 1 << 10),
+                           ("b", 1)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            multiplier = factor
+            break
+    try:
+        value = int(float(raw) * multiplier)
+    except ValueError:
+        raise ReproError(f"cannot parse size {text!r} (try 1048576, 256m, 2g)")
+    if value < 0:
+        raise ReproError(f"size must be non-negative, got {text!r}")
+    return value
+
+
+def _parse_duration(text: str) -> float:
+    """Parse a duration: seconds, or an s/m/h/d suffix (e.g. ``7d``)."""
+    raw = text.strip().lower()
+    multiplier = 1.0
+    for suffix, factor in (("d", 86400.0), ("h", 3600.0), ("m", 60.0), ("s", 1.0)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            multiplier = factor
+            break
+    try:
+        value = float(raw) * multiplier
+    except ValueError:
+        raise ReproError(f"cannot parse duration {text!r} (try 3600, 12h, 7d)")
+    if value < 0:
+        raise ReproError(f"duration must be non-negative, got {text!r}")
+    return value
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache)
     disk = store.disk_stats()
     last_run = store.last_run_stats()
+    last_gc = store.last_gc_stats()
     if args.json:
         print(json.dumps(
-            {"root": str(store.root), "disk": disk, "last_run": last_run},
+            {
+                "root": str(store.root),
+                "disk": disk,
+                "last_run": last_run,
+                "last_gc": last_gc,
+            },
             indent=2,
             sort_keys=True,
         ))
@@ -885,6 +980,94 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{last_run.get('bytes_read', 0)} bytes read, "
             f"{last_run.get('bytes_written', 0)} bytes written"
         )
+    if last_gc is not None:
+        print(
+            f"last gc:      reclaimed {last_gc.get('reclaimed_bytes', 0)} "
+            f"bytes ({last_gc.get('removed_entries', 0)} entries evicted, "
+            f"{last_gc.get('remaining_entries', 0)} kept)"
+        )
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.older_than is None:
+        raise ReproError(
+            "repro cache gc needs a policy: --max-bytes and/or --older-than"
+        )
+    store = ResultStore(args.cache)
+    summary = store.gc(
+        max_bytes=_parse_size(args.max_bytes) if args.max_bytes else None,
+        older_than_seconds=(
+            _parse_duration(args.older_than) if args.older_than else None
+        ),
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(dict(summary, root=str(store.root)),
+                         indent=2, sort_keys=True))
+        return 0
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(
+        f"{verb} {summary['reclaimed_bytes']} bytes "
+        f"({summary['removed_entries']} of {summary['scanned_entries']} "
+        f"entries); {summary['remaining_entries']} entries / "
+        f"{summary['remaining_bytes']} bytes kept"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "stats":
+        return _cmd_cache_stats(args)
+    if args.cache_command == "gc":
+        return _cmd_cache_gc(args)
+    raise ReproError("usage: repro cache {stats|gc} --cache DIR")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.engine.executor import ParallelExecutor
+    from repro.serve import ScenarioService, ServeHTTP
+
+    store = ResultStore(args.cache) if args.cache else None
+    executor = ParallelExecutor(jobs=args.jobs)
+    service = ScenarioService(
+        store=store,
+        executor=executor,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        kernels=args.kernels,
+        workers=args.workers,
+        telemetry=TelemetryCollector(),
+    )
+    http = ServeHTTP(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await http.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        print(f"serving on http://{http.host}:{http.port}", file=sys.stderr)
+        try:
+            await stop.wait()
+        finally:
+            await http.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    finally:
+        service.close()
+        executor.close()
+    print("serve: shut down cleanly", file=sys.stderr)
     return 0
 
 
@@ -899,6 +1082,7 @@ _COMMANDS = {
     "churn": _cmd_churn,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

@@ -19,6 +19,11 @@ simulation layer:
     Ambient selection between the mutable ``adj`` backend and the frozen
     ``csr`` backend (:func:`~repro.core.backend.use_backend`).
 
+``shm``
+    Shared-memory transport for frozen graphs
+    (:class:`~repro.core.shm.SharedGraphRegistry`): worker processes map
+    ``indptr``/``indices`` zero-copy instead of re-unpickling them per task.
+
 ``rng``
     A seedable random-source façade (:class:`~repro.core.rng.RandomSource`)
     so every stochastic component of the library is reproducible.
@@ -47,6 +52,12 @@ from repro.core.backend import (
     use_kernels,
 )
 from repro.core.csr import CSRGraph
+from repro.core.shm import (
+    SharedCSRGraph,
+    SharedGraphRegistry,
+    attach_shared_graph,
+    shm_available,
+)
 from repro.core.errors import (
     ConfigurationError,
     CutoffError,
@@ -75,8 +86,12 @@ __all__ = [
     "RandomSource",
     "ReproError",
     "SearchError",
+    "SharedCSRGraph",
+    "SharedGraphRegistry",
     "SimulationError",
     "KERNEL_MODES",
+    "attach_shared_graph",
+    "shm_available",
     "active_backend",
     "active_kernels",
     "freeze_for_backend",

@@ -1,0 +1,397 @@
+"""Zero-copy shared-memory handoff for frozen CSR graphs.
+
+Pickling a :class:`~repro.core.csr.CSRGraph` into a worker process costs
+O(E): the ``indptr``/``indices`` arrays are copied into the pickle stream,
+copied again out of the pipe, and materialised a third time in the worker —
+per task.  For "freeze once, fan out many tasks" workloads (a scenario
+service answering queries against one big topology, ``repro suite --jobs``
+on paper-scale graphs) that transfer cost dominates the task itself.
+
+This module moves the arrays into :mod:`multiprocessing.shared_memory`
+segments instead:
+
+* :class:`SharedGraphRegistry` — the parent-side owner.  ``share(graph)``
+  copies a graph's arrays into named ``/dev/shm`` segments **once** and
+  returns a :class:`SharedCSRGraph` whose pickle form is a tiny handle
+  (segment names + lengths, a few hundred bytes regardless of edge count).
+  The registry owns the segments: ``close()`` unlinks every one, and an
+  ``atexit`` hook sweeps any registry left open so clean and
+  signal-interrupted (SIGINT/SIGTERM-handled) shutdowns leave nothing in
+  ``/dev/shm``.
+* :func:`attach_shared_graph` — the worker-side entry point pickle calls.
+  It maps the named segments zero-copy and memoises the resulting graph
+  per process, so N tasks against one topology map it once and share its
+  lazy neighbor-list caches.
+
+The shared graph is behaviourally identical to its source (same class API,
+same neighbor order, therefore byte-identical seeded draws); only its
+transport representation changes.  Workers immediately unregister attached
+segments from :mod:`multiprocessing.resource_tracker` — ownership stays
+with the creating process, and a worker exiting must not unlink segments
+other workers still map.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.csr import CSRGraph
+from repro.core.errors import GraphError
+
+try:
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down stdlib builds
+    _resource_tracker = None
+    _shared_memory = None
+
+__all__ = [
+    "SharedCSRGraph",
+    "SharedGraphRegistry",
+    "attach_shared_graph",
+    "shm_available",
+    "share_graph_arguments",
+]
+
+#: Every segment this library creates carries this prefix, so leak checks
+#: (tests, CI) can list ``/dev/shm/repro-shm-*`` without false positives.
+SEGMENT_PREFIX = "repro-shm"
+
+#: A handle is ``((name, length), (name, length), (name, length) | None)``
+#: for the indptr / indices / ids arrays — the whole pickle payload.
+GraphHandle = Tuple[Tuple[str, int], Tuple[str, int], Optional[Tuple[str, int]]]
+
+_AVAILABLE: Optional[bool] = None
+
+#: Segment names created (and therefore resource-tracked) by *this*
+#: process; attaching to one of these must not unregister it, or the
+#: owner's eventual unlink would race the tracker.
+_OWNED_NAMES: "set[str]" = set()
+
+_ATTACH_LOCK = threading.Lock()
+#: Per-process cache of attached graphs, keyed by the indptr segment name:
+#: a worker executing N tasks against one topology maps it exactly once.
+_ATTACHED: Dict[str, "SharedCSRGraph"] = {}
+
+#: Registries still open in this process; the atexit sweep closes them.
+_LIVE_REGISTRIES: "weakref.WeakSet[SharedGraphRegistry]" = weakref.WeakSet()
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory is usable in this environment.
+
+    Probed once per process (create + unlink of a tiny segment); sandboxes
+    without ``/dev/shm`` make every sharing entry point degrade to plain
+    pickling rather than fail.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except (OSError, PermissionError, ValueError):
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _close_segment(segment: Any) -> None:
+    """Close a segment, tolerating live numpy views over its buffer.
+
+    ``SharedMemory.close`` raises :class:`BufferError` while array views
+    are alive; the mapping then persists until the views are collected or
+    the process exits, which is fine — ``unlink`` (the part that removes
+    the ``/dev/shm`` name) does not need the local mapping closed.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+
+
+class SharedCSRGraph(CSRGraph):
+    """A :class:`CSRGraph` whose arrays live in shared-memory segments.
+
+    Identical in behaviour to its source graph — same API, same neighbor
+    order, same seeded draws — but its pickle form is a constant-size
+    handle instead of the O(E) arrays, so shipping it to a worker process
+    costs the same whether the graph has a thousand edges or a hundred
+    million.  Instances are produced by
+    :meth:`SharedGraphRegistry.share` (parent side) and
+    :func:`attach_shared_graph` (worker side); the constructor wires an
+    already-mapped set of segments.
+    """
+
+    __slots__ = ("_segments", "_handle")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        ids: Optional[np.ndarray],
+        segments: Tuple[Any, ...],
+        handle: GraphHandle,
+    ) -> None:
+        super().__init__(indptr, indices, ids=ids)
+        self._segments = segments
+        self._handle = handle
+
+    @property
+    def handle(self) -> GraphHandle:
+        """The constant-size transport token (segment names + lengths)."""
+        return self._handle
+
+    def segment_names(self) -> List[str]:
+        """Names of the ``/dev/shm`` segments backing this graph."""
+        return [entry[0] for entry in self._handle if entry is not None]
+
+    def __reduce__(self):
+        # The whole point: crossing a process boundary costs a handle,
+        # not the arrays.
+        return (attach_shared_graph, (self._handle,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedCSRGraph(nodes={self.number_of_nodes}, "
+            f"edges={self.number_of_edges}, "
+            f"segments={self.segment_names()})"
+        )
+
+
+def _new_segment(nbytes: int) -> Any:
+    """Create a uniquely named segment (size floor 1: SHM rejects 0)."""
+    for _ in range(32):
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(6)}"
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=max(1, nbytes), name=name
+            )
+        except FileExistsError:  # pragma: no cover - 48-bit collision
+            continue
+        _OWNED_NAMES.add(segment.name)
+        return segment
+    raise GraphError("could not allocate a uniquely named shared-memory segment")
+
+
+def _export_array(array: np.ndarray) -> Tuple[Any, Tuple[str, int], np.ndarray]:
+    """Copy ``array`` into a fresh segment; return (segment, handle, view)."""
+    segment = _new_segment(array.nbytes)
+    view = np.ndarray(array.shape, dtype=np.int64, buffer=segment.buf)
+    view[:] = array
+    return segment, (segment.name, int(array.shape[0])), view
+
+
+def _map_array(name: str, length: int) -> Tuple[Any, np.ndarray]:
+    """Attach an existing segment and view it as an ``int64[length]``."""
+    try:
+        segment = _shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise GraphError(
+            f"shared graph segment {name!r} is gone — its owning process "
+            "closed the registry (or exited) while tasks were still in flight"
+        ) from None
+    if name not in _OWNED_NAMES and _resource_tracker is not None:
+        # Attaching registers the segment with this process's resource
+        # tracker, which would unlink it when *this* process exits even
+        # though the creating process owns it.  Hand ownership back.
+        try:
+            _resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals shifted
+            pass
+    view = np.ndarray((length,), dtype=np.int64, buffer=segment.buf)
+    return segment, view
+
+
+def attach_shared_graph(handle: GraphHandle) -> SharedCSRGraph:
+    """Map the segments named by ``handle`` into a graph (memoised).
+
+    This is the function :meth:`SharedCSRGraph.__reduce__` points pickle
+    at; it runs inside worker processes (and in the parent, for serial
+    fallbacks and pickle round-trip tests).  The per-process memoisation
+    key is the indptr segment name, so repeated tasks against one shared
+    topology reuse a single mapping *and* its lazily built neighbor-list
+    caches.
+    """
+    key = handle[0][0]
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(key)
+        if cached is not None:
+            return cached
+        segments: List[Any] = []
+        views: List[Optional[np.ndarray]] = []
+        for entry in handle:
+            if entry is None:
+                views.append(None)
+                continue
+            segment, view = _map_array(*entry)
+            segments.append(segment)
+            views.append(view)
+        graph = SharedCSRGraph(
+            views[0], views[1], views[2], tuple(segments), handle
+        )
+        _ATTACHED[key] = graph
+        return graph
+
+
+def _forget_attached(names: List[str]) -> None:
+    """Drop attach-cache entries for segments that no longer exist."""
+    with _ATTACH_LOCK:
+        for name in names:
+            _ATTACHED.pop(name, None)
+
+
+class SharedGraphRegistry:
+    """Parent-side owner of the shared-memory segments behind graphs.
+
+    ``share()`` is idempotent per graph instance (keyed by identity, with
+    the source pinned so ids cannot be recycled), and the registry is the
+    single place segments are unlinked: :meth:`close` — called by
+    :meth:`ParallelExecutor.close`, context-manager exit, or the module's
+    ``atexit`` sweep — removes every owned name from ``/dev/shm``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # id(source graph) -> (source pin, shared graph)
+        self._entries: Dict[int, Tuple[CSRGraph, SharedCSRGraph]] = {}
+        self._closed = False
+        _LIVE_REGISTRIES.add(self)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def segment_names(self) -> List[str]:
+        """Every ``/dev/shm`` name this registry currently owns."""
+        with self._lock:
+            return [
+                name
+                for _, shared in self._entries.values()
+                for name in shared.segment_names()
+            ]
+
+    def share(self, graph: CSRGraph) -> CSRGraph:
+        """Return a shared twin of ``graph`` (``graph`` itself if moot).
+
+        Already-shared graphs and environments without usable shared
+        memory pass through unchanged, so callers can apply this
+        unconditionally.
+        """
+        if isinstance(graph, SharedCSRGraph) or not shm_available():
+            return graph
+        key = id(graph)
+        with self._lock:
+            if self._closed:
+                raise GraphError("SharedGraphRegistry is closed")
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry[1]
+            indptr, indices, ids = graph.csr_arrays()
+            segments: List[Any] = []
+            handle_parts: List[Optional[Tuple[str, int]]] = []
+            views: List[Optional[np.ndarray]] = []
+            try:
+                for array in (indptr, indices, ids):
+                    if array is None:
+                        handle_parts.append(None)
+                        views.append(None)
+                        continue
+                    segment, part, view = _export_array(array)
+                    segments.append(segment)
+                    handle_parts.append(part)
+                    views.append(view)
+            except (OSError, PermissionError, ValueError):
+                # Allocation failed mid-graph (e.g. /dev/shm full): roll
+                # back and let the caller fall back to plain pickling.
+                for segment in segments:
+                    _close_segment(segment)
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+                    _OWNED_NAMES.discard(segment.name)
+                return graph
+            handle: GraphHandle = tuple(handle_parts)  # type: ignore[assignment]
+            shared = SharedCSRGraph(
+                views[0], views[1], views[2], tuple(segments), handle
+            )
+            self._entries[key] = (graph, shared)
+            return shared
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent, exception-tolerant)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        removed: List[str] = []
+        for _, shared in entries:
+            for segment in shared._segments:
+                _close_segment(segment)
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+                _OWNED_NAMES.discard(segment.name)
+                removed.append(segment.name)
+        _forget_attached(removed)
+
+    def __enter__(self) -> "SharedGraphRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._entries)} graph(s)"
+        return f"SharedGraphRegistry({state})"
+
+
+def share_graph_arguments(value: Any, registry: SharedGraphRegistry) -> Any:
+    """Replace every :class:`CSRGraph` reachable in ``value`` with a shared twin.
+
+    Recurses through the containers task arguments are actually built from
+    (tuples, lists, dicts); anything else passes through untouched.
+    Returns ``value`` itself when nothing inside needed sharing, so
+    executors can cheaply detect no-op batches.
+    """
+    if isinstance(value, CSRGraph):
+        return registry.share(value)
+    if isinstance(value, tuple):
+        shared = tuple(share_graph_arguments(item, registry) for item in value)
+        return value if all(a is b for a, b in zip(shared, value)) else shared
+    if isinstance(value, list):
+        shared_list = [share_graph_arguments(item, registry) for item in value]
+        return value if all(a is b for a, b in zip(shared_list, value)) else shared_list
+    if isinstance(value, dict):
+        shared_dict = {
+            name: share_graph_arguments(item, registry)
+            for name, item in value.items()
+        }
+        same = all(shared_dict[name] is value[name] for name in value)
+        return value if same else shared_dict
+    return value
+
+
+@atexit.register
+def _sweep_registries() -> None:  # pragma: no cover - exercised via subprocess
+    """Last-resort cleanup: unlink everything still owned at interpreter exit.
+
+    Normal shutdown paths (executor ``close()``, ``with`` blocks, the serve
+    CLI's signal handlers raising ``SystemExit``) run before this; the
+    sweep covers error paths that skipped them.
+    """
+    for registry in list(_LIVE_REGISTRIES):
+        registry.close()

@@ -38,12 +38,13 @@ from repro.engine.executor import (
     use_executor,
 )
 from repro.engine.store import ResultStore
-from repro.engine.progress import ExperimentTiming, ProgressReporter
+from repro.engine.progress import ExperimentTiming, ProgressEvent, ProgressReporter
 
 __all__ = [
     "Executor",
     "ExperimentTiming",
     "ParallelExecutor",
+    "ProgressEvent",
     "ProgressReporter",
     "ResultStore",
     "SerialExecutor",

@@ -23,6 +23,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import secrets
+import shutil
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -153,7 +156,6 @@ class ResultStore:
         directory = self.path_for(key)
         with telemetry.span("store"):
             directory.mkdir(parents=True, exist_ok=True)
-            result.save_csv(directory / "result.csv")
             meta = {
                 "key": key,
                 "store_schema": STORE_SCHEMA_VERSION,
@@ -162,9 +164,28 @@ class ResultStore:
                 "extra": extra or {},
                 "created_at": time.time(),
             }
-            (directory / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True))
-            # result.json lands last: its presence marks the entry as complete.
-            result.save_json(directory / "result.json")
+            # Crash/concurrency safety: every artifact is written to a
+            # uniquely named temp file in the same directory and renamed
+            # into place with os.replace (atomic on POSIX).  A killed
+            # writer leaves at worst a stray ``.tmp-*`` file, never a torn
+            # artifact — and because ``result.json`` is replaced last, its
+            # presence still marks the entry as complete.  Two racing
+            # writers of one key both hold identical bytes (content
+            # addressing), so whichever rename lands last is harmless.
+            token = f".tmp-{os.getpid()}-{secrets.token_hex(4)}"
+            tmp_csv = directory / f"result.csv{token}"
+            tmp_meta = directory / f"meta.json{token}"
+            tmp_json = directory / f"result.json{token}"
+            try:
+                result.save_csv(tmp_csv)
+                tmp_meta.write_text(json.dumps(meta, indent=2, sort_keys=True))
+                result.save_json(tmp_json)
+                os.replace(tmp_csv, directory / "result.csv")
+                os.replace(tmp_meta, directory / "meta.json")
+                os.replace(tmp_json, directory / "result.json")
+            finally:
+                for leftover in (tmp_csv, tmp_meta, tmp_json):
+                    leftover.unlink(missing_ok=True)
             written = sum(
                 (directory / name).stat().st_size
                 for name in ("result.json", "result.csv", "meta.json")
@@ -229,6 +250,104 @@ class ResultStore:
                 if artifact.is_file():
                     total_bytes += artifact.stat().st_size
         return {"entries": entries, "total_bytes": total_bytes}
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        older_than_seconds: Optional[float] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Evict entries LRU-by-mtime; return what was (or would be) reclaimed.
+
+        Long-lived service nodes need a bounded store.  Two independent
+        policies compose:
+
+        * ``older_than_seconds`` — drop every entry whose ``result.json``
+          mtime is older than this many seconds;
+        * ``max_bytes`` — then drop oldest-first until the remaining
+          entries fit the budget.
+
+        ``result.json`` mtime is the recency signal: :meth:`put` replaces
+        it on every write, so recently recomputed entries survive.  With
+        ``dry_run`` nothing is deleted and no record is persisted.  The
+        summary (also written to ``last-gc.json`` so ``repro cache stats``
+        can surface reclaimed bytes) reports entry counts and byte totals
+        before/after.
+        """
+        if now is None:
+            now = time.time()
+        entries: List[Tuple[float, int, Path]] = []  # (mtime, bytes, dir)
+        for meta_path in self.root.glob("*/*/meta.json"):
+            directory = meta_path.parent
+            marker = directory / "result.json"
+            if not marker.exists():
+                continue
+            size = sum(
+                artifact.stat().st_size
+                for artifact in directory.iterdir()
+                if artifact.is_file()
+            )
+            entries.append((marker.stat().st_mtime, size, directory))
+        entries.sort(reverse=True)  # newest first
+        total_bytes = sum(size for _, size, _ in entries)
+
+        evict: List[Tuple[float, int, Path]] = []
+        keep: List[Tuple[float, int, Path]] = []
+        for entry in entries:
+            if older_than_seconds is not None and now - entry[0] > older_than_seconds:
+                evict.append(entry)
+            else:
+                keep.append(entry)
+        if max_bytes is not None:
+            kept_bytes = 0
+            within: List[Tuple[float, int, Path]] = []
+            for entry in keep:  # newest first: the budget keeps recent entries
+                if kept_bytes + entry[1] <= max_bytes:
+                    kept_bytes += entry[1]
+                    within.append(entry)
+                else:
+                    evict.append(entry)
+            keep = within
+
+        reclaimed = sum(size for _, size, _ in evict)
+        if not dry_run:
+            for _, _, directory in evict:
+                shutil.rmtree(directory, ignore_errors=True)
+                try:  # prune the two-char fan-out dir when it empties
+                    directory.parent.rmdir()
+                except OSError:
+                    pass
+        summary = {
+            "scanned_entries": len(entries),
+            "scanned_bytes": total_bytes,
+            "removed_entries": len(evict),
+            "reclaimed_bytes": reclaimed,
+            "remaining_entries": len(keep),
+            "remaining_bytes": total_bytes - reclaimed,
+            "max_bytes": max_bytes,
+            "older_than_seconds": older_than_seconds,
+            "dry_run": dry_run,
+            "at": now,
+        }
+        if not dry_run:
+            (self.root / "last-gc.json").write_text(
+                json.dumps(summary, indent=2, sort_keys=True)
+            )
+        return summary
+
+    def last_gc_stats(self) -> Optional[Dict[str, Any]]:
+        """Return the persisted summary of the last :meth:`gc`, or ``None``."""
+        path = self.root / "last-gc.json"
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except ValueError:  # pragma: no cover - corrupted record
+            return None
 
     def save_stats(self) -> Path:
         """Persist this instance's counters as the store's last-run record.

@@ -30,6 +30,7 @@ from repro.scenarios.compile import (
     run_scenario,
     run_scenario_cached,
     run_series_plan,
+    scenario_cache_extra,
     scenario_runner,
 )
 from repro.scenarios.kinds import (
@@ -65,5 +66,6 @@ __all__ = [
     "run_scenario",
     "run_scenario_cached",
     "run_series_plan",
+    "scenario_cache_extra",
     "scenario_runner",
 ]

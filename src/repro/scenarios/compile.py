@@ -41,10 +41,22 @@ __all__ = [
     "run_series_plan",
     "run_scenario",
     "run_scenario_cached",
+    "scenario_cache_extra",
     "scenario_runner",
     "builtin_scenarios",
     "get_builtin_scenario",
 ]
+
+
+def scenario_cache_extra(spec: ScenarioSpec) -> Dict[str, str]:
+    """The store ``extra`` dict that keys a scenario's cache entries.
+
+    One definition shared by :func:`run_scenario_cached` and the serve
+    layer's warm-path lookup, so a result computed by either is a cache
+    hit for the other (and for every equivalent spelling of the spec —
+    the hash is canonical).
+    """
+    return {"scenario": spec.spec_hash()}
 
 
 @dataclass(frozen=True)
@@ -273,7 +285,7 @@ def run_scenario_cached(
             spec.scenario_id,
             resolved,
             compute,
-            extra={"scenario": spec.spec_hash()},
+            extra=scenario_cache_extra(spec),
         )
     else:
         result, from_cache = compute(), False

@@ -270,6 +270,58 @@ def _store_cases(quick: bool) -> List[Dict[str, Any]]:
     ]
 
 
+def _graph_degree_probe(graph: Any, node: int) -> int:
+    """Module-level (picklable) task body for the handoff benchmark."""
+    return graph.degree(node)
+
+
+def _handoff_cases(quick: bool) -> List[Dict[str, Any]]:
+    """Per-task graph-transfer cost: shared memory vs raw pickling.
+
+    The same frozen CSR topology crosses a 2-worker pool boundary once per
+    task; the task body is a single ``degree()`` call, so the measured time
+    is dominated by the transfer.  With ``share_graphs=True`` each worker
+    maps the segments once and every further task ships a ~130-byte
+    handle — the shm case must not scale with edge count, the pickle case
+    does.
+    """
+    from repro.core.shm import shm_available
+    from repro.engine.executor import ParallelExecutor
+    from repro.engine.tasks import Task
+    from repro.generators.pa import generate_pa
+
+    nodes = 2000 if quick else 20_000
+    tasks_per_run = 8
+    frozen = generate_pa(nodes, stubs=2, hard_cutoff=40, seed=BENCH_SEED).freeze()
+
+    def run(share: bool) -> None:
+        with ParallelExecutor(jobs=2, share_graphs=share) as executor:
+            tasks = [
+                Task(fn=_graph_degree_probe, args=(frozen, node), key=f"d{node}")
+                for node in range(tasks_per_run)
+            ]
+            executor.run(tasks)
+
+    cases: List[Dict[str, Any]] = [
+        {
+            "id": "engine/graph-handoff/pickle",
+            "fn": lambda: run(False),
+            "warmup": False,
+            "meta": {"nodes": nodes, "tasks": tasks_per_run, "shared": False},
+        }
+    ]
+    if shm_available():
+        cases.append(
+            {
+                "id": "engine/graph-handoff/shm",
+                "fn": lambda: run(True),
+                "warmup": False,
+                "meta": {"nodes": nodes, "tasks": tasks_per_run, "shared": True},
+            }
+        )
+    return cases
+
+
 # --------------------------------------------------------------------------- #
 # Suite driver
 # --------------------------------------------------------------------------- #
@@ -302,6 +354,7 @@ def run_benchmarks(
         + _substrate_cases(quick, tiers)
         + _search_cases(quick, tiers)
         + _store_cases(quick)
+        + _handoff_cases(quick)
     )
     if only:
         prefixes = tuple(only)

@@ -1,0 +1,380 @@
+"""Tests for the scenario service (:mod:`repro.serve`).
+
+The load-bearing guarantees:
+
+* two concurrent identical specs trigger exactly **one** computation
+  (in-flight dedup) and both callers get identical responses;
+* a warm request (result already in the store) is answered from disk —
+  including across a service restart — byte-identical to a direct
+  :func:`run_scenario_cached` call;
+* malformed specs surface as :class:`ScenarioError` → HTTP 400 with the
+  validation detail, and never touch the executor;
+* the NDJSON event stream carries the structured progress events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.engine.store import ResultStore
+from repro.scenarios.compile import run_scenario_cached, scenario_cache_extra
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve import EventLog, ScenarioService, ServeHTTP
+from repro.telemetry.collector import TelemetryCollector
+
+SPEC = {
+    "id": "serve-test",
+    "title": "Serve test scenario",
+    "topology": {"model": "pa", "stubs": 2, "hard_cutoff": 10},
+    "label": "dd",
+    "measurement": {"kind": "degree-distribution"},
+}
+SPEC_JSON = json.dumps(SPEC)
+
+
+def _service(tmp_path=None, **kwargs) -> ScenarioService:
+    kwargs.setdefault("scale", "smoke")
+    kwargs.setdefault("telemetry", TelemetryCollector())
+    if tmp_path is not None:
+        kwargs.setdefault("store", ResultStore(tmp_path / "cache"))
+    return ScenarioService(**kwargs)
+
+
+def _counter(service: ScenarioService, name: str) -> float:
+    return service.telemetry.export()["counters"].get(name, 0)
+
+
+class TestEventLog:
+    def test_append_stamps_sequence_numbers(self):
+        log = EventLog()
+        log.append({"event": "a"})
+        log.append({"event": "b"})
+        assert [e["seq"] for e in log.snapshot()] == [0, 1]
+
+    def test_after_returns_only_new_events_and_closed_flag(self):
+        log = EventLog()
+        log.append({"event": "a"})
+        events, closed = log.after(0, timeout=0)
+        assert [e["event"] for e in events] == ["a"]
+        assert not closed
+        events, closed = log.after(1, timeout=0)
+        assert events == [] and not closed
+        log.close()
+        events, closed = log.after(1, timeout=0)
+        assert events == [] and closed
+
+    def test_after_wakes_blocked_consumer(self):
+        log = EventLog()
+        seen = []
+
+        def consume():
+            events, _ = log.after(0, timeout=5.0)
+            seen.extend(events)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        log.append({"event": "late"})
+        thread.join(timeout=5.0)
+        assert [e["event"] for e in seen] == ["late"]
+
+
+class TestWarmAndCold:
+    def test_cold_then_warm(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            cold = service.submit(SPEC_JSON)
+            assert cold["status"] == "done"
+            assert cold["from_cache"] is False
+            warm = service.submit(SPEC_JSON)
+            assert warm["status"] == "done"
+            assert warm["from_cache"] is True
+            assert warm["result"] == cold["result"]
+            assert _counter(service, "serve.cold_misses") == 1
+            assert _counter(service, "serve.warm_hits") == 1
+            assert _counter(service, "serve.computations") == 1
+        finally:
+            service.close()
+
+    def test_restarted_service_serves_from_disk(self, tmp_path):
+        first = _service(tmp_path)
+        try:
+            cold = first.submit(SPEC_JSON)
+        finally:
+            first.close()
+        second = _service(tmp_path)
+        try:
+            warm = second.submit(SPEC_JSON)
+            assert warm["from_cache"] is True
+            assert warm["result"] == cold["result"]
+            assert _counter(second, "serve.computations") == 0
+        finally:
+            second.close()
+
+    def test_result_identical_to_direct_run(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            served = service.submit(SPEC_JSON)
+        finally:
+            service.close()
+        spec = ScenarioSpec.from_json(SPEC_JSON)
+        direct, _ = run_scenario_cached(spec, scale=service.default_scale)
+        assert json.dumps(served["result"], sort_keys=True) == json.dumps(
+            direct.as_dict(), sort_keys=True
+        )
+
+    def test_store_key_includes_spec_hash(self, tmp_path):
+        """Two different specs with the same id do not collide."""
+        service = _service(tmp_path)
+        other = dict(SPEC, topology={"model": "pa", "stubs": 3, "hard_cutoff": 10})
+        try:
+            first = service.submit(SPEC_JSON)
+            second = service.submit(json.dumps(other))
+            assert second["from_cache"] is False
+            assert second["spec_hash"] != first["spec_hash"]
+            assert _counter(service, "serve.computations") == 2
+        finally:
+            service.close()
+
+    def test_warm_lookup_uses_shared_cache_extra(self, tmp_path):
+        """A result persisted by ``repro run`` is warm for the service."""
+        store = ResultStore(tmp_path / "cache")
+        spec = ScenarioSpec.from_json(SPEC_JSON)
+        service = _service(tmp_path)
+        try:
+            run_scenario_cached(spec, scale=service.default_scale, store=store)
+            warm = service.submit(SPEC_JSON)
+            assert warm["from_cache"] is True
+            assert _counter(service, "serve.computations") == 0
+        finally:
+            service.close()
+
+
+class TestInFlightDedup:
+    def test_concurrent_identical_specs_compute_once(self, tmp_path, monkeypatch):
+        """Two concurrent identical submits → one computation, equal bodies."""
+        release = threading.Event()
+        running = threading.Event()
+        calls = []
+        real = run_scenario_cached
+
+        def blocking(spec, **kwargs):
+            calls.append(spec.spec_hash())
+            running.set()
+            assert release.wait(timeout=10.0), "test deadlock"
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.serve.service.run_scenario_cached", blocking
+        )
+        service = _service(tmp_path, workers=4)
+        responses = []
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda: responses.append(service.submit(SPEC_JSON))
+                )
+                for _ in range(2)
+            ]
+            threads[0].start()
+            assert running.wait(timeout=10.0)  # first request is in flight
+            threads[1].start()
+            # The second submit must dedup against the first before the
+            # computation is allowed to finish.
+            deadline = 50
+            while _counter(service, "serve.dedup_hits") < 1 and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            release.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert len(responses) == 2
+            assert responses[0] == responses[1]  # byte-identical bodies
+            assert len(calls) == 1  # exactly one computation ran
+            assert _counter(service, "serve.cold_misses") == 1
+            assert _counter(service, "serve.dedup_hits") == 1
+        finally:
+            release.set()
+            service.close()
+
+    def test_different_seeds_do_not_dedup(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            first = service.submit(SPEC_JSON, seed=1)
+            second = service.submit(SPEC_JSON, seed=2)
+            assert first["seed"] != second["seed"]
+            assert _counter(service, "serve.dedup_hits") == 0
+            assert _counter(service, "serve.computations") == 2
+        finally:
+            service.close()
+
+
+class TestErrors:
+    def test_malformed_json_raises_scenario_error(self):
+        service = _service()
+        try:
+            with pytest.raises(ScenarioError, match="not valid JSON"):
+                service.submit("{not json")
+            assert _counter(service, "serve.errors") == 1
+        finally:
+            service.close()
+
+    def test_invalid_spec_raises_with_detail(self):
+        service = _service()
+        bad = dict(SPEC, topology={"model": "no-such-model"})
+        try:
+            with pytest.raises(ScenarioError, match="no-such-model"):
+                service.submit(json.dumps(bad))
+        finally:
+            service.close()
+
+    def test_unknown_scale_raises(self):
+        service = _service()
+        try:
+            with pytest.raises(Exception):
+                service.submit(SPEC_JSON, scale="galactic")
+        finally:
+            service.close()
+
+
+class TestAsyncSubmit:
+    def test_wait_false_returns_queued_then_resolves(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            response = service.submit(SPEC_JSON, wait=False)
+            assert response["status"] in ("queued", "running", "done")
+            job = service.job_for(response["spec_hash"])
+            assert job is not None
+            job.future.result(timeout=30.0)
+            assert job.status == "done"
+            events = [e["event"] for e in job.events.snapshot()]
+            assert events[0] == "accepted"
+            assert "completed" in events
+            assert job.events.closed
+        finally:
+            service.close()
+
+    def test_progress_events_are_structured(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            response = service.submit(SPEC_JSON)
+            job = service.job_for(response["spec_hash"])
+            kinds = {e["event"] for e in job.events.snapshot()}
+            # ProgressReporter events funnel into the same log as the
+            # service lifecycle events.
+            assert {"accepted", "running", "completed"} <= kinds
+            assert "experiment-started" in kinds
+            for event in job.events.snapshot():
+                json.dumps(event)  # every event is JSON-serializable
+        finally:
+            service.close()
+
+
+class _HTTPFixture:
+    """A ServeHTTP instance running on an event loop in a daemon thread."""
+
+    def __init__(self, service: ScenarioService) -> None:
+        self.service = service
+        self.http = ServeHTTP(service, port=0)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.http.start(), self.loop).result(10)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def request(self, method: str, path: str, body=None):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.http.port, timeout=60
+        )
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.http.close(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.service.close()
+
+
+@pytest.fixture()
+def served(tmp_path):
+    fixture = _HTTPFixture(_service(tmp_path))
+    yield fixture
+    fixture.close()
+
+
+class TestHTTP:
+    def test_healthz(self, served):
+        status, body = served.request("GET", "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_post_cold_then_warm(self, served):
+        status, body = served.request("POST", "/scenarios", SPEC_JSON)
+        assert status == 200
+        cold = json.loads(body)
+        assert cold["status"] == "done" and cold["from_cache"] is False
+        status, body = served.request("POST", "/scenarios", SPEC_JSON)
+        warm = json.loads(body)
+        assert status == 200
+        assert warm["from_cache"] is True
+        assert warm["result"] == cold["result"]
+
+    def test_malformed_spec_is_400_with_detail(self, served):
+        status, body = served.request("POST", "/scenarios", "{not json")
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["error"] == "ScenarioError"
+        assert "JSON" in payload["detail"]
+
+    def test_invalid_field_is_400_with_detail(self, served):
+        bad = json.dumps(dict(SPEC, bogus_field=1))
+        status, body = served.request("POST", "/scenarios", bad)
+        assert status == 400
+        assert "bogus_field" in json.loads(body)["detail"]
+
+    def test_status_and_events_routes(self, served):
+        _, body = served.request("POST", "/scenarios", SPEC_JSON)
+        spec_hash = json.loads(body)["spec_hash"]
+        status, body = served.request("GET", f"/scenarios/{spec_hash}")
+        assert status == 200
+        assert json.loads(body)["status"] == "done"
+        status, body = served.request("GET", f"/scenarios/{spec_hash}/events")
+        assert status == 200
+        events = [json.loads(line) for line in body.decode().splitlines()]
+        assert events  # NDJSON: one JSON object per line
+        assert events[0]["event"] == "accepted"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_unknown_routes(self, served):
+        assert served.request("GET", "/nope")[0] == 404
+        assert served.request("GET", "/scenarios/deadbeef")[0] == 404
+        assert served.request("GET", "/scenarios")[0] == 405
+
+    def test_metrics_counts_requests(self, served):
+        served.request("POST", "/scenarios", SPEC_JSON)
+        served.request("POST", "/scenarios", SPEC_JSON)
+        status, body = served.request("GET", "/metrics")
+        assert status == 200
+        metrics = json.loads(body)
+        counters = metrics["counters"]
+        assert counters["serve.requests"] == 2
+        assert counters.get("serve.warm_hits", 0) + counters.get(
+            "serve.dedup_hits", 0
+        ) >= 1
+        assert "serve.request_seconds" in metrics["histograms"]
+        assert metrics["store"] is not None

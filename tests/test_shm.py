@@ -1,0 +1,208 @@
+"""Tests for the shared-memory graph handoff (:mod:`repro.core.shm`).
+
+The load-bearing guarantees:
+
+* a :class:`SharedCSRGraph` is behaviourally identical to the frozen
+  :class:`CSRGraph` it mirrors (zero-copy views of the same arrays);
+* its pickled form is a tiny fixed-size *handle* — per-task graph
+  transfer cost no longer scales with edge count;
+* workers attaching through :class:`ParallelExecutor` compute identical
+  results to a serial run on the original graph;
+* the segment lifecycle is leak-free: after ``registry.close()`` (or
+  executor close) no ``repro-shm-*`` segments remain in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core.csr import CSRGraph
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+from repro.core.shm import (
+    SEGMENT_PREFIX,
+    SharedCSRGraph,
+    SharedGraphRegistry,
+    attach_shared_graph,
+    share_graph_arguments,
+    shm_available,
+)
+from repro.engine.executor import ParallelExecutor
+from repro.engine.tasks import Task
+from repro.generators.pa import generate_pa
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory is unavailable"
+)
+
+DEV_SHM = Path("/dev/shm")
+
+
+def _repro_segments() -> set:
+    """Names of live repro-owned segments (empty set if /dev/shm is absent)."""
+    if not DEV_SHM.is_dir():
+        return set()
+    return {p.name for p in DEV_SHM.glob(f"{SEGMENT_PREFIX}-*")}
+
+
+def _frozen(nodes: int = 200, seed: int = 7) -> CSRGraph:
+    return generate_pa(nodes, stubs=2, hard_cutoff=15, seed=seed).freeze()
+
+
+# Module-level so it pickles into worker processes.
+def _degree_sum(graph: CSRGraph) -> int:
+    return sum(graph.degree(node) for node in graph.nodes())
+
+
+def _neighbor_signature(graph: CSRGraph, node: int) -> tuple:
+    return tuple(graph.neighbors(node))
+
+
+class TestSharedCSRGraph:
+    def test_shared_graph_is_behaviourally_identical(self):
+        frozen = _frozen()
+        with SharedGraphRegistry() as registry:
+            shared = registry.share(frozen)
+            assert isinstance(shared, SharedCSRGraph)
+            assert shared.number_of_nodes == frozen.number_of_nodes
+            assert shared.number_of_edges == frozen.number_of_edges
+            assert shared.degree_sequence() == frozen.degree_sequence()
+            for node in list(frozen.nodes())[:25]:
+                assert shared.neighbors(node) == frozen.neighbors(node)
+            assert shared == frozen
+
+    def test_share_is_idempotent_per_graph(self):
+        frozen = _frozen()
+        with SharedGraphRegistry() as registry:
+            assert registry.share(frozen) is registry.share(frozen)
+
+    def test_sharing_a_shared_graph_is_a_no_op(self):
+        frozen = _frozen()
+        with SharedGraphRegistry() as registry:
+            shared = registry.share(frozen)
+            with SharedGraphRegistry() as second:
+                assert second.share(shared) is shared
+
+    def test_handle_size_does_not_scale_with_edge_count(self):
+        """The tentpole claim: transfer cost is O(1) in graph size."""
+        small = _frozen(nodes=100)
+        large = _frozen(nodes=4000)
+        raw_small = len(pickle.dumps(small))
+        raw_large = len(pickle.dumps(large))
+        assert raw_large > raw_small * 10  # raw pickling scales with edges
+        with SharedGraphRegistry() as registry:
+            handle_small = len(pickle.dumps(registry.share(small)))
+            handle_large = len(pickle.dumps(registry.share(large)))
+        assert handle_large <= handle_small + 8  # handles do not
+        assert handle_large < 512
+
+    def test_same_process_attach_is_memoised(self):
+        frozen = _frozen()
+        with SharedGraphRegistry() as registry:
+            shared = registry.share(frozen)
+            clone = pickle.loads(pickle.dumps(shared))
+            again = pickle.loads(pickle.dumps(shared))
+            # One mapping per topology per process: lazy caches are shared.
+            assert clone is again
+            assert clone.degree_sequence() == frozen.degree_sequence()
+
+    def test_attach_after_unlink_raises_graph_error(self):
+        frozen = _frozen()
+        registry = SharedGraphRegistry()
+        shared = registry.share(frozen)
+        handle = shared.handle
+        registry.close()
+        with pytest.raises(GraphError):
+            attach_shared_graph(handle)
+
+
+class TestSegmentLifecycle:
+    def test_close_unlinks_every_segment(self):
+        before = _repro_segments()
+        registry = SharedGraphRegistry()
+        registry.share(_frozen(seed=11))
+        registry.share(_frozen(seed=12))
+        if DEV_SHM.is_dir():
+            assert len(_repro_segments() - before) > 0
+        registry.close()
+        assert _repro_segments() == before
+
+    def test_close_is_idempotent(self):
+        registry = SharedGraphRegistry()
+        registry.share(_frozen())
+        registry.close()
+        registry.close()
+
+    def test_executor_close_reclaims_segments(self):
+        before = _repro_segments()
+        executor = ParallelExecutor(jobs=2)
+        frozen = _frozen()
+        results = executor.run([
+            Task(fn=_degree_sum, args=(frozen,), key="degsum"),
+            Task(fn=_neighbor_signature, args=(frozen, 0), key="nbr"),
+        ])
+        assert results[0] == _degree_sum(frozen)
+        assert results[1] == _neighbor_signature(frozen, 0)
+        executor.close()
+        assert _repro_segments() == before
+
+
+class TestExecutorHandoff:
+    def test_parallel_results_identical_to_serial(self):
+        frozen = _frozen(nodes=300)
+        expected = [_degree_sum(frozen)] + [
+            _neighbor_signature(frozen, node) for node in range(10)
+        ]
+        tasks = [Task(fn=_degree_sum, args=(frozen,), key="degsum")] + [
+            Task(fn=_neighbor_signature, args=(frozen, node), key=f"n{node}")
+            for node in range(10)
+        ]
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.run(tasks) == expected
+
+    def test_share_graphs_false_still_matches(self):
+        frozen = _frozen(nodes=150)
+        task = Task(fn=_degree_sum, args=(frozen,), key="degsum")
+        with ParallelExecutor(jobs=2, share_graphs=False) as executor:
+            assert executor.run([task]) == [_degree_sum(frozen)]
+
+
+class TestShareGraphArguments:
+    def test_rewrites_nested_containers(self):
+        frozen = _frozen()
+        with SharedGraphRegistry() as registry:
+            value = {"graphs": [frozen, 3], "other": (1, frozen)}
+            rewritten = share_graph_arguments(value, registry)
+            assert isinstance(rewritten["graphs"][0], SharedCSRGraph)
+            assert isinstance(rewritten["other"][1], SharedCSRGraph)
+            assert rewritten["graphs"][1] == 3
+
+    def test_identity_preserved_when_nothing_to_share(self):
+        value = {"a": [1, 2], "b": (3, "x")}
+        with SharedGraphRegistry() as registry:
+            assert share_graph_arguments(value, registry) is value
+
+    def test_mutable_graphs_are_left_alone(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 2)])
+        with SharedGraphRegistry() as registry:
+            assert share_graph_arguments(graph, registry) is graph
+
+
+class TestTaskMapArguments:
+    def test_returns_self_when_unchanged(self):
+        task = Task(fn=_degree_sum, args=(1,), key="k")
+        assert task.map_arguments(lambda value: value) is task
+
+    def test_rewrites_args_and_kwargs(self):
+        task = Task(fn=_degree_sum, args=(1,), kwargs={"x": 2}, key="k")
+        doubled = task.map_arguments(
+            lambda value: value * 2 if isinstance(value, int) else value
+        )
+        assert doubled is not task
+        assert doubled.args == (2,)
+        assert doubled.kwargs == {"x": 4}
+        assert doubled.key == "k"
+        assert doubled.fn is task.fn
