@@ -96,12 +96,21 @@ __all__ = ["main", "build_parser"]
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     """The shared ``--trace``/``--metrics`` flags of every run-style command."""
     parser.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
-                        help="enable telemetry and write the trace (spans, "
-                             "counters, histograms, per-task records) to "
-                             "this JSON file")
+                        help="enable telemetry and write the trace (span "
+                             "tree, counters, histograms, per-task records) "
+                             "to this JSON file")
+    parser.add_argument("--trace-format", default="repro",
+                        choices=["repro", "chrome"],
+                        help="--trace output format: 'repro' (the "
+                             "schema-versioned export) or 'chrome' (Chrome "
+                             "trace-event JSON for about:tracing / Perfetto)")
     parser.add_argument("--metrics", action="store_true",
-                        help="enable telemetry and print a summary of spans "
-                             "and counters to stderr after the run")
+                        help="enable telemetry and print a summary of spans, "
+                             "counters, and histogram percentiles to stderr "
+                             "after the run")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured JSON-lines logs (trace-id "
+                             "stamped) to stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -388,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache", type=Path, default=None,
                        help="result-store directory; warm requests are "
                             "answered straight from disk")
+    serve.add_argument("--quiet", action="store_true",
+                       help="disable the structured access log and job "
+                            "lifecycle log lines on stderr")
 
     return parser
 
@@ -451,9 +463,13 @@ def _telemetry_report(
     block["trace"] = export
     if args.trace is not None:
         args.trace.parent.mkdir(parents=True, exist_ok=True)
-        args.trace.write_text(json.dumps(
-            dict(export, wall_seconds=wall_seconds), indent=2, sort_keys=True
-        ))
+        if getattr(args, "trace_format", "repro") == "chrome":
+            from repro.telemetry.trace import to_chrome_trace
+
+            payload = to_chrome_trace(export)
+        else:
+            payload = dict(export, wall_seconds=wall_seconds)
+        args.trace.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote trace to {args.trace}", file=sys.stderr)
     if args.metrics:
         for line in collector.summary_lines():
@@ -1030,7 +1046,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.engine.executor import ParallelExecutor
     from repro.serve import ScenarioService, ServeHTTP
+    from repro.telemetry.logs import JsonLinesHandler, install_log_handler
 
+    if not args.quiet:
+        # The service's access log and job lifecycle records are structured
+        # JSON lines; install the stderr handler unless silenced.
+        install_log_handler(JsonLinesHandler(sys.stderr))
     store = ResultStore(args.cache) if args.cache else None
     executor = ParallelExecutor(jobs=args.jobs)
     service = ScenarioService(
@@ -1043,7 +1064,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         telemetry=TelemetryCollector(),
     )
-    http = ServeHTTP(service, host=args.host, port=args.port)
+    http = ServeHTTP(
+        service, host=args.host, port=args.port, access_log=not args.quiet
+    )
 
     async def _serve() -> None:
         await http.start()
@@ -1093,6 +1116,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    if getattr(args, "log_json", False):
+        from repro.telemetry.logs import JsonLinesHandler, install_log_handler
+
+        install_log_handler(JsonLinesHandler(sys.stderr))
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:

@@ -42,6 +42,10 @@ from repro.telemetry.collector import (
     active_telemetry,
     use_telemetry,
 )
+from repro.telemetry.logs import get_logger
+from repro.telemetry.trace import current_trace_id, use_trace_id
+
+_log = get_logger("repro.engine")
 
 __all__ = [
     "Executor",
@@ -54,25 +58,42 @@ __all__ = [
 ]
 
 
-def _call_task(task: Task) -> "tuple[Any, float]":
-    """Run one task and measure it (module-level so workers can import it)."""
+def _call_task(
+    task: Task, trace_id: "Optional[str]" = None, index: "Optional[int]" = None
+) -> "tuple[Any, float]":
+    """Run one task and measure it (module-level so workers can import it).
+
+    ``trace_id``/``index`` are accepted (and ignored) so the traced and
+    untraced entry points are submission-compatible.
+    """
     started = time.perf_counter()
     value = task.run()
     return value, time.perf_counter() - started
 
 
-def _call_task_traced(task: Task) -> "tuple[Any, float, dict]":
+def _call_task_traced(
+    task: Task, trace_id: "Optional[str]" = None, index: "Optional[int]" = None
+) -> "tuple[Any, float, dict]":
     """Run one task under a fresh collector; ship its trace with the result.
 
     The collector is created *inside* the call so the same function works in
     the parent process and in pool workers — the worker's ambient stack is
     empty, and the exported payload (plain dicts) is what crosses the pickle
-    boundary, never the collector itself.
+    boundary, never the collector itself.  The request trace id travels by
+    value for the same reason: ambient context does not survive pickling, so
+    the submitting thread snapshots it and the worker re-installs it here.
+    The whole task runs inside a synthetic ``task`` root span (tree-only, so
+    aggregate reports don't double-count the wall time its children already
+    account for), which is the node :meth:`TelemetryCollector.merge_task`
+    re-parents under the submitting thread's open span.
     """
     collector = TelemetryCollector()
     started = time.perf_counter()
-    with use_telemetry(collector):
-        value = task.run()
+    with use_telemetry(collector), use_trace_id(trace_id):
+        with collector.span(
+            "task", attrs={"key": task.key, "index": index}, aggregate=False
+        ):
+            value = task.run()
     return value, time.perf_counter() - started, collector.export()
 
 
@@ -97,10 +118,11 @@ class Executor:
 
     def _run_serially(self, tasks: Sequence[Task], progress: Any = None) -> List[Any]:
         telemetry = active_telemetry()
+        trace_id = current_trace_id() if telemetry.enabled else None
         results: List[Any] = []
-        for task in tasks:
+        for index, task in enumerate(tasks):
             if telemetry.enabled:
-                value, seconds, payload = _call_task_traced(task)
+                value, seconds, payload = _call_task_traced(task, trace_id, index)
                 telemetry.merge_task(task.key, seconds, payload)
             else:
                 value, seconds = _call_task(task)
@@ -160,6 +182,9 @@ class ParallelExecutor(Executor):
                         RuntimeWarning,
                         stacklevel=3,
                     )
+                    _log.warning(
+                        "executor.pool-unavailable", error=str(error), jobs=self.jobs
+                    )
             return self._pool
 
     def _graph_registry(self) -> "Optional[Any]":
@@ -200,24 +225,29 @@ class ParallelExecutor(Executor):
                 RuntimeWarning,
                 stacklevel=2,
             )
+            _log.warning("executor.non-picklable-batch", tasks=len(tasks))
             return self._run_serially(tasks, progress)
         pool = self._ensure_pool()
         if pool is None:  # pragma: no cover - pool creation refused by the OS
             return self._run_serially(tasks, progress)
         telemetry = active_telemetry()
         call = _call_task_traced if telemetry.enabled else _call_task
-        futures: List[Future] = [pool.submit(call, task) for task in tasks]
+        trace_id = current_trace_id() if telemetry.enabled else None
+        futures: List[Future] = [
+            pool.submit(call, task, trace_id, index)
+            for index, task in enumerate(tasks)
+        ]
         results: List[Any] = []
         # Merging in submission order (not completion order) makes a traced
         # parallel run's exported payload identical to the serial one.
-        for task, future in zip(tasks, futures):
+        for index, (task, future) in enumerate(zip(tasks, futures)):
             try:
                 outcome = future.result()
             except (pickle.PicklingError, TypeError, AttributeError):
                 # This task could not cross the process boundary (or failed
                 # with the same error class); rerun it locally so a genuine
                 # task error still surfaces from an in-process call.
-                outcome = call(task)
+                outcome = call(task, trace_id, index)
             if telemetry.enabled:
                 value, seconds, payload = outcome
                 telemetry.merge_task(task.key, seconds, payload)

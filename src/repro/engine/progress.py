@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
 from repro.telemetry.collector import telemetry_clock
+from repro.telemetry.trace import current_trace_id
 
 __all__ = ["ExperimentTiming", "ProgressEvent", "ProgressReporter"]
 
@@ -55,6 +56,7 @@ class ProgressEvent:
     rate: float = 0.0
     tasks: int = 0
     from_cache: bool = False
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-friendly form (stable keys across all event kinds)."""
@@ -66,6 +68,7 @@ class ProgressEvent:
             "rate": self.rate,
             "tasks": self.tasks,
             "from_cache": self.from_cache,
+            "trace_id": self.trace_id,
         }
 
     def render(self) -> str:
@@ -173,6 +176,12 @@ class ProgressReporter:
 
     # ------------------------------------------------------------------ #
     def _emit(self, event: ProgressEvent) -> None:
+        if event.trace_id is None:
+            # Stamp the ambient request trace id (repro serve) so every
+            # NDJSON line correlates with the response and the access log.
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                event = replace(event, trace_id=trace_id)
         if self.sink is not None:
             self.sink(event)
         if self.stream is not None:

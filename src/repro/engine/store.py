@@ -337,6 +337,16 @@ class ResultStore:
             (self.root / "last-gc.json").write_text(
                 json.dumps(summary, indent=2, sort_keys=True)
             )
+        from repro.telemetry.logs import get_logger
+
+        get_logger("repro.store").info(
+            "gc",
+            removed_entries=summary["removed_entries"],
+            reclaimed_bytes=summary["reclaimed_bytes"],
+            remaining_entries=summary["remaining_entries"],
+            remaining_bytes=summary["remaining_bytes"],
+            dry_run=dry_run,
+        )
         return summary
 
     def last_gc_stats(self) -> Optional[Dict[str, Any]]:

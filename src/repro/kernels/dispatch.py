@@ -475,6 +475,15 @@ def _warn_tier(key: str, message: str) -> None:
         return
     _TIER_WARNINGS.add(key)
     warnings.warn(message, RuntimeWarning, stacklevel=4)
+    # The warning is once-per-process by design; make it observable too:
+    # a structured log record (stamped with the active trace id, so a slow
+    # interpreted request is attributable) and a counter family.
+    from repro.telemetry.logs import get_logger
+
+    get_logger("repro.kernels").warning(
+        "kernel-fallback", reason=key, message=message
+    )
+    active_telemetry().count(f"kernels.fallback.{key}")
 
 
 def kernel_tier() -> str:

@@ -169,6 +169,17 @@ def run_series_plan(plan: SeriesPlan, scale: ExperimentScale) -> List[Series]:
     return get_measurement_kind(plan.kind)(plan, scale)
 
 
+def _run_plan_spanned(
+    telemetry: Any, plan: SeriesPlan, scale: ExperimentScale
+) -> List[Series]:
+    """Run one plan inside a ``series`` span (attrs only when enabled)."""
+    attrs = (
+        {"label": plan.label, "kind": plan.kind} if telemetry.enabled else None
+    )
+    with telemetry.span("series", attrs):
+        return run_series_plan(plan, scale)
+
+
 def _run_plans(
     plans: List[SeriesPlan], scale: ExperimentScale
 ) -> List[List[Series]]:
@@ -192,29 +203,37 @@ def _run_plans(
     ambient stacks are thread-local).
     """
     from repro.engine.executor import active_executor, active_progress, use_executor
+    from repro.telemetry.collector import active_telemetry
+    from repro.telemetry.trace import current_span_context, use_span_context
 
     executor = active_executor()
+    telemetry = active_telemetry()
     jobs = int(getattr(executor, "jobs", 1) or 1)
     if jobs <= 1 or len(plans) <= 1:
-        return [run_series_plan(plan, scale) for plan in plans]
+        return [
+            _run_plan_spanned(telemetry, plan, scale) for plan in plans
+        ]
 
     from concurrent.futures import ThreadPoolExecutor
 
     from repro.core.backend import active_backend, use_backend
     from repro.kernels.dispatch import active_kernels, use_kernels
-    from repro.telemetry.collector import active_telemetry, use_telemetry
+    from repro.telemetry.collector import use_telemetry
 
     progress = active_progress()
     backend = active_backend()
     kernels = active_kernels()
     # The collector is thread-safe; every plan thread records into the same
-    # instance the caller installed (or the shared null collector).
-    telemetry = active_telemetry()
+    # instance the caller installed (or the shared null collector).  The
+    # span context is captured too, so a plan thread's ``series`` span
+    # attaches under the caller's open ``scenario`` span.
+    span_context = current_span_context()
 
     def run_one(plan: SeriesPlan) -> List[Series]:
         with use_executor(executor, progress), use_backend(backend), \
-                use_kernels(kernels), use_telemetry(telemetry):
-            return run_series_plan(plan, scale)
+                use_kernels(kernels), use_telemetry(telemetry), \
+                use_span_context(span_context):
+            return _run_plan_spanned(telemetry, plan, scale)
 
     with ThreadPoolExecutor(
         max_workers=min(len(plans), jobs),
@@ -224,7 +243,31 @@ def _run_plans(
 
 
 def _compute_scenario(spec: ScenarioSpec, scale: ExperimentScale) -> ExperimentResult:
-    """Compile and execute ``spec`` under the ambient executor/backend."""
+    """Compile and execute ``spec`` under the ambient executor/backend.
+
+    The whole computation runs inside a ``scenario`` span carrying the
+    canonical spec hash and the resolved scale/seed — the middle layer of
+    the serve → scenario → series → task trace tree.  The hash is only
+    computed when telemetry is enabled (it costs a canonical-JSON SHA-256).
+    """
+    from repro.telemetry.collector import active_telemetry
+
+    telemetry = active_telemetry()
+    attrs = None
+    if telemetry.enabled:
+        attrs = {
+            "spec_hash": spec.spec_hash(),
+            "scenario": spec.scenario_id,
+            "scale": scale.name,
+            "seed": getattr(scale, "seed", None),
+        }
+    with telemetry.span("scenario", attrs):
+        return _compute_scenario_inner(spec, scale)
+
+
+def _compute_scenario_inner(
+    spec: ScenarioSpec, scale: ExperimentScale
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id=spec.scenario_id,
         title=spec.title,

@@ -34,8 +34,13 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.errors import ReproError, ScenarioError
 from repro.serve.service import ScenarioService
+from repro.telemetry.collector import telemetry_clock
+from repro.telemetry.logs import get_logger
+from repro.telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 
 __all__ = ["ServeHTTP"]
+
+_log = get_logger("repro.serve.http")
 
 #: Specs are small; anything bigger than this is a client error.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -55,11 +60,18 @@ class ServeHTTP:
     """
 
     def __init__(
-        self, service: ScenarioService, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: ScenarioService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        access_log: bool = True,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Emit one structured ``http.access`` record per request through
+        #: the ambient log handler (``repro serve --quiet`` turns this off).
+        self.access_log = access_log
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------ #
@@ -90,12 +102,21 @@ class ServeHTTP:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = telemetry_clock()
+        # Per-connection response state: the send helpers record the status
+        # and the response's trace id here so the access log can report
+        # them after dispatch (connections interleave on one event loop, so
+        # this must stay request-local).
+        state: Dict[str, Any] = {"status": 0, "trace_id": None}
+        method: Optional[str] = None
+        path: Optional[str] = None
         try:
-            method, path, params, body = await self._read_request(reader)
-            await self._dispatch(writer, method, path, params, body)
+            method, path, params, body, headers = await self._read_request(reader)
+            await self._dispatch(writer, method, path, params, body, headers, state)
         except _BadRequest as error:
             await self._send_json(
-                writer, 400, {"error": "BadRequest", "detail": str(error)}
+                writer, 400, {"error": "BadRequest", "detail": str(error)},
+                state,
             )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request/response
@@ -105,10 +126,20 @@ class ServeHTTP:
                 await self._send_json(
                     writer, 500,
                     {"error": type(error).__name__, "detail": str(error)},
+                    state,
                 )
             except ConnectionError:
                 pass
         finally:
+            if self.access_log and method is not None:
+                _log.info(
+                    "http.access",
+                    method=method,
+                    path=path or "-",
+                    status=state["status"],
+                    duration_ms=round((telemetry_clock() - started) * 1e3, 3),
+                    trace_id=state["trace_id"],
+                )
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -117,7 +148,7 @@ class ServeHTTP:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str], bytes]:
+    ) -> Tuple[str, str, Dict[str, str], bytes, Dict[str, str]]:
         request_line = await reader.readline()
         if not request_line:
             raise _BadRequest("empty request")
@@ -148,14 +179,19 @@ class ServeHTTP:
             name: values[-1]
             for name, values in parse_qs(split.query).items()
         }
-        return method.upper(), split.path, params, body
+        return method.upper(), split.path, params, body, headers
 
     async def _send_json(
         self,
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, Any],
+        state: Optional[Dict[str, Any]] = None,
     ) -> None:
+        if state is not None:
+            state["status"] = status
+            if payload.get("trace_id"):
+                state["trace_id"] = payload["trace_id"]
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         writer.write(self._head(status, "application/json", len(body)) + body)
         await writer.drain()
@@ -186,35 +222,59 @@ class ServeHTTP:
         path: str,
         params: Dict[str, str],
         body: bytes,
+        headers: Dict[str, str],
+        state: Dict[str, Any],
     ) -> None:
         if path == "/healthz" and method == "GET":
-            await self._send_json(writer, 200, self.service.health())
+            await self._send_json(writer, 200, self.service.health(), state)
             return
         if path == "/metrics" and method == "GET":
-            await self._send_json(writer, 200, self.service.metrics())
+            # Content negotiation: Prometheus scrapers send ``Accept:
+            # text/plain`` (or an openmetrics type) and get text exposition;
+            # everything else — including bare curls and the pre-existing
+            # JSON consumers — keeps the JSON body.
+            accept = headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                text = self.service.metrics_text().encode("utf-8")
+                state["status"] = 200
+                writer.write(
+                    self._head(200, PROMETHEUS_CONTENT_TYPE, len(text)) + text
+                )
+                await writer.drain()
+            else:
+                await self._send_json(writer, 200, self.service.metrics(), state)
             return
         if path == "/scenarios":
             if method != "POST":
                 await self._send_json(
                     writer, 405,
                     {"error": "MethodNotAllowed", "detail": "POST a spec here"},
+                    state,
                 )
                 return
-            await self._submit(writer, params, body)
+            await self._submit(writer, params, body, state)
             return
         if path.startswith("/scenarios/") and method == "GET":
             rest = path[len("/scenarios/"):]
             if rest.endswith("/events"):
-                await self._stream_events(writer, rest[: -len("/events")].rstrip("/"))
+                await self._stream_events(
+                    writer, rest[: -len("/events")].rstrip("/"), state
+                )
             else:
-                await self._job_status(writer, rest)
+                await self._job_status(writer, rest, state)
             return
         await self._send_json(
-            writer, 404, {"error": "NotFound", "detail": f"no route for {path}"}
+            writer, 404,
+            {"error": "NotFound", "detail": f"no route for {path}"},
+            state,
         )
 
     async def _submit(
-        self, writer: asyncio.StreamWriter, params: Dict[str, str], body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        params: Dict[str, str],
+        body: bytes,
+        state: Dict[str, Any],
     ) -> None:
         wait = params.get("wait", "1") not in ("0", "false", "no")
         seed: Optional[int] = None
@@ -233,41 +293,56 @@ class ServeHTTP:
         except ScenarioError as error:
             # Eager validation failed: the client's spec is the problem.
             await self._send_json(
-                writer, 400, {"error": "ScenarioError", "detail": str(error)}
+                writer, 400, {"error": "ScenarioError", "detail": str(error)},
+                state,
             )
             return
         except ReproError as error:
             await self._send_json(
-                writer, 400, {"error": type(error).__name__, "detail": str(error)}
+                writer, 400,
+                {"error": type(error).__name__, "detail": str(error)},
+                state,
             )
             return
         if response.get("status") == "failed":
-            await self._send_json(writer, 500, response)
+            await self._send_json(writer, 500, response, state)
         elif response.get("status") in ("queued", "running"):
-            await self._send_json(writer, 202, response)
+            await self._send_json(writer, 202, response, state)
         else:
-            await self._send_json(writer, 200, response)
+            await self._send_json(writer, 200, response, state)
 
-    async def _job_status(self, writer: asyncio.StreamWriter, spec_hash: str) -> None:
-        job = self.service.job_for(spec_hash)
-        if job is None:
-            await self._send_json(
-                writer, 404,
-                {"error": "NotFound", "detail": f"unknown scenario {spec_hash!r}"},
-            )
-            return
-        await self._send_json(writer, 200, job.describe())
-
-    async def _stream_events(
-        self, writer: asyncio.StreamWriter, spec_hash: str
+    async def _job_status(
+        self,
+        writer: asyncio.StreamWriter,
+        spec_hash: str,
+        state: Dict[str, Any],
     ) -> None:
         job = self.service.job_for(spec_hash)
         if job is None:
             await self._send_json(
                 writer, 404,
                 {"error": "NotFound", "detail": f"unknown scenario {spec_hash!r}"},
+                state,
             )
             return
+        await self._send_json(writer, 200, job.describe(), state)
+
+    async def _stream_events(
+        self,
+        writer: asyncio.StreamWriter,
+        spec_hash: str,
+        state: Dict[str, Any],
+    ) -> None:
+        job = self.service.job_for(spec_hash)
+        if job is None:
+            await self._send_json(
+                writer, 404,
+                {"error": "NotFound", "detail": f"unknown scenario {spec_hash!r}"},
+                state,
+            )
+            return
+        state["status"] = 200
+        state["trace_id"] = job.trace_id
         writer.write(self._head(200, "application/x-ndjson", None))
         await writer.drain()
         loop = asyncio.get_running_loop()

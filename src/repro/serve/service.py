@@ -44,8 +44,12 @@ from repro.telemetry.collector import (
     telemetry_clock,
     use_telemetry,
 )
+from repro.telemetry.logs import get_logger
+from repro.telemetry.trace import new_trace_id, use_trace_id
 
 __all__ = ["EventLog", "ScenarioJob", "ScenarioService"]
+
+_log = get_logger("repro.serve")
 
 
 class EventLog:
@@ -58,14 +62,20 @@ class EventLog:
     happens, with no polling of completed state.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._events: List[Dict[str, Any]] = []
         self._condition = threading.Condition()
         self._closed = False
+        #: The owning request's correlation id; stamped on every event so
+        #: an NDJSON line is attributable without joining on the response.
+        self.trace_id = trace_id
 
     def append(self, payload: Dict[str, Any]) -> None:
         with self._condition:
-            self._events.append(dict(payload, seq=len(self._events)))
+            record = dict(payload, seq=len(self._events))
+            if self.trace_id is not None and record.get("trace_id") is None:
+                record["trace_id"] = self.trace_id
+            self._events.append(record)
             self._condition.notify_all()
 
     def append_progress(self, event: ProgressEvent) -> None:
@@ -107,19 +117,24 @@ class ScenarioJob:
     """One admitted scenario computation (shared by all deduped waiters)."""
 
     def __init__(
-        self, spec: ScenarioSpec, scale: ExperimentScale, job_key: str
+        self,
+        spec: ScenarioSpec,
+        scale: ExperimentScale,
+        job_key: str,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.scale = scale
         self.job_key = job_key
         self.spec_hash = spec.spec_hash()
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.status = "queued"  # queued | running | done | failed
         self.from_cache = False
         self.result_dict: Optional[Dict[str, Any]] = None
         self.error: Optional[Dict[str, str]] = None
         self.created_at = telemetry_clock()
         self.seconds: Optional[float] = None
-        self.events = EventLog()
+        self.events = EventLog(trace_id=self.trace_id)
         self.future: "Future[None]" = Future()
         self.events.append({
             "event": "accepted",
@@ -134,6 +149,7 @@ class ScenarioJob:
         payload: Dict[str, Any] = {
             "scenario": self.spec.scenario_id,
             "spec_hash": self.spec_hash,
+            "trace_id": self.trace_id,
             "scale": self.scale.name,
             "seed": self.scale.seed,
             "status": self.status,
@@ -268,16 +284,34 @@ class ScenarioService:
             raise
         spec_hash = spec.spec_hash()
         job_key = f"{spec_hash}:{resolved.name}:{resolved.seed}"
+        # Every request gets a correlation id up front.  A deduped request
+        # adopts the in-flight job's id (its events already carry it), so
+        # the id returned in the response always matches the event stream.
+        trace_id = new_trace_id()
 
         # Warm path: answer straight from the store, no lock needed.
         if self.store is not None:
-            cached = self.store.get(
-                spec.scenario_id, resolved, extra=scenario_cache_extra(spec)
-            )
+            with use_trace_id(trace_id), self.telemetry.span(
+                "serve.lookup",
+                attrs={
+                    "spec_hash": spec_hash,
+                    "scale": resolved.name,
+                    "seed": resolved.seed,
+                },
+            ):
+                cached = self.store.get(
+                    spec.scenario_id, resolved, extra=scenario_cache_extra(spec)
+                )
             if cached is not None:
                 self.telemetry.count("serve.warm_hits")
-                job = self._record_warm_job(spec, resolved, job_key, cached)
+                job = self._record_warm_job(
+                    spec, resolved, job_key, cached, trace_id
+                )
                 self._observe_latency(started)
+                with use_trace_id(trace_id):
+                    _log.info(
+                        "job-warm", spec_hash=spec_hash, scale=resolved.name
+                    )
                 return job.describe()
 
         deduped = False
@@ -288,7 +322,7 @@ class ScenarioService:
             if job is not None:
                 deduped = True
             else:
-                job = ScenarioJob(spec, resolved, job_key)
+                job = ScenarioJob(spec, resolved, job_key, trace_id)
                 self._inflight[job_key] = job
                 self._jobs[spec_hash] = job
                 self._pool.submit(self._run_job, job)
@@ -296,6 +330,13 @@ class ScenarioService:
             self.telemetry.count("serve.dedup_hits")
         else:
             self.telemetry.count("serve.cold_misses")
+        with use_trace_id(job.trace_id):
+            _log.info(
+                "job-deduped" if deduped else "job-accepted",
+                spec_hash=spec_hash,
+                scale=resolved.name,
+                seed=resolved.seed,
+            )
         if wait:
             job.future.result(timeout=timeout)
         self._observe_latency(started)
@@ -307,9 +348,10 @@ class ScenarioService:
         scale: ExperimentScale,
         job_key: str,
         cached: Any,
+        trace_id: Optional[str] = None,
     ) -> ScenarioJob:
         """Register a completed job for a store hit (for later lookups)."""
-        job = ScenarioJob(spec, scale, job_key)
+        job = ScenarioJob(spec, scale, job_key, trace_id)
         job.status = "done"
         job.from_cache = True
         job.result_dict = cached.as_dict()
@@ -334,18 +376,38 @@ class ScenarioService:
         try:
             # The worker thread's ambient stacks are empty; install the
             # service collector so store/kernel/task spans aggregate into
-            # /metrics.  Executor/backend/kernels are passed explicitly and
-            # run_scenario_cached installs them around the computation.
-            with use_telemetry(self.telemetry):
-                result, from_cache = run_scenario_cached(
-                    job.spec,
-                    scale=job.scale,
-                    executor=self.executor,
-                    store=self.store,
-                    progress=reporter,
-                    backend=self.backend,
-                    kernels=self.kernels,
+            # /metrics, and the job's trace id so every span, progress
+            # event, and log line below carries it.  The whole computation
+            # is the request's root span — the top of the
+            # serve → scenario → series → task tree.  Executor/backend/
+            # kernels are passed explicitly and run_scenario_cached
+            # installs them around the computation.
+            with use_telemetry(self.telemetry), use_trace_id(job.trace_id):
+                _log.info(
+                    "job-running",
+                    spec_hash=job.spec_hash,
+                    scenario=job.spec.scenario_id,
+                    scale=job.scale.name,
+                    seed=job.scale.seed,
                 )
+                with self.telemetry.span(
+                    "serve.request",
+                    attrs={
+                        "spec_hash": job.spec_hash,
+                        "scenario": job.spec.scenario_id,
+                        "scale": job.scale.name,
+                        "seed": job.scale.seed,
+                    },
+                ):
+                    result, from_cache = run_scenario_cached(
+                        job.spec,
+                        scale=job.scale,
+                        executor=self.executor,
+                        store=self.store,
+                        progress=reporter,
+                        backend=self.backend,
+                        kernels=self.kernels,
+                    )
             self.telemetry.count("serve.computations")
             job.seconds = telemetry_clock() - started
             job.from_cache = from_cache
@@ -357,6 +419,13 @@ class ScenarioService:
                 "from_cache": from_cache,
                 "seconds": job.seconds,
             })
+            with use_trace_id(job.trace_id):
+                _log.info(
+                    "job-completed",
+                    spec_hash=job.spec_hash,
+                    seconds=job.seconds,
+                    from_cache=from_cache,
+                )
         except ReproError as error:
             self.telemetry.count("serve.errors")
             job.seconds = telemetry_clock() - started
@@ -367,6 +436,13 @@ class ScenarioService:
                 "spec_hash": job.spec_hash,
                 "error": job.error,
             })
+            with use_trace_id(job.trace_id):
+                _log.error(
+                    "job-failed",
+                    spec_hash=job.spec_hash,
+                    error=job.error["type"],
+                    detail=job.error["detail"],
+                )
         finally:
             with self._lock:
                 self._inflight.pop(job.job_key, None)
@@ -397,7 +473,11 @@ class ScenarioService:
         }
 
     def metrics(self) -> Dict[str, Any]:
-        """The ``GET /metrics`` body: counters, latencies, store state."""
+        """The ``GET /metrics`` JSON body: counters, latencies, store state.
+
+        Histogram entries carry bucket counts and derived p50/p95/p99
+        alongside count/total/min/max (the collector's export form).
+        """
         export = self.telemetry.export()
         with self._lock:
             inflight = len(self._inflight)
@@ -411,6 +491,31 @@ class ScenarioService:
             "spans": export.get("spans", {}),
             "store": self.store.stats() if self.store is not None else None,
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus text body (content-negotiated).
+
+        Counter/histogram/span families come from the collector export
+        (``serve.request_seconds`` is scraped as the bucketed
+        ``serve_request_seconds`` histogram); service- and store-level
+        instantaneous values are appended as gauges.
+        """
+        from repro.telemetry.prometheus import render_prometheus
+
+        export = self.telemetry.export()
+        with self._lock:
+            inflight = len(self._inflight)
+            known = len(self._jobs)
+        gauges: Dict[str, float] = {
+            "serve_uptime_seconds": telemetry_clock() - self.started_at,
+            "serve_inflight": inflight,
+            "serve_known_jobs": known,
+        }
+        if self.store is not None:
+            for name, value in self.store.stats().items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    gauges[f"store_{name}"] = value
+        return render_prometheus(export, gauges)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,144 @@
+"""Structured JSON-lines logging, correlated with the ambient trace.
+
+Every record is one JSON object per line::
+
+    {"ts": ..., "level": "info", "logger": "repro.serve.http",
+     "trace_id": "1f2e...", "span_id": 7, "event": "http.access", ...}
+
+The design mirrors the telemetry collector's zero-overhead contract: with
+no handler installed (the default), :meth:`StructuredLogger.info` is an
+attribute read, a ``None`` check, and a return.  Handlers are installed
+*process-wide* — unlike the ambient collector stacks, log records flow
+from every thread of a process (HTTP connections, service workers, plan
+threads) to one sink, so thread-local scoping would lose them.
+
+``trace_id``/``span_id`` are stamped from the ambient trace context
+(:mod:`repro.telemetry.trace`) at emit time, which is what correlates an
+HTTP access-log line with the request's span tree and NDJSON stream.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+from repro.telemetry.trace import current_span_id, current_trace_id
+
+__all__ = [
+    "JsonLinesHandler",
+    "MemoryHandler",
+    "StructuredLogger",
+    "get_logger",
+    "install_log_handler",
+    "use_log_handler",
+]
+
+
+class JsonLinesHandler:
+    """Write records as compact JSON lines to a text stream (stderr default)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except (OSError, ValueError, io.UnsupportedOperation):
+                # A closed or broken sink must never take down the workload.
+                pass
+
+
+class MemoryHandler:
+    """Collect records in memory — the test/introspection sink."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+
+
+_handler: Optional[Any] = None
+_handler_lock = threading.Lock()
+
+
+def install_log_handler(handler: Optional[Any]) -> Optional[Any]:
+    """Install ``handler`` process-wide; returns the previous one.
+
+    Pass ``None`` to disable structured logging again.
+    """
+    global _handler
+    with _handler_lock:
+        previous = _handler
+        _handler = handler
+    return previous
+
+
+@contextmanager
+def use_log_handler(handler: Optional[Any]) -> Iterator[Any]:
+    """Scoped :func:`install_log_handler` (restores the previous handler)."""
+    previous = install_log_handler(handler)
+    try:
+        yield handler
+    finally:
+        install_log_handler(previous)
+
+
+class StructuredLogger:
+    """A named emitter of structured records (cheap, stateless)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        handler = _handler
+        if handler is None:
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+            "trace_id": current_trace_id(),
+            "span_id": current_span_id(),
+        }
+        record.update(fields)
+        handler.emit(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log("error", event, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Return the (cached) structured logger for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _loggers_lock:
+            logger = _loggers.setdefault(name, StructuredLogger(name))
+    return logger

@@ -1,0 +1,114 @@
+"""Prometheus text exposition (version 0.0.4) for telemetry exports.
+
+Maps the collector's export payload onto proper metric families:
+
+* counters → ``<name>_total`` (``# TYPE ... counter``),
+* histograms → ``<name>_bucket{le=...}`` / ``_sum`` / ``_count`` over the
+  shared :data:`~repro.telemetry.collector.HISTOGRAM_BUCKETS` ladder
+  (``# TYPE ... histogram``); entries without bucket counts (imported from
+  schema-1 traces) degrade to a ``summary`` family,
+* span aggregates → two labelled families,
+  ``repro_span_seconds_total{span=...}`` and
+  ``repro_span_calls_total{span=...}``,
+* caller-supplied instantaneous values → gauges.
+
+Dots in telemetry names become underscores, so the serve layer's
+``serve.request_seconds`` histogram is scraped as ``serve_request_seconds``.
+No third-party client library is required to *emit*; the test suite parses
+the output with ``prometheus_client`` when that package happens to be
+installed and falls back to a golden-format check otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.collector import HISTOGRAM_BUCKETS
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: The content type Prometheus scrapers expect for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_OK.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _number(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    export: Dict[str, Any], gauges: Optional[Dict[str, float]] = None
+) -> str:
+    """Render an exported telemetry payload as Prometheus text exposition."""
+    lines: List[str] = []
+
+    for name in sorted(export.get("counters", {})):
+        value = export["counters"][name]
+        family = _metric_name(name) + "_total"
+        lines.append(f"# HELP {family} Telemetry counter {name}.")
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_number(value)}")
+
+    for name in sorted(export.get("histograms", {})):
+        entry = export["histograms"][name]
+        family = _metric_name(name)
+        buckets = entry.get("buckets")
+        if buckets:
+            lines.append(f"# HELP {family} Telemetry histogram {name}.")
+            lines.append(f"# TYPE {family} histogram")
+            cumulative = 0
+            for index, bound in enumerate(HISTOGRAM_BUCKETS):
+                cumulative += buckets[index]
+                lines.append(
+                    f'{family}_bucket{{le="{_number(bound)}"}} {cumulative}'
+                )
+            cumulative += buckets[len(HISTOGRAM_BUCKETS)]
+            lines.append(f'{family}_bucket{{le="+Inf"}} {cumulative}')
+        else:
+            lines.append(f"# HELP {family} Telemetry summary {name}.")
+            lines.append(f"# TYPE {family} summary")
+        lines.append(f"{family}_sum {_number(entry['total'])}")
+        lines.append(f"{family}_count {int(entry['count'])}")
+
+    spans = export.get("spans", {})
+    if spans:
+        lines.append(
+            "# HELP repro_span_seconds_total Cumulative seconds per span name."
+        )
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_seconds_total{{span="{_label_value(name)}"}} '
+                f"{repr(float(spans[name]['seconds']))}"
+            )
+        lines.append("# HELP repro_span_calls_total Span entry count per name.")
+        lines.append("# TYPE repro_span_calls_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_calls_total{{span="{_label_value(name)}"}} '
+                f"{int(spans[name]['count'])}"
+            )
+
+    for name in sorted(gauges or {}):
+        family = _metric_name(name)
+        lines.append(f"# HELP {family} Instantaneous value {name}.")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_number((gauges or {})[name])}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,151 @@
+"""Ambient trace context: span identity that survives threads and pickling.
+
+The collector (:mod:`repro.telemetry.collector`) records *span trees* — every
+span has an id, a parent id, and monotonic start/end timestamps.  Parent
+linkage is ambient, like the collector itself: a per-thread stack of
+:class:`SpanContext` entries tracks the innermost open span, so instrumented
+code never threads span handles through call signatures.
+
+Two rules make the tree reassemble identically across execution modes:
+
+* A span's parent is the innermost open span *of the same collector*.  A
+  fresh worker-side collector therefore starts its own root — exactly what
+  a ``ParallelExecutor`` worker process produces — even when the code runs
+  serially in a thread that still has the parent process's spans open.
+* The *trace id* (the request-scoped correlation key minted by
+  ``repro serve``) is inherited across collector boundaries, and is pickled
+  into workers explicitly (see ``repro.engine.executor._call_task_traced``)
+  because thread-local stacks do not cross process boundaries.
+
+:func:`to_chrome_trace` converts an exported payload into Chrome
+trace-event JSON loadable in ``about:tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, NamedTuple, Optional
+
+from repro.core.ambient import AmbientStack
+
+__all__ = [
+    "SpanContext",
+    "new_trace_id",
+    "current_span_context",
+    "current_trace_id",
+    "current_span_id",
+    "use_span_context",
+    "use_trace_id",
+    "to_chrome_trace",
+]
+
+
+class SpanContext(NamedTuple):
+    """One entry of the ambient span stack.
+
+    ``collector`` is compared by identity when deciding span parentage and
+    never crosses a process boundary — only ``trace_id`` is pickled into
+    workers.
+    """
+
+    trace_id: Optional[str]
+    span_id: Optional[int]
+    collector: Optional[Any]
+
+
+_SPAN_STACK: AmbientStack[SpanContext] = AmbientStack()
+
+
+def new_trace_id() -> str:
+    """Mint a request-scoped correlation id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_span_context() -> Optional[SpanContext]:
+    """The innermost open span context of this thread, or ``None``."""
+    return _SPAN_STACK.top(None)
+
+
+def current_trace_id() -> Optional[str]:
+    """The ambient trace id, or ``None`` outside any traced request."""
+    context = _SPAN_STACK.top(None)
+    return context.trace_id if context is not None else None
+
+
+def current_span_id() -> Optional[int]:
+    """The ambient span id, or ``None`` outside any open span."""
+    context = _SPAN_STACK.top(None)
+    return context.span_id if context is not None else None
+
+
+@contextmanager
+def use_span_context(context: Optional[SpanContext]) -> Iterator[None]:
+    """Re-install a captured span context in another thread.
+
+    Thread pools (the scenario compiler's plan threads) start with an empty
+    ambient stack; workers call this with the context captured from their
+    parent so their spans attach under the parent's open span.  ``None`` is
+    a no-op, mirroring ``use_telemetry(None)``.
+    """
+    if context is not None:
+        _SPAN_STACK.push(context)
+    try:
+        yield
+    finally:
+        if context is not None:
+            _SPAN_STACK.pop()
+
+
+@contextmanager
+def use_trace_id(trace_id: Optional[str]) -> Iterator[None]:
+    """Set the ambient trace id without opening a span (``None`` is a no-op).
+
+    Used at request roots (``repro serve``) and on the worker side of the
+    process pool, where the trace id arrives by value with the task.
+    """
+    if trace_id is not None:
+        _SPAN_STACK.push(SpanContext(trace_id, None, None))
+    try:
+        yield
+    finally:
+        if trace_id is not None:
+            _SPAN_STACK.pop()
+
+
+def to_chrome_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert an exported trace payload into Chrome trace-event JSON.
+
+    Every span-tree node becomes one complete ("X") event with microsecond
+    timestamps; span/parent/trace ids travel in ``args`` so Perfetto's query
+    panel can slice by them.
+    """
+    events = []
+    for node in payload.get("span_tree", []):
+        args: Dict[str, Any] = dict(node.get("attrs") or {})
+        args["span_id"] = node["id"]
+        if node.get("parent") is not None:
+            args["parent_id"] = node["parent"]
+        if node.get("trace_id"):
+            args["trace_id"] = node["trace_id"]
+        events.append(
+            {
+                "name": node["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": node["start"] * 1e6,
+                "dur": max(0.0, (node["end"] - node["start"]) * 1e6),
+                "pid": 0,
+                "tid": node.get("tid", 0),
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: (event["ts"], -event["dur"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": payload.get("schema"),
+            "counters": payload.get("counters", {}),
+        },
+    }

@@ -18,15 +18,18 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
 from repro.core.errors import ScenarioError
+from repro.engine.executor import ParallelExecutor
 from repro.engine.store import ResultStore
 from repro.scenarios.compile import run_scenario_cached, scenario_cache_extra
 from repro.scenarios.spec import ScenarioSpec
 from repro.serve import EventLog, ScenarioService, ServeHTTP
 from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.logs import MemoryHandler, use_log_handler
 
 SPEC = {
     "id": "serve-test",
@@ -278,9 +281,9 @@ class TestAsyncSubmit:
 class _HTTPFixture:
     """A ServeHTTP instance running on an event loop in a daemon thread."""
 
-    def __init__(self, service: ScenarioService) -> None:
+    def __init__(self, service: ScenarioService, access_log: bool = True) -> None:
         self.service = service
-        self.http = ServeHTTP(service, port=0)
+        self.http = ServeHTTP(service, port=0, access_log=access_log)
         self.loop = asyncio.new_event_loop()
         self.thread = threading.Thread(target=self._run, daemon=True)
         self.thread.start()
@@ -290,14 +293,18 @@ class _HTTPFixture:
         asyncio.set_event_loop(self.loop)
         self.loop.run_forever()
 
-    def request(self, method: str, path: str, body=None):
+    def request(self, method: str, path: str, body=None, headers=None):
+        status, _headers, payload = self.request_full(method, path, body, headers)
+        return status, payload
+
+    def request_full(self, method: str, path: str, body=None, headers=None):
         conn = http.client.HTTPConnection(
             "127.0.0.1", self.http.port, timeout=60
         )
         try:
-            conn.request(method, path, body=body)
+            conn.request(method, path, body=body, headers=headers or {})
             response = conn.getresponse()
-            return response.status, response.read()
+            return response.status, dict(response.getheaders()), response.read()
         finally:
             conn.close()
 
@@ -378,3 +385,166 @@ class TestHTTP:
         ) >= 1
         assert "serve.request_seconds" in metrics["histograms"]
         assert metrics["store"] is not None
+
+
+def _wait_for(predicate, timeout: float = 5.0):
+    """Poll until ``predicate()`` is truthy (access-log records are emitted
+    after the response bytes, so the client can observe the body first)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestTraceCorrelation:
+    def test_trace_id_links_response_stream_and_access_log(self, tmp_path):
+        handler = MemoryHandler()
+        with use_log_handler(handler):
+            fixture = _HTTPFixture(_service(tmp_path))
+            try:
+                status, body = fixture.request("POST", "/scenarios", SPEC_JSON)
+                assert status == 200
+                cold = json.loads(body)
+                trace_id = cold["trace_id"]
+                assert trace_id
+                # The job status route reports the same trace id...
+                _, body = fixture.request(
+                    "GET", f"/scenarios/{cold['spec_hash']}"
+                )
+                assert json.loads(body)["trace_id"] == trace_id
+                # ...and every NDJSON event line carries it.
+                _, body = fixture.request(
+                    "GET", f"/scenarios/{cold['spec_hash']}/events"
+                )
+                events = [
+                    json.loads(line) for line in body.decode().splitlines()
+                ]
+                assert events
+                assert {event["trace_id"] for event in events} == {trace_id}
+            finally:
+                fixture.close()
+
+        def access_records():
+            return [
+                record
+                for record in handler.records
+                if record["event"] == "http.access"
+            ]
+
+        access = _wait_for(lambda: len(access_records()) >= 3 and access_records())
+        posts = [r for r in access if r["method"] == "POST"]
+        assert posts and posts[0]["status"] == 200
+        assert posts[0]["trace_id"] == trace_id
+        streams = [r for r in access if r["path"].endswith("/events")]
+        assert streams and streams[0]["trace_id"] == trace_id
+        assert all("duration_ms" in r for r in access)
+        # Job lifecycle records correlate through the same id.
+        lifecycle = [
+            record
+            for record in handler.records
+            if record["event"].startswith("job-")
+        ]
+        assert lifecycle
+        assert {record["trace_id"] for record in lifecycle} == {trace_id}
+
+    def test_quiet_mode_silences_access_log(self, tmp_path):
+        handler = MemoryHandler()
+        with use_log_handler(handler):
+            fixture = _HTTPFixture(_service(tmp_path), access_log=False)
+            try:
+                status, _body = fixture.request("GET", "/healthz")
+                assert status == 200
+            finally:
+                fixture.close()
+        assert not [
+            record
+            for record in handler.records
+            if record["event"] == "http.access"
+        ]
+
+    def test_warm_request_mints_its_own_trace_id(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            cold = service.submit(SPEC_JSON)
+            warm = service.submit(SPEC_JSON)
+            assert warm["from_cache"] is True
+            assert warm["trace_id"] and cold["trace_id"]
+            assert warm["trace_id"] != cold["trace_id"]
+        finally:
+            service.close()
+
+    def test_cold_request_builds_full_span_tree(self, tmp_path):
+        # The acceptance flow: one cold request's trace reassembles into
+        # serve.request -> scenario -> series -> task even when the
+        # realization tasks ran in pool worker processes.
+        executor = ParallelExecutor(jobs=2)
+        service = _service(tmp_path, executor=executor)
+        try:
+            cold = service.submit(SPEC_JSON)
+            trace_id = cold["trace_id"]
+            export = service.telemetry.export()
+        finally:
+            service.close()
+            executor.close()
+        tree = export["span_tree"]
+        by_id = {node["id"]: node for node in tree}
+        tasks = [
+            node
+            for node in tree
+            if node["name"] == "task" and node["trace_id"] == trace_id
+        ]
+        assert tasks
+        chain = []
+        node = tasks[0]
+        while node is not None:
+            chain.append(node["name"])
+            assert node["trace_id"] == trace_id
+            parent = node["parent"]
+            node = by_id[parent] if parent is not None else None
+        assert chain[0] == "task"
+        assert chain[-1] == "serve.request"
+        assert "scenario" in chain and "series" in chain
+        request_node = by_id[
+            [n["id"] for n in tree if n["name"] == "serve.request"][0]
+        ]
+        assert request_node["attrs"]["spec_hash"] == cold["spec_hash"]
+
+
+class TestMetricsExposition:
+    def test_prometheus_text_negotiated_by_accept(self, served):
+        served.request("POST", "/scenarios", SPEC_JSON)
+        status, headers, body = served.request_full(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "# TYPE serve_request_seconds histogram" in text
+        count = int(
+            [
+                line
+                for line in text.splitlines()
+                if line.startswith("serve_request_seconds_count ")
+            ][0].split()[1]
+        )
+        inf = [
+            line
+            for line in text.splitlines()
+            if line.startswith('serve_request_seconds_bucket{le="+Inf"}')
+        ]
+        assert inf and int(inf[0].rsplit(" ", 1)[1]) == count >= 1
+        assert "serve_uptime_seconds" in text
+        assert "serve_inflight 0" in text
+
+    def test_default_metrics_stay_json_with_percentiles(self, served):
+        served.request("POST", "/scenarios", SPEC_JSON)
+        status, headers, body = served.request_full("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        entry = json.loads(body)["histograms"]["serve.request_seconds"]
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+        assert sum(entry["buckets"]) == entry["count"]

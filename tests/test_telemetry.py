@@ -86,7 +86,12 @@ class TestCollector:
         assert collector.spans["generate"]["count"] == 1
         assert collector.counters["draws"] == 5
         histogram = collector.histograms["frontier"]
-        assert histogram == {"count": 3, "total": 15, "min": 1, "max": 10}
+        assert histogram["count"] == 3
+        assert histogram["total"] == 15
+        assert histogram["min"] == 1
+        assert histogram["max"] == 10
+        # Since schema 2 every observation also lands in a bucket.
+        assert sum(histogram["buckets"]) == 3
 
     def test_export_round_trip(self):
         collector = TelemetryCollector()
@@ -154,8 +159,22 @@ class TestWorkerMerge:
 
         serial_export = serial_collector.export()
         parallel_export = parallel_collector.export()
+
         # Counters and histograms merge to exactly the serial values.
-        assert parallel_export["counters"] == serial_export["counters"]
+        # ``kernels.fallback.*`` is excluded by design: the fallback warning
+        # fires once per *process*, so each fresh pool worker may count it
+        # while the long-lived test process consumed its warning long ago
+        # (same per-process exception the kernel-compile span documents).
+        def _workload_counters(export):
+            return {
+                name: value
+                for name, value in export["counters"].items()
+                if not name.startswith("kernels.fallback.")
+            }
+
+        assert _workload_counters(parallel_export) == _workload_counters(
+            serial_export
+        )
         assert parallel_export["histograms"] == serial_export["histograms"]
         # Spans agree on structure and counts (wall time differs).
         assert {

@@ -1,0 +1,542 @@
+"""Tracing v2 tests: span trees, trace context, logs, and Prometheus.
+
+The load-bearing guarantees:
+
+* spans form a *tree* — parent linkage follows the ambient stack, worker
+  subtrees merge back under the submitting thread's open span, and a
+  parallel run's canonical tree is identical to the serial one;
+* the request trace id crosses the process-pool pickle boundary by value
+  and stamps every worker-side span node;
+* structured log records carry the ambient trace/span ids at emit time,
+  and the no-handler default stays a no-op;
+* the Prometheus text exposition is well-formed (cumulative buckets,
+  ``+Inf`` == ``_count``) — parsed with ``prometheus_client`` when that
+  package is installed, checked against the golden format otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor, use_executor
+from repro.engine.tasks import Task
+from repro.search.normalized_flooding import NormalizedFloodingSearch
+from repro.telemetry.collector import (
+    HISTOGRAM_BUCKETS,
+    TRACE_SCHEMA_VERSION,
+    TelemetryCollector,
+    histogram_quantile,
+    use_telemetry,
+)
+from repro.telemetry.logs import (
+    JsonLinesHandler,
+    MemoryHandler,
+    get_logger,
+    install_log_handler,
+    use_log_handler,
+)
+from repro.telemetry.prometheus import CONTENT_TYPE, render_prometheus
+from repro.telemetry.trace import (
+    current_span_id,
+    current_trace_id,
+    new_trace_id,
+    to_chrome_trace,
+    use_trace_id,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Span-tree structure
+# --------------------------------------------------------------------------- #
+class TestSpanTree:
+    def test_nesting_records_parent_ids(self):
+        collector = TelemetryCollector()
+        with collector.span("outer"):
+            with collector.span("inner"):
+                with collector.span("leaf"):
+                    pass
+            with collector.span("sibling"):
+                pass
+        nodes = {node["name"]: node for node in collector.export()["span_tree"]}
+        assert nodes["outer"]["parent"] is None
+        assert nodes["inner"]["parent"] == nodes["outer"]["id"]
+        assert nodes["leaf"]["parent"] == nodes["inner"]["id"]
+        assert nodes["sibling"]["parent"] == nodes["outer"]["id"]
+        assert all(node["end"] >= node["start"] for node in nodes.values())
+
+    def test_trace_id_inherited_from_ambient(self):
+        collector = TelemetryCollector()
+        trace_id = new_trace_id()
+        with use_trace_id(trace_id):
+            with collector.span("a"):
+                assert current_trace_id() == trace_id
+                with collector.span("b"):
+                    pass
+        assert [node["trace_id"] for node in collector.span_tree] == [
+            trace_id,
+            trace_id,
+        ]
+
+    def test_fresh_collector_roots_its_own_tree(self):
+        # A span of a *different* collector must not become the parent —
+        # that is what lets a worker-side collector start its own root
+        # even when code runs serially under the parent's open spans.
+        outer = TelemetryCollector()
+        inner = TelemetryCollector()
+        trace_id = new_trace_id()
+        with use_trace_id(trace_id), outer.span("request"):
+            with inner.span("worker-root"):
+                pass
+        (node,) = inner.span_tree
+        assert node["parent"] is None
+        assert node["trace_id"] == trace_id  # trace id crosses; parent does not
+
+    def test_attrs_are_recorded_and_copied(self):
+        collector = TelemetryCollector()
+        attrs = {"spec_hash": "abc", "scale": "smoke"}
+        with collector.span("scenario", attrs=attrs):
+            pass
+        attrs["mutated"] = True  # caller mutation after exit must not leak
+        (node,) = collector.span_tree
+        assert node["attrs"] == {"spec_hash": "abc", "scale": "smoke"}
+
+    def test_aggregate_false_is_tree_only(self):
+        collector = TelemetryCollector()
+        with collector.span("task", attrs={"index": 0}, aggregate=False):
+            pass
+        assert "task" not in collector.export()["spans"]
+        assert [node["name"] for node in collector.span_tree] == ["task"]
+
+    def test_span_ids_restore_ambient_on_exit(self):
+        collector = TelemetryCollector()
+        assert current_span_id() is None
+        with collector.span("a"):
+            first = current_span_id()
+            assert first is not None
+        assert current_span_id() is None
+        with collector.span("b"):
+            assert current_span_id() != first
+        assert current_span_id() is None
+
+
+# --------------------------------------------------------------------------- #
+# Serial vs parallel tree identity + trace-context pickling
+# --------------------------------------------------------------------------- #
+def _search_task(seed: int) -> Task:
+    return Task(key=f"real[{seed}]", fn=_tiny_workload, args=(seed,))
+
+
+def _tiny_workload(seed: int):
+    """A realization-shaped workload (module-level: must pickle to workers)."""
+    from repro.generators.pa import PreferentialAttachmentGenerator
+    from repro.search.metrics import search_curve
+
+    graph = PreferentialAttachmentGenerator(
+        60, stubs=2, hard_cutoff=8, seed=seed
+    ).generate_graph()
+    curve = search_curve(
+        graph, NormalizedFloodingSearch(k_min=2), [2], queries=3, rng=seed
+    )
+    return curve.mean_hits
+
+
+def _traced_batch(executor, seeds, trace_id):
+    collector = TelemetryCollector()
+    tasks = [_search_task(seed) for seed in seeds]
+    with use_telemetry(collector), use_trace_id(trace_id):
+        with collector.span("batch"):
+            with use_executor(executor):
+                results = executor.run(tasks)
+    return results, collector.export()
+
+
+def _canonical_tree(export):
+    """Reduce a span tree to (name, attrs, children) shape, order-free.
+
+    Ids, timestamps, and thread ids differ between serial and parallel
+    runs by construction; the tree *shape* must not.  ``kernel-compile``
+    spans are excluded for the same once-per-process reason the counter
+    comparison in ``test_telemetry.py`` documents.
+    """
+    nodes = [
+        node
+        for node in export["span_tree"]
+        if not node["name"].startswith("kernel")
+    ]
+    ids = {node["id"] for node in nodes}
+    children = {}
+    roots = []
+    for node in nodes:
+        parent = node["parent"]
+        if parent is None or parent not in ids:
+            roots.append(node)
+        else:
+            children.setdefault(parent, []).append(node)
+
+    def shape(node):
+        shaped = {
+            "name": node["name"],
+            "attrs": node["attrs"],
+            "children": sorted(
+                (shape(child) for child in children.get(node["id"], [])),
+                key=lambda s: json.dumps(s, sort_keys=True),
+            ),
+        }
+        return shaped
+
+    return sorted(
+        (shape(root) for root in roots),
+        key=lambda s: json.dumps(s, sort_keys=True),
+    )
+
+
+class TestSerialParallelIdentity:
+    def test_parallel_tree_matches_serial(self):
+        trace_id = new_trace_id()
+        serial_results, serial_export = _traced_batch(
+            SerialExecutor(), (31, 32, 33), trace_id
+        )
+        with ParallelExecutor(jobs=2) as parallel:
+            parallel_results, parallel_export = _traced_batch(
+                parallel, (31, 32, 33), trace_id
+            )
+        assert parallel_results == serial_results
+        serial_tree = _canonical_tree(serial_export)
+        parallel_tree = _canonical_tree(parallel_export)
+        assert parallel_tree == serial_tree
+        # The batch root holds one synthetic ``task`` span per realization.
+        (root,) = serial_tree
+        assert root["name"] == "batch"
+        task_nodes = [c for c in root["children"] if c["name"] == "task"]
+        assert sorted(node["attrs"]["index"] for node in task_nodes) == [0, 1, 2]
+
+    def test_merged_ids_are_unique_and_parents_resolve(self):
+        with ParallelExecutor(jobs=2) as parallel:
+            _, export = _traced_batch(parallel, (41, 42, 43), new_trace_id())
+        nodes = export["span_tree"]
+        ids = [node["id"] for node in nodes]
+        assert len(ids) == len(set(ids))
+        known = set(ids)
+        for node in nodes:
+            assert node["parent"] is None or node["parent"] in known
+            assert node["end"] >= node["start"]
+
+    def test_trace_id_pickles_into_worker_spans(self):
+        trace_id = new_trace_id()
+        with ParallelExecutor(jobs=2) as parallel:
+            _, export = _traced_batch(parallel, (51, 52), trace_id)
+        # Every node — including those recorded inside pool worker
+        # processes, where the ambient stack starts empty — carries the
+        # request trace id that travelled by value with the task.
+        workload = [
+            node
+            for node in export["span_tree"]
+            if not node["name"].startswith("kernel")
+        ]
+        assert workload
+        assert {node["trace_id"] for node in workload} == {trace_id}
+
+    def test_export_round_trip_preserves_tree(self):
+        _, export = _traced_batch(SerialExecutor(), (61,), new_trace_id())
+        rebuilt = TelemetryCollector.from_dict(export)
+        assert rebuilt.export() == export
+        # New spans continue past the imported id sequence.
+        with rebuilt.span("post-import"):
+            pass
+        ids = [node["id"] for node in rebuilt.span_tree]
+        assert len(ids) == len(set(ids))
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event export
+# --------------------------------------------------------------------------- #
+class TestChromeTrace:
+    def _export(self):
+        collector = TelemetryCollector()
+        with use_trace_id("cafecafecafecafe"):
+            with collector.span("scenario", attrs={"scale": "smoke"}):
+                with collector.span("series"):
+                    pass
+        collector.count("rng.rejections", 3)
+        return collector.export()
+
+    def test_complete_events_with_micro_timestamps(self):
+        export = self._export()
+        chrome = to_chrome_trace(export)
+        events = chrome["traceEvents"]
+        assert [event["name"] for event in events] == ["scenario", "series"]
+        by_name = {event["name"]: event for event in events}
+        nodes = {node["name"]: node for node in export["span_tree"]}
+        for name, event in by_name.items():
+            assert event["ph"] == "X"
+            node = nodes[name]
+            assert event["ts"] == pytest.approx(node["start"] * 1e6)
+            assert event["dur"] == pytest.approx(
+                (node["end"] - node["start"]) * 1e6
+            )
+            assert event["args"]["trace_id"] == "cafecafecafecafe"
+        assert by_name["series"]["args"]["parent_id"] == nodes["scenario"]["id"]
+        assert "parent_id" not in by_name["scenario"]["args"]
+        assert by_name["scenario"]["args"]["scale"] == "smoke"
+
+    def test_other_data_and_ordering(self):
+        chrome = to_chrome_trace(self._export())
+        assert chrome["otherData"]["schema"] == TRACE_SCHEMA_VERSION
+        assert chrome["otherData"]["counters"] == {"rng.rejections": 3}
+        stamps = [event["ts"] for event in chrome["traceEvents"]]
+        assert stamps == sorted(stamps)
+        json.dumps(chrome)  # the payload must be directly serialisable
+
+
+# --------------------------------------------------------------------------- #
+# Histogram quantiles
+# --------------------------------------------------------------------------- #
+class TestQuantiles:
+    def test_uniform_values_interpolate_accurately(self):
+        collector = TelemetryCollector()
+        for value in range(1, 101):
+            collector.observe("sizes", value)
+        entry = collector.histograms["sizes"]
+        # Uniform 1..100: the (50,100] bucket interpolates p95 exactly.
+        assert histogram_quantile(entry, 0.95) == pytest.approx(95.0, rel=0.01)
+        p50 = histogram_quantile(entry, 0.50)
+        p99 = histogram_quantile(entry, 0.99)
+        assert 25.0 <= p50 <= 75.0  # bucket-resolution bound
+        assert p50 <= histogram_quantile(entry, 0.95) <= p99 <= 100.0
+
+    def test_single_observation_clamps_to_value(self):
+        collector = TelemetryCollector()
+        collector.observe("latency", 0.0375)
+        entry = collector.histograms["latency"]
+        for q in (0.5, 0.95, 0.99):
+            assert histogram_quantile(entry, q) == pytest.approx(0.0375)
+
+    def test_bucketless_entry_returns_none(self):
+        assert (
+            histogram_quantile(
+                {"count": 4, "total": 10.0, "min": 1.0, "max": 4.0}, 0.5
+            )
+            is None
+        )
+
+    def test_export_derives_percentiles(self):
+        collector = TelemetryCollector()
+        for value in (0.01, 0.02, 0.04):
+            collector.observe("serve.request_seconds", value)
+        entry = collector.export()["histograms"]["serve.request_seconds"]
+        assert entry["p50"] <= entry["p95"] <= entry["p99"] <= entry["max"]
+        assert sum(entry["buckets"]) == 3
+
+    def test_summary_lines_include_percentiles(self):
+        collector = TelemetryCollector()
+        for value in (1.0, 2.0, 3.0):
+            collector.observe("frontier", value)
+        (line,) = [
+            line for line in collector.summary_lines() if "frontier" in line
+        ]
+        assert "p50=" in line and "p95=" in line and "p99=" in line
+
+
+# --------------------------------------------------------------------------- #
+# Schema compatibility
+# --------------------------------------------------------------------------- #
+class TestSchemaCompat:
+    V1_PAYLOAD = {
+        "schema": 1,
+        "spans": {"generate": {"count": 2, "seconds": 0.5}},
+        "counters": {"store.hits": 3},
+        "histograms": {"sizes": {"count": 4, "total": 10.0, "min": 1.0, "max": 4.0}},
+        "tasks": [],
+    }
+
+    def test_v1_payload_loads(self):
+        collector = TelemetryCollector.from_dict(self.V1_PAYLOAD)
+        export = collector.export()
+        assert export["schema"] == TRACE_SCHEMA_VERSION
+        assert export["span_tree"] == []
+        entry = export["histograms"]["sizes"]
+        assert entry["count"] == 4
+        assert "buckets" not in entry and "p50" not in entry
+
+    def test_v1_histogram_degrades_to_prometheus_summary(self):
+        collector = TelemetryCollector.from_dict(self.V1_PAYLOAD)
+        text = render_prometheus(collector.export())
+        assert "# TYPE sizes summary" in text
+        assert "sizes_count 4" in text
+        assert "sizes_bucket" not in text
+
+
+# --------------------------------------------------------------------------- #
+# Structured logging
+# --------------------------------------------------------------------------- #
+class TestStructuredLogs:
+    def test_no_handler_is_a_noop(self):
+        assert install_log_handler(None) is None  # default state
+        get_logger("repro.test").info("nothing-listens", detail=1)
+
+    def test_memory_handler_captures_record_shape(self):
+        handler = MemoryHandler()
+        with use_log_handler(handler):
+            get_logger("repro.test").warning("something", count=7, key="a")
+        (record,) = handler.records
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "something"
+        assert record["count"] == 7 and record["key"] == "a"
+        assert record["ts"] > 0
+        assert record["trace_id"] is None and record["span_id"] is None
+
+    def test_records_stamp_ambient_trace_and_span(self):
+        handler = MemoryHandler()
+        collector = TelemetryCollector()
+        trace_id = new_trace_id()
+        with use_log_handler(handler), use_trace_id(trace_id):
+            with collector.span("request"):
+                get_logger("repro.test").info("inside")
+        (record,) = handler.records
+        assert record["trace_id"] == trace_id
+        assert record["span_id"] == collector.span_tree[0]["id"]
+
+    def test_json_lines_handler_writes_parseable_lines(self):
+        stream = io.StringIO()
+        with use_log_handler(JsonLinesHandler(stream)):
+            get_logger("a").info("one", n=1)
+            get_logger("b").error("two", n=2)
+        lines = stream.getvalue().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [record["event"] for record in parsed] == ["one", "two"]
+        assert parsed[1]["level"] == "error"
+
+    def test_json_lines_handler_survives_broken_stream(self):
+        stream = io.StringIO()
+        stream.close()
+        with use_log_handler(JsonLinesHandler(stream)):
+            get_logger("a").info("into-the-void")  # must not raise
+
+    def test_use_log_handler_restores_previous(self):
+        outer = MemoryHandler()
+        with use_log_handler(outer):
+            with use_log_handler(MemoryHandler()):
+                pass
+            get_logger("a").info("after-inner")
+        assert [record["event"] for record in outer.records] == ["after-inner"]
+
+    def test_get_logger_is_cached(self):
+        assert get_logger("repro.same") is get_logger("repro.same")
+
+
+# --------------------------------------------------------------------------- #
+# Kernel fallback observability
+# --------------------------------------------------------------------------- #
+class TestKernelFallback:
+    def test_fallback_emits_log_and_counter_once(self, monkeypatch):
+        from repro.kernels import dispatch
+
+        monkeypatch.setattr(dispatch, "_TIER_WARNINGS", set())
+        handler = MemoryHandler()
+        collector = TelemetryCollector()
+        with use_log_handler(handler), use_telemetry(collector):
+            with pytest.warns(RuntimeWarning, match="tier demoted"):
+                dispatch._warn_tier("test-tier", "tier demoted: test")
+            dispatch._warn_tier("test-tier", "tier demoted: test")  # muted
+        (record,) = handler.records
+        assert record["logger"] == "repro.kernels"
+        assert record["event"] == "kernel-fallback"
+        assert record["reason"] == "test-tier"
+        assert collector.counters == {"kernels.fallback.test-tier": 1}
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def _sample_export():
+    collector = TelemetryCollector()
+    collector.count("serve.requests", 5)
+    collector.count("store.hits", 2)
+    for value in (0.01, 0.02, 0.04):
+        collector.observe("serve.request_seconds", value)
+    with collector.span("generate"):
+        pass
+    return collector.export()
+
+
+class TestPrometheusExposition:
+    def test_counters_become_total_families(self):
+        text = render_prometheus(_sample_export())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 5" in text
+        assert "store_hits_total 2" in text
+
+    def test_histogram_buckets_are_cumulative_and_inf_closes(self):
+        text = render_prometheus(_sample_export())
+        assert "# TYPE serve_request_seconds histogram" in text
+        bucket_values = []
+        for line in text.splitlines():
+            if line.startswith("serve_request_seconds_bucket{"):
+                bucket_values.append(int(line.rsplit(" ", 1)[1]))
+        assert len(bucket_values) == len(HISTOGRAM_BUCKETS) + 1
+        assert bucket_values == sorted(bucket_values)  # cumulative, monotone
+        assert 'serve_request_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_request_seconds_count 3" in text
+        assert "serve_request_seconds_sum 0.07" in text
+
+    def test_spans_and_gauges(self):
+        text = render_prometheus(
+            _sample_export(), gauges={"serve_inflight": 0, "serve_uptime_seconds": 1.5}
+        )
+        assert 'repro_span_calls_total{span="generate"} 1' in text
+        assert 'repro_span_seconds_total{span="generate"}' in text
+        assert "# TYPE serve_inflight gauge" in text
+        assert "serve_inflight 0" in text
+        assert "serve_uptime_seconds 1.5" in text
+
+    def test_metric_names_are_sanitized(self):
+        collector = TelemetryCollector()
+        collector.count("weird-name.with~chars", 1)
+        text = render_prometheus(collector.export())
+        assert "weird_name_with_chars_total 1" in text
+
+    def test_exposition_parses_with_client_or_matches_golden(self):
+        text = render_prometheus(_sample_export(), gauges={"serve_inflight": 1})
+        try:
+            from prometheus_client.parser import text_string_to_metric_families
+        except ImportError:
+            # Golden-format fallback: every sample line a `# TYPE` family
+            # declared above it, bucket labels well-formed.
+            families = {}
+            for line in text.splitlines():
+                if line.startswith("# TYPE "):
+                    _, _, name, kind = line.split(" ")
+                    families[name] = kind
+            assert families["serve_requests_total"] == "counter"
+            assert families["serve_request_seconds"] == "histogram"
+            assert families["serve_inflight"] == "gauge"
+            for line in text.splitlines():
+                if line.startswith("#") or not line:
+                    continue
+                name = line.split("{")[0].split(" ")[0]
+                base = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in families:
+                        base = name[: -len(suffix)]
+                assert base in families
+        else:
+            families = {
+                family.name: family
+                for family in text_string_to_metric_families(text)
+            }
+            assert families["serve_requests"].type == "counter"
+            histogram = families["serve_request_seconds"]
+            assert histogram.type == "histogram"
+            samples = {
+                (s.name, s.labels.get("le")): s.value
+                for s in histogram.samples
+            }
+            assert samples[("serve_request_seconds_bucket", "+Inf")] == 3
+            assert samples[("serve_request_seconds_count", None)] == 3
+
+    def test_content_type_advertises_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
