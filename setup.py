@@ -11,7 +11,8 @@ Install targets:
 * ``pip install .[scipy]`` — SciPy-accelerated batched flood kernel;
 * ``pip install .[fast]`` — numba, enabling the compiled ``jit`` kernel
   tier for the stochastic search loops (identical results, much faster);
-* ``pip install .[dev]`` — the test/benchmark toolchain.
+* ``pip install .[dev]`` — the test/benchmark/lint toolchain (pytest,
+  hypothesis, ruff, mypy; ``repro lint`` itself is stdlib-only).
 
 Everything optional degrades gracefully: without scipy the CSR flood
 kernel falls back to pure NumPy, without numba the ``jit`` kernel tier
@@ -56,6 +57,8 @@ setup(
             "pytest>=7",
             "pytest-benchmark>=4",
             "hypothesis>=6",
+            "ruff>=0.4",
+            "mypy>=1.8",
         ],
     },
     entry_points={

@@ -11,9 +11,6 @@ for CM and the effect of hard cutoffs on the correlations of PA networks.
 
 from __future__ import annotations
 
-import math
-from typing import Optional
-
 from repro.core.errors import AnalysisError
 from repro.core.graph import Graph
 

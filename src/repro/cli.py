@@ -38,6 +38,10 @@ Subcommands
     Serve scenario specs over HTTP: warm requests are answered from the
     result store, identical in-flight specs are deduplicated, and progress
     streams as NDJSON (see :mod:`repro.serve`).
+``repro lint src/ --json --select RPL1``
+    Run the AST invariant checker (draw-order, kernel purity, pool
+    contracts, ambient discipline; see :mod:`repro.staticcheck`) — the CI
+    lint gate.  ``--list-rules`` prints the rule catalogue.
 
 Every run-style subcommand (``figure``/``suite``/``run``/``generate``/
 ``search``) also takes ``--trace <out.json>`` (write a schema-versioned
@@ -367,6 +371,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report what would be evicted without deleting")
     cache_gc.add_argument("--json", action="store_true",
                           help="print the gc summary as JSON")
+
+    # lint
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro invariant checker (RPL draw-order / kernel "
+             "purity / pool-contract / ambient-discipline rules)",
+    )
+    lint.add_argument("paths", nargs="*", type=Path, default=[Path("src")],
+                      metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report on stdout")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="CODE",
+                      help="only run rules matching this code or family "
+                           "prefix (e.g. RPL101 or RPL1); repeatable")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="CODE",
+                      help="skip rules matching this code or family prefix; "
+                           "repeatable")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print suppressed findings with their "
+                           "justifications")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule code with the invariant it "
+                           "checks, then exit")
 
     # serve
     serve = subparsers.add_parser(
@@ -1040,6 +1070,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise ReproError("usage: repro cache {stats|gc} --cache DIR")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is a dev/CI tool and must not slow down
+    # `repro --help` or the run-style commands.
+    from repro.staticcheck import lint_paths, render_json, render_rules, render_text
+
+    if args.list_rules:
+        render_rules(sys.stdout)
+        return 0
+    report = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+    if args.json:
+        print(json.dumps(render_json(report), indent=2, sort_keys=True))
+    else:
+        render_text(report, sys.stdout, show_suppressed=args.show_suppressed)
+    return report.exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -1105,6 +1151,7 @@ _COMMANDS = {
     "churn": _cmd_churn,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "lint": _cmd_lint,
     "serve": _cmd_serve,
 }
 

@@ -40,7 +40,7 @@ flow through the experiment engine's worker processes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -346,7 +346,7 @@ class CSRGraph:
             self._edge_sources = sources
         return self._edge_sources
 
-    def sparse_adjacency(self):
+    def sparse_adjacency(self) -> Optional[Any]:
         """Return the cached :mod:`scipy.sparse` adjacency, or ``None``.
 
         The matrix shares this graph's ``indptr``/``indices`` buffers (no

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -154,11 +154,11 @@ class RandomSource:
     # ------------------------------------------------------------------ #
     # Stream-position export/import (the kernel tier's splice points)
     # ------------------------------------------------------------------ #
-    def getstate(self):
+    def getstate(self) -> Tuple[Any, ...]:
         """Return the underlying generator state (see :meth:`random.Random.getstate`)."""
         return self._random.getstate()
 
-    def setstate(self, state) -> None:
+    def setstate(self, state: Tuple[Any, ...]) -> None:
         """Restore a state captured with :meth:`getstate`."""
         self._random.setstate(state)
 

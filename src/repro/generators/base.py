@@ -57,7 +57,7 @@ class GenerationResult:
             "stats": self.graph.stats().as_dict(),
             "metadata": {
                 key: value
-                for key, value in self.metadata.items()
+                for key, value in self.metadata.items()  # repro-lint: disable=RPL102(no draws here; key order mirrors the deterministic build-time insertion order and is pinned by cached-result byte-identity)
                 if isinstance(value, (int, float, str, bool, type(None)))
             },
             "elapsed_seconds": self.elapsed_seconds,
@@ -138,5 +138,8 @@ class TopologyGenerator(abc.ABC):
         return ensure_source(configured_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        params = ", ".join(f"{key}={value!r}" for key, value in self.parameters().items())
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in self.parameters().items()  # repro-lint: disable=RPL102(debug repr only; no draws occur during or after this iteration)
+        )
         return f"{type(self).__name__}({params})"

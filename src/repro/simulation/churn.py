@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 from repro.analysis.components import giant_component_fraction
 from repro.analysis.powerlaw import fit_power_law
 from repro.core.errors import AnalysisError, ConfigurationError
-from repro.core.rng import RandomSource, ensure_source
+from repro.core.rng import ensure_source
 from repro.simulation.network import JoinStrategy, P2PNetwork
 
 __all__ = ["ChurnConfig", "ChurnReport", "ChurnSample", "ChurnProcess"]

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.core.errors import SimulationError
 from repro.core.types import NodeId

@@ -151,8 +151,15 @@ class P2PNetwork:
         return peer_id in self.peers
 
     def online_peers(self) -> List[NodeId]:
-        """Return the ids of all online peers."""
-        return list(self.peers.keys())
+        """Return the ids of all online peers.
+
+        The order is the peers' join order (dict insertion order), which is
+        a pure function of the seeded event history — every draw made over
+        this list is therefore reproducible.  Do not "fix" this to
+        ``sorted(...)``: that would version every pinned simulation draw
+        sequence.
+        """
+        return list(self.peers.keys())  # repro-lint: disable=RPL102(join-order iteration is a pure function of the seeded event history; sorting would version every pinned simulation draw stream)
 
     def overlay_graph(self) -> Graph:
         """Return a copy of the current overlay graph (online peers only)."""

@@ -351,7 +351,7 @@ class GnutellaProtocol:
         frozen = self.network.graph.freeze()
         rows = [frozen._row_of(source) for source in sources]
         provider_mask = np.zeros(self.network.graph.number_of_nodes, dtype=np.bool_)
-        for node, peer in self.network.peers.items():
+        for node, peer in self.network.peers.items():  # repro-lint: disable=RPL102(order-insensitive: fills a boolean mask keyed by CSR row, no draws consumed)
             if peer.has_item(keyword):
                 provider_mask[frozen._row_of(node)] = True
         branching = self._branching()

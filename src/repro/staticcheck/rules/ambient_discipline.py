@@ -1,0 +1,84 @@
+"""RPL4xx — telemetry spans and ambient stacks stay behind their APIs.
+
+The telemetry subsystem reassembles span *trees* across threads and
+process pools; that only works when spans are opened and closed through
+the context-manager protocol (``with telemetry.span(...)``) so the ambient
+parent stack is balanced even on exceptions.  A bare ``.span(...)`` call
+leaks an open span into every subsequently-opened one, silently corrupting
+the tree a parallel run is checked against.
+
+Similarly, :class:`repro.core.ambient.AmbientStack` hides a per-thread
+stack behind ``push``/``pop``/``top``; reaching into its ``_local`` /
+``_items`` internals from outside bypasses the thread isolation that was
+the entire point of the class (two threads sharing one list was the bug
+that motivated it).
+
+``RPL401``  every ``.span(...)`` call is a ``with``-statement context item;
+``RPL402``  no access to ``AmbientStack`` internals (``._local``,
+            ``._items``) outside the class itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.staticcheck.model import Finding, SourceModule
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["SpanContextManager", "AmbientStackInternals"]
+
+
+@register
+class SpanContextManager(Rule):
+    code = "RPL401"
+    name = "span-context-manager"
+    invariant = (
+        "telemetry spans open only via `with ...span(...)`: a bare span "
+        "call never closes, corrupting the span tree every later span "
+        "attaches under"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        with_items: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in with_items
+            ):
+                yield self.finding(
+                    module, node,
+                    ".span(...) called outside a with-statement; open spans "
+                    "only as context managers so the ambient parent stack "
+                    "stays balanced",
+                )
+
+
+@register
+class AmbientStackInternals(Rule):
+    code = "RPL402"
+    name = "ambient-stack-internals"
+    invariant = (
+        "AmbientStack is accessed only through push/pop/top: touching "
+        "._local or ._items from outside bypasses the per-thread isolation "
+        "the class exists to provide"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in ("_local", "_items")
+                and not (isinstance(node.value, ast.Name) and node.value.id == "self")
+            ):
+                yield self.finding(
+                    module, node,
+                    f"access to AmbientStack internal `.{node.attr}` from "
+                    "outside the class; use push/pop/top",
+                )

@@ -1,0 +1,260 @@
+"""RPL2xx — ``maybe_njit`` kernels must stay inside the numba subset.
+
+The kernel tier's contract is "same function, two execution modes": with
+numba installed :func:`repro.kernels._compat.maybe_njit` compiles the
+function in ``nopython`` mode, without it the *same* Python body runs
+interpreted.  The failure mode these rules prevent is the asymmetric one —
+"interpreted fallback passes the whole test-suite, compiled tier breaks in
+production" — which happens exactly when a kernel body drifts outside the
+numba-compatible subset (the interpreter happily runs ``try``/f-strings/
+dict literals; ``nopython`` compilation rejects or miscompiles them, and
+CI jobs without numba never notice).
+
+``RPL201``  no ``try``/``with``/``yield``/``await``/``import``/``del``
+            statements inside a kernel body;
+``RPL202``  no closures: nested ``def``/``lambda`` capture cell variables
+            numba cannot type;
+``RPL203``  no ``*args``/``**kwargs``/keyword-only parameters in a kernel
+            signature (positional NumPy arrays and scalars only);
+``RPL204``  no f-strings and no ``dict``/``set`` literals or
+            comprehensions (not available in cached ``nopython`` mode);
+``RPL205``  no mutation of global state (``global`` declarations or
+            attribute assignment on non-local names) — kernels receive and
+            mutate arrays through their arguments only, which is also what
+            keeps them trivially picklable to worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.staticcheck.model import Finding, SourceModule
+from repro.staticcheck.registry import Rule, register
+
+__all__ = [
+    "KernelStatements",
+    "KernelClosures",
+    "KernelSignature",
+    "KernelLiterals",
+    "KernelGlobalMutation",
+]
+
+_BANNED_STATEMENTS = (
+    ast.Try,
+    ast.With,
+    ast.AsyncWith,
+    ast.AsyncFor,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Await,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Delete,
+)
+
+
+def _is_maybe_njit(decorator: ast.AST) -> bool:
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    if isinstance(decorator, ast.Name):
+        return decorator.id == "maybe_njit"
+    if isinstance(decorator, ast.Attribute):
+        return decorator.attr == "maybe_njit"
+    return False
+
+
+def kernel_functions(module: SourceModule) -> List[ast.FunctionDef]:
+    """Every function in ``module`` decorated with ``maybe_njit``."""
+    return [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.FunctionDef)
+        and any(_is_maybe_njit(decorator) for decorator in node.decorator_list)
+    ]
+
+
+def _local_names(fn: ast.FunctionDef) -> Set[str]:
+    """Parameter and locally-bound names of ``fn`` (for RPL205)."""
+    names: Set[str] = set()
+    args = fn.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_flat_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_flat_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_flat_names(node.target))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                names.update(_flat_names(generator.target))
+    return names
+
+
+def _flat_names(target: ast.AST) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names |= _flat_names(element)
+        return names
+    return set()
+
+
+class _KernelRule(Rule):
+    """Base: iterate the ``maybe_njit`` functions of any module."""
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for fn in kernel_functions(module):
+            yield from self.kernel_findings(module, fn)
+
+
+@register
+class KernelStatements(_KernelRule):
+    code = "RPL201"
+    name = "kernel-banned-statements"
+    invariant = (
+        "maybe_njit bodies contain no try/with/yield/await/import/del: the "
+        "interpreted fallback would accept them, nopython compilation would "
+        "not — the exact 'fallback passes, compiled tier breaks' trap"
+    )
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, _BANNED_STATEMENTS):
+                label = type(node).__name__.lower()
+                yield self.finding(
+                    module, node,
+                    f"`{label}` inside maybe_njit kernel `{fn.name}` is "
+                    "outside the numba nopython subset",
+                )
+
+
+@register
+class KernelClosures(_KernelRule):
+    code = "RPL202"
+    name = "kernel-closures"
+    invariant = (
+        "maybe_njit bodies define no nested functions or lambdas: closures "
+        "capture cell variables the compiler cannot type"
+    )
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                label = "lambda" if isinstance(node, ast.Lambda) else f"def {node.name}"
+                yield self.finding(
+                    module, node,
+                    f"nested `{label}` inside maybe_njit kernel `{fn.name}` "
+                    "creates a closure the compiled tier cannot type",
+                )
+
+
+@register
+class KernelSignature(_KernelRule):
+    code = "RPL203"
+    name = "kernel-signature"
+    invariant = (
+        "maybe_njit signatures are plain positional parameters: *args/"
+        "**kwargs/keyword-only parameters break nopython call typing"
+    )
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        args = fn.args
+        if args.vararg is not None:
+            yield self.finding(
+                module, fn,
+                f"maybe_njit kernel `{fn.name}` takes *{args.vararg.arg}",
+            )
+        if args.kwarg is not None:
+            yield self.finding(
+                module, fn,
+                f"maybe_njit kernel `{fn.name}` takes **{args.kwarg.arg}",
+            )
+        if args.kwonlyargs:
+            names = ", ".join(arg.arg for arg in args.kwonlyargs)
+            yield self.finding(
+                module, fn,
+                f"maybe_njit kernel `{fn.name}` has keyword-only "
+                f"parameters ({names})",
+            )
+
+
+@register
+class KernelLiterals(_KernelRule):
+    code = "RPL204"
+    name = "kernel-literals"
+    invariant = (
+        "maybe_njit bodies contain no f-strings and no dict/set literals "
+        "or comprehensions — unavailable in cached nopython mode"
+    )
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.JoinedStr):
+                yield self.finding(
+                    module, node,
+                    f"f-string inside maybe_njit kernel `{fn.name}`",
+                )
+            elif isinstance(node, (ast.Dict, ast.DictComp)):
+                yield self.finding(
+                    module, node,
+                    f"dict literal/comprehension inside maybe_njit kernel "
+                    f"`{fn.name}`",
+                )
+            elif isinstance(node, (ast.Set, ast.SetComp)):
+                yield self.finding(
+                    module, node,
+                    f"set literal/comprehension inside maybe_njit kernel "
+                    f"`{fn.name}`",
+                )
+
+
+@register
+class KernelGlobalMutation(_KernelRule):
+    code = "RPL205"
+    name = "kernel-global-mutation"
+    invariant = (
+        "maybe_njit kernels mutate state only through their array "
+        "arguments: no `global`, no attribute assignment on module-level "
+        "names (invisible to the compiled twin, unpicklable to workers)"
+    )
+
+    def kernel_findings(self, module: SourceModule, fn: ast.FunctionDef) -> Iterator[Finding]:
+        locals_ = _local_names(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    module, node,
+                    f"`global` inside maybe_njit kernel `{fn.name}`",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        root = target.value
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if isinstance(root, ast.Name) and root.id not in locals_:
+                            yield self.finding(
+                                module, target,
+                                f"attribute assignment on global `{root.id}` "
+                                f"inside maybe_njit kernel `{fn.name}`",
+                            )

@@ -1,0 +1,203 @@
+"""RPL3xx — classes that cross the ``ParallelExecutor`` boundary must pickle.
+
+The engine ships :class:`repro.engine.tasks.Task` objects (function +
+arguments) to worker processes; everything a task carries —
+``RealizationSpec``, scenario specs, ``ExperimentScale`` — must survive
+``pickle.dumps``.  The executor *does* fall back to in-process execution
+when a task fails to pickle, which is precisely the danger: an unpicklable
+member silently disables parallelism instead of failing loudly, and a
+`--jobs 8` run quietly becomes serial.
+
+``RPL301``
+    No known-unpicklable members on dataclass carriers in pool-boundary
+    modules (``engine/``, ``scenarios/``, ``experiments/runner.py``):
+    lambdas as defaults or ``self`` attributes, thread locks/conditions/
+    events, open file handles.
+``RPL302``
+    No ``lambda`` as a ``Task`` callable anywhere: ``Task.fn`` must be a
+    module-level function for the task to be distributable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.staticcheck.model import Finding, SourceModule, in_pool_boundary_scope
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnpicklableMember", "LambdaTask"]
+
+#: Constructors whose instances cannot cross a pickle boundary.
+_UNPICKLABLE_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "open",
+        "socket",
+    }
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_dataclass(class_node: ast.ClassDef) -> bool:
+    """True for ``@dataclass`` / ``@dataclass(...)`` decorated classes.
+
+    The rule is scoped to dataclasses deliberately: in this codebase the
+    values that cross the pool boundary are all dataclass carriers
+    (``Task``, ``RealizationSpec``, ``ProgressEvent``, the spec family),
+    while the stateful engine classes (executors, reporters) legitimately
+    hold locks and never leave the parent process.
+    """
+    for decorator in class_node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            decorator = decorator.func
+        if _terminal_name(decorator) == "dataclass":
+            return True
+    return False
+
+
+def _unpicklable_reason(value: ast.AST) -> Optional[str]:
+    """Why ``value`` cannot be pickled, or ``None`` when it looks fine."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator"
+    if isinstance(value, ast.Call):
+        name = _terminal_name(value.func)
+        if name in _UNPICKLABLE_CONSTRUCTORS:
+            return f"a {name}() instance"
+    return None
+
+
+@register
+class UnpicklableMember(Rule):
+    code = "RPL301"
+    name = "pool-unpicklable-member"
+    invariant = (
+        "dataclass carriers in pool-boundary modules hold no lambdas, "
+        "locks, or open handles: an unpicklable member silently downgrades "
+        "parallel execution to in-process fallback"
+    )
+
+    def applies(self, module: SourceModule) -> bool:
+        return in_pool_boundary_scope(module)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if not _is_dataclass(class_node):
+                continue
+            yield from self._check_class(module, class_node)
+
+    def _check_class(self, module: SourceModule, class_node: ast.ClassDef) -> Iterator[Finding]:
+        for statement in class_node.body:
+            if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                value = statement.value
+                if value is None:
+                    continue
+                reason = _unpicklable_reason(value)
+                if reason:
+                    yield self.finding(
+                        module, value,
+                        f"class `{class_node.name}` defines {reason} as a "
+                        "field default; it cannot cross the worker-pool "
+                        "pickle boundary",
+                    )
+                elif isinstance(value, ast.Call) and _terminal_name(value.func) == "field":
+                    yield from self._check_field_call(module, class_node, value)
+            elif isinstance(statement, ast.FunctionDef):
+                yield from self._check_method(module, class_node, statement)
+
+    def _check_field_call(
+        self, module: SourceModule, class_node: ast.ClassDef, call: ast.Call
+    ) -> Iterator[Finding]:
+        for keyword in call.keywords:
+            if keyword.arg == "default":
+                reason = _unpicklable_reason(keyword.value)
+                if reason:
+                    yield self.finding(
+                        module, keyword.value,
+                        f"class `{class_node.name}` uses {reason} as a "
+                        "dataclass field default; instances will not pickle "
+                        "into pool workers",
+                    )
+            elif keyword.arg == "default_factory" and isinstance(keyword.value, ast.Lambda):
+                reason = _unpicklable_reason(keyword.value.body)
+                if reason:
+                    yield self.finding(
+                        module, keyword.value,
+                        f"class `{class_node.name}` has a default_factory "
+                        f"producing {reason}; instances will not pickle "
+                        "into pool workers",
+                    )
+
+    def _check_method(
+        self, module: SourceModule, class_node: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    reason = _unpicklable_reason(value)
+                    if reason:
+                        yield self.finding(
+                            module, value,
+                            f"`self.{target.attr} = ...` in "
+                            f"`{class_node.name}.{method.name}` stores "
+                            f"{reason}; instances will not pickle into "
+                            "pool workers",
+                        )
+
+
+@register
+class LambdaTask(Rule):
+    code = "RPL302"
+    name = "task-lambda-callable"
+    invariant = (
+        "Task callables are module-level functions: a lambda fn cannot "
+        "pickle, so the executor silently runs it in-process instead of "
+        "distributing it"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != "Task":
+                continue
+            fn_argument: Optional[ast.AST] = None
+            if node.args:
+                fn_argument = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    fn_argument = keyword.value
+            if isinstance(fn_argument, ast.Lambda):
+                yield self.finding(
+                    module, fn_argument,
+                    "Task constructed with a lambda callable; use a "
+                    "module-level function so the task can be shipped to "
+                    "worker processes",
+                )

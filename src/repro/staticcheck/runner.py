@@ -1,0 +1,108 @@
+"""The lint driver: expand paths, parse files, run rules, apply suppressions.
+
+:func:`lint_paths` is the single entry point shared by the ``repro lint``
+CLI and the test-suite.  It returns a :class:`LintReport` whose
+``exit_code`` encodes the CI contract:
+
+* ``0`` — no active (unsuppressed) findings;
+* ``1`` — at least one active finding;
+* ``2`` — a path did not exist or a file could not be read/parsed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from repro.staticcheck.model import Finding, SourceModule
+from repro.staticcheck.registry import known_codes, select_rules
+from repro.staticcheck.suppress import apply_suppressions
+
+__all__ = ["LintReport", "lint_paths", "iter_python_files"]
+
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hg", ".venv", "node_modules"})
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count against the exit code (not suppressed)."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings silenced by a justified ``repro-lint`` directive."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.active else 0
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIPPED_DIRS & set(candidate.parts):
+                    yield candidate
+
+
+def _display_path(path: Path) -> str:
+    """Project-relative path when possible (stable across machines)."""
+    try:
+        return os.path.relpath(path)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        return str(path)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules."""
+    report = LintReport()
+    rules = select_rules(select=select, ignore=ignore)
+    codes = known_codes()
+    for path in paths:
+        if not path.exists():
+            report.errors.append(f"path does not exist: {path}")
+    for path in iter_python_files([p for p in paths if p.exists()]):
+        try:
+            module = SourceModule.parse(path, display_path=_display_path(path))
+        except (OSError, SyntaxError, UnicodeDecodeError) as error:
+            report.errors.append(f"cannot lint {path}: {error}")
+            continue
+        report.files_checked += 1
+        raw: List[Finding] = []
+        for rule in rules:
+            if rule.applies(module):
+                raw.extend(rule.check(module))
+        findings = apply_suppressions(module, raw, codes)
+        if select or ignore:
+            from repro.staticcheck.registry import code_matches
+
+            findings = [
+                finding
+                for finding in findings
+                if (not select or code_matches(finding.code, select))
+                and (not ignore or not code_matches(finding.code, ignore))
+            ]
+        findings.sort(key=lambda finding: (finding.line, finding.col, finding.code))
+        report.findings.extend(findings)
+    return report

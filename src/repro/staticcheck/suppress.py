@@ -1,0 +1,209 @@
+"""Per-line suppression directives — every suppression must be justified.
+
+Grammar (one directive per source line, as a trailing comment)::
+
+    # repro-lint: disable=RPL101(dict is insertion-ordered; draws pinned)
+    # repro-lint: disable=RPL101(reason one), RPL402(reason two)
+
+The parenthesised justification is *required*: the whole point of the
+linter is that the draw-order/purity/pickling invariants stop being tribal
+knowledge, so an unexplained suppression would recreate exactly the
+silent-violation failure mode it guards against.  Malformed directives are
+themselves findings (the ``RPL0xx`` meta codes below) and suppress nothing.
+
+Meta codes
+----------
+``RPL001``
+    Unparseable directive (no ``disable=``, or an entry that is not
+    ``CODE(justification)``).
+``RPL002``
+    Suppression without a justification string.
+``RPL003``
+    Suppression names a rule code the registry does not know.
+``RPL004``
+    Useless suppression: nothing on that line triggers the named rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.staticcheck.model import Finding, SourceModule
+
+__all__ = ["META_CODES", "Suppression", "apply_suppressions"]
+
+#: Meta findings raised by the directive parser itself.  These codes cannot
+#: be suppressed (a suppression problem must be fixed, not silenced).
+META_CODES = {
+    "RPL001": "malformed `# repro-lint:` directive",
+    "RPL002": "suppression is missing its justification",
+    "RPL003": "suppression names an unknown rule code",
+    "RPL004": "useless suppression (rule did not fire on this line)",
+}
+
+_MARKER = re.compile(r"#\s*repro-lint:\s*(.*)$")
+_ENTRY = re.compile(r"\s*(RPL\d{3})\s*\(")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``CODE(justification)`` entry."""
+
+    code: str
+    justification: str
+    line: int
+    used: bool = field(default=False, compare=False)
+
+
+def _meta_finding(module: SourceModule, code: str, line: int, message: str) -> Finding:
+    return Finding(code=code, path=module.display_path, line=line, col=1, message=message)
+
+
+def _parse_entries(body: str) -> Tuple[List[Tuple[str, str]], Optional[str]]:
+    """Split ``RPL101(reason), RPL102(reason)`` into ``(code, reason)`` pairs.
+
+    Justifications may contain commas and balanced parentheses; the scanner
+    tracks paren depth instead of splitting naively.  Returns the pairs and
+    an error string when the tail fails to parse.
+    """
+    entries: List[Tuple[str, str]] = []
+    rest = body
+    while rest.strip():
+        match = _ENTRY.match(rest)
+        if not match:
+            return entries, f"expected CODE(justification), got {rest.strip()!r}"
+        code = match.group(1)
+        depth = 1
+        index = match.end()
+        while index < len(rest) and depth:
+            if rest[index] == "(":
+                depth += 1
+            elif rest[index] == ")":
+                depth -= 1
+            index += 1
+        if depth:
+            return entries, f"unbalanced parentheses in suppression for {code}"
+        reason = rest[match.end() : index - 1].strip()
+        entries.append((code, reason))
+        rest = rest[index:].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest.strip():
+            return entries, f"expected ',' between suppressions, got {rest.strip()!r}"
+    return entries, None
+
+
+def _comment_tokens(module: SourceModule) -> List[Tuple[int, str]]:
+    """``(line, text)`` of every comment token — docstrings never match.
+
+    Tokenizing (rather than regex-scanning raw lines) is what keeps
+    directive *documentation* — like this module's own docstring — from
+    being parsed as a directive: a ``# repro-lint:`` inside a string
+    literal is a STRING token, not a COMMENT.
+    """
+    comments: List[Tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # The file already parsed as AST; tokenize failures here would be
+        # pathological — fall back to finding nothing rather than crashing.
+        pass
+    return comments
+
+
+def parse_directives(
+    module: SourceModule, known_codes: Iterable[str]
+) -> Tuple[Dict[int, List[Suppression]], List[Finding]]:
+    """Scan ``module`` for directives; return per-line suppressions + meta findings."""
+    known = set(known_codes)
+    by_line: Dict[int, List[Suppression]] = {}
+    findings: List[Finding] = []
+    for lineno, text in _comment_tokens(module):
+        match = _MARKER.search(text)
+        if not match:
+            continue
+        body = match.group(1).strip()
+        if not body.startswith("disable="):
+            findings.append(
+                _meta_finding(
+                    module, "RPL001", lineno,
+                    f"{META_CODES['RPL001']}: expected 'disable=...', got {body!r}",
+                )
+            )
+            continue
+        entries, error = _parse_entries(body[len("disable=") :])
+        if error is not None:
+            findings.append(
+                _meta_finding(module, "RPL001", lineno, f"{META_CODES['RPL001']}: {error}")
+            )
+        for code, reason in entries:
+            if code in META_CODES:
+                findings.append(
+                    _meta_finding(
+                        module, "RPL001", lineno,
+                        f"{META_CODES['RPL001']}: meta code {code} cannot be suppressed",
+                    )
+                )
+                continue
+            if code not in known:
+                findings.append(
+                    _meta_finding(
+                        module, "RPL003", lineno, f"{META_CODES['RPL003']}: {code}"
+                    )
+                )
+                continue
+            if not reason:
+                findings.append(
+                    _meta_finding(
+                        module, "RPL002", lineno,
+                        f"{META_CODES['RPL002']}: {code} needs a written reason, "
+                        f"e.g. {code}(why this line is safe)",
+                    )
+                )
+                continue
+            by_line.setdefault(lineno, []).append(
+                Suppression(code=code, justification=reason, line=lineno)
+            )
+    return by_line, findings
+
+
+def apply_suppressions(
+    module: SourceModule,
+    findings: List[Finding],
+    known_codes: Iterable[str],
+) -> List[Finding]:
+    """Mark findings suppressed by a same-line directive; flag unused ones."""
+    by_line, meta = parse_directives(module, known_codes)
+    out: List[Finding] = []
+    for finding in findings:
+        suppression = next(
+            (
+                entry
+                for entry in by_line.get(finding.line, [])
+                if entry.code == finding.code
+            ),
+            None,
+        )
+        if suppression is not None:
+            suppression.used = True
+            out.append(finding.suppress(suppression.justification))
+        else:
+            out.append(finding)
+    for entries in by_line.values():
+        for entry in entries:
+            if not entry.used:
+                meta.append(
+                    _meta_finding(
+                        module, "RPL004", entry.line,
+                        f"{META_CODES['RPL004']}: {entry.code}",
+                    )
+                )
+    out.extend(meta)
+    return out

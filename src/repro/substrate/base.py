@@ -50,5 +50,8 @@ class SubstrateNetwork(abc.ABC):
         return self.build(ensure_source(rng))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        params = ", ".join(f"{key}={value!r}" for key, value in self.parameters().items())
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in self.parameters().items()  # repro-lint: disable=RPL102(debug repr only; no draws occur during or after this iteration)
+        )
         return f"{type(self).__name__}({params})"

@@ -140,7 +140,7 @@ class GeometricRandomNetwork(SubstrateNetwork):
             cell_of.setdefault(key, []).append(node)
 
         neighbor_offsets = list(itertools.product((-1, 0, 1), repeat=dimensions))
-        for key, members in cell_of.items():
+        for key, members in cell_of.items():  # repro-lint: disable=RPL102(cell insertion order is a pure function of the already-drawn positions; the resulting edge order is pinned by the cross-tier equivalence suite)
             # Torus wrapping with cells_per_side <= 2 maps the +1 and -1
             # offsets onto the same neighbor cell; track the cells already
             # swept from this one so each unordered cell pair is visited

@@ -55,7 +55,11 @@ def bfs_distances(
         depth = distances[current]
         if max_depth is not None and depth >= max_depth:
             continue
-        for neighbor in graph.neighbor_set(current):
+        # Defined-order expansion (edge-insertion order, not set order):
+        # the distance *values* are order-independent, but iterating the
+        # neighbor set here made the returned dict's insertion order — and
+        # therefore any downstream iteration of it — process-salted.
+        for neighbor in graph.iter_neighbors(current):
             if neighbor not in distances:
                 distances[neighbor] = depth + 1
                 frontier.append(neighbor)

@@ -1,0 +1,28 @@
+"""Known-bad: dataclass carriers that cannot cross the pool pickle boundary.
+
+``ParallelExecutor`` falls back to in-process execution when a task fails
+to pickle, so every construct here silently turns a ``--jobs 8`` run
+serial instead of erroring (RPL301), and a lambda ``Task`` callable can
+never be distributed at all (RPL302).
+"""
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+
+@dataclass
+class BrokenSpec:
+    name: str
+    score_fn = lambda realization: realization.hops
+    on_done: object = field(default=lambda result: result)
+    guard: object = field(default_factory=lambda: Lock())
+
+    def attach(self, stream):
+        self.handle = open("results.ndjson", "a")
+        self.lock = Lock()
+
+
+def submit_broken(executor, spec):
+    task = Task(lambda: spec.name, label="inline")
+    other = Task(fn=lambda realization: realization.hops, label="score")
+    return executor.submit(task), executor.submit(other)

@@ -1,0 +1,28 @@
+"""Known-good: picklable dataclass carriers and module-level task callables."""
+
+from dataclasses import dataclass, field
+
+
+def score_realization(realization):
+    return realization.hops
+
+
+@dataclass
+class CleanSpec:
+    name: str
+    seeds: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+
+class StatefulReporter:
+    """Non-dataclass engine classes may hold locks; they never cross the pool."""
+
+    def __init__(self):
+        from threading import Lock
+
+        self._emit_lock = Lock()
+
+
+def submit_clean(executor, spec):
+    task = Task(score_realization, label=spec.name)
+    return executor.submit(task)

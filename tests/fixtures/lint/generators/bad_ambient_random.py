@@ -1,0 +1,27 @@
+"""Known-bad: ambient randomness inside the RNG-scoped draw path (RPL103).
+
+Every draw must come from the explicitly-threaded ``RandomSource`` — the
+module-level ``random`` and ``numpy.random`` singletons are process-global
+state that silently desynchronises the pinned draw stream.
+"""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def attach_randomly(graph, node, degree):
+    targets = []
+    for _ in range(degree):
+        targets.append(random.randrange(graph.number_of_nodes))
+    return targets
+
+
+def permute_nodes(nodes):
+    shuffle(nodes)
+    return nodes
+
+
+def noise_vector(size):
+    return np.random.random(size)

@@ -1,0 +1,18 @@
+"""Known-bad: dict iteration interleaved with draws (RPL102).
+
+Dict insertion order is deterministic *within* a process, but here the
+dict is keyed by values whose arrival order differs across backends, so
+iterating it while consuming draws splits the stream differently per
+backend.
+"""
+
+
+def rewire(graph, degree_of, rng):
+    chosen = []
+    for node in degree_of.keys():
+        if rng.random() < 0.5:
+            chosen.append(node)
+    for node, degree in degree_of.items():
+        if degree and rng.random() < 0.1:
+            chosen.append(node)
+    return chosen

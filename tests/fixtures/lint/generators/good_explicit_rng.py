@@ -1,0 +1,17 @@
+"""Known-good: explicit RandomSource threading, defined-order iteration."""
+
+
+def attach_preferentially(graph, node, degree, rng, attachment_targets):
+    targets = []
+    while len(targets) < degree:
+        candidate = attachment_targets[rng.randrange(len(attachment_targets))]
+        if candidate != node and candidate not in targets:
+            targets.append(candidate)
+    return targets
+
+
+def degree_histogram(degree_of):
+    histogram = {}
+    for node in sorted(degree_of):
+        histogram[degree_of[node]] = histogram.get(degree_of[node], 0) + 1
+    return histogram

@@ -1,0 +1,31 @@
+"""Known-bad: a ``maybe_njit`` kernel that drifted outside the numba subset.
+
+Each construct below runs fine interpreted (the no-numba fallback) and
+breaks nopython compilation — the asymmetry RPL201-205 exist to catch.
+The decorator is matched by name; this file is parsed, never imported.
+"""
+
+COUNTERS = None
+
+
+@maybe_njit(cache=True)
+def broken_kernel(values, out, *extras, scale=1.0):
+    global COUNTERS
+    try:
+        import math
+
+        lookup = {0: "zero", 1: "one"}
+        seen = {0, 1}
+        label = f"kernel:{scale}"
+    except ValueError:
+        label = "none"
+
+    def helper(x):
+        return x * scale
+
+    transform = lambda x: helper(x) + 1.0
+    COUNTERS.calls = COUNTERS.calls + 1
+    for i in range(values.shape[0]):
+        out[i] = transform(values[i])
+    del label
+    return out

@@ -1,0 +1,23 @@
+"""Known-good: a ``maybe_njit`` kernel inside the numba subset.
+
+Plain positional parameters, array-and-scalar locals, mutation only
+through the arguments — identical behaviour compiled or interpreted.
+"""
+
+
+@maybe_njit(cache=True)
+def accumulate_degrees(indptr, indices, out):
+    for node in range(out.shape[0]):
+        out[node] = indptr[node + 1] - indptr[node]
+    total = 0
+    for node in range(out.shape[0]):
+        total += out[node]
+    return total
+
+
+def helper_not_a_kernel(values):
+    """Undecorated helpers may use any Python they like."""
+    try:
+        return {value: f"v{value}" for value in values}
+    except TypeError:
+        return {}

@@ -1,0 +1,27 @@
+"""Known-bad: the PR-2 probabilistic-flooding set-order bug, reconstructed.
+
+The original bug: the PF forwarder iterated a *set* of neighbors while
+drawing one ``rng.random()`` per neighbor.  Set order is process-salted,
+so the adj backend and the CSR backend (edge-insertion order) consumed the
+shared Mersenne-Twister stream in different orders — identical seeds,
+silently divergent results.  RPL101 must flag the ``set`` iteration on
+line 18 (and the materialised copy below it).
+"""
+
+
+def forward_probabilistically(graph, node, rng, forward_probability):
+    """Forward the query to each neighbor independently with probability p."""
+    forwarded = []
+    # BUG (reconstructed): neighbor_set() returns a set; iterating it
+    # consumes one draw per neighbor in process-salted order.
+    for neighbor in graph.neighbor_set(node):
+        if rng.random() < forward_probability:
+            forwarded.append(neighbor)
+    return forwarded
+
+
+def forward_from_local_set(graph, node, rng, forward_probability):
+    """Same bug via a local bound to a set, then materialised."""
+    candidates = set(graph.neighbors(node))
+    ordered = list(candidates)
+    return [neighbor for neighbor in ordered if rng.random() < forward_probability]

@@ -1,0 +1,10 @@
+"""Suppression fixture: directives that fail to parse at all (RPL001)."""
+
+
+def walk_once(graph, rng):
+    reached = []
+    # repro-lint: silence everything please
+    for node in graph.neighbor_set(0):  # repro-lint: disable=RPL101
+        if rng.random() < 0.5:
+            reached.append(node)
+    return reached

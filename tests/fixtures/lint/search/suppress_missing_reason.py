@@ -1,0 +1,9 @@
+"""Suppression fixture: an empty justification is rejected (RPL002)."""
+
+
+def walk_once(graph, rng):
+    reached = []
+    for node in graph.neighbor_set(0):  # repro-lint: disable=RPL101()
+        if rng.random() < 0.5:
+            reached.append(node)
+    return reached

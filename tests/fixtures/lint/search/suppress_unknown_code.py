@@ -1,0 +1,9 @@
+"""Suppression fixture: naming a code the registry does not know (RPL003)."""
+
+
+def walk_once(graph, rng):
+    reached = []
+    for node in graph.neighbor_set(0):  # repro-lint: disable=RPL999(no such rule)
+        if rng.random() < 0.5:
+            reached.append(node)
+    return reached

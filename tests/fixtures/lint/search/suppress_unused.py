@@ -1,0 +1,8 @@
+"""Suppression fixture: suppressing a rule that never fires (RPL004)."""
+
+
+def walk_once(graph, rng):
+    total = 0.0
+    for node in graph.nodes_in_order():  # repro-lint: disable=RPL101(nothing unordered here, so this directive is dead weight)
+        total += rng.random()
+    return total

@@ -1,0 +1,18 @@
+"""Known-bad: span and ambient-stack misuse (RPL401, RPL402).
+
+A ``.span(...)`` opened outside a ``with`` never closes, so every later
+span attaches under it; poking ``AmbientStack._items`` from outside
+bypasses the per-thread isolation the class provides.
+"""
+
+
+def run_traced(tracer, network, stack):
+    span = tracer.span("simulate")
+    network.step()
+    span.finish()
+
+    tracer.span("flush")
+
+    stack._items.append("fake-parent")
+    storage = stack._local
+    return storage

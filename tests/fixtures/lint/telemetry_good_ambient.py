@@ -1,0 +1,26 @@
+"""Known-good: spans as context managers, ambient stack via its API."""
+
+
+def run_traced(tracer, network, stack):
+    with tracer.span("simulate"):
+        network.step()
+        with tracer.span("flush", kind="io"):
+            network.flush()
+
+    stack.push("parent")
+    try:
+        current = stack.top()
+    finally:
+        stack.pop()
+    return current
+
+
+class StackLike:
+    """Inside a class, ``self._items`` / ``self._local`` are fair game."""
+
+    def __init__(self):
+        self._items = []
+        self._local = None
+
+    def push(self, value):
+        self._items.append(value)

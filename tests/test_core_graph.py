@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.errors import GraphError, NodeNotFoundError
 from repro.core.graph import Graph
-from repro.core.rng import RandomSource
 
 
 class TestConstruction:

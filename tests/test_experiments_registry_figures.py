@@ -19,7 +19,6 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import ExperimentScale
 
 ALL_EXPERIMENTS = [
     "fig1",

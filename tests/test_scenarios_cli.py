@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.scenarios import ScenarioSpec

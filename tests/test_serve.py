@@ -25,7 +25,7 @@ import pytest
 from repro.core.errors import ScenarioError
 from repro.engine.executor import ParallelExecutor
 from repro.engine.store import ResultStore
-from repro.scenarios.compile import run_scenario_cached, scenario_cache_extra
+from repro.scenarios.compile import run_scenario_cached
 from repro.scenarios.spec import ScenarioSpec
 from repro.serve import EventLog, ScenarioService, ServeHTTP
 from repro.telemetry.collector import TelemetryCollector
